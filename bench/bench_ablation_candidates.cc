@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md decision 3): ILP solution quality and latency versus
+// the candidate-pool size M. The full Fig. 5 model considers every node for
+// every container; this repository prunes to a pool. The sweep shows the
+// knob's trade-off: tiny pools hurt placement quality (violations rise,
+// LRAs get rejected), large pools pay latency for no quality gain.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace medea::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — candidate-pool size vs ILP quality and latency",
+              "quality is flat across pool sizes while latency keeps growing — pruning is "
+              "(almost) free; under a fixed time budget huge pools can even hurt");
+
+  std::printf("%-12s %12s %12s %12s %12s\n", "pool size", "violations%", "placed",
+              "rejected", "latency(ms)");
+  for (int pool : {8, 16, 32, 64, 128}) {
+    ClusterState state = ClusterBuilder()
+                             .NumNodes(128)
+                             .NumRacks(8)
+                             .NumUpgradeDomains(8)
+                             .NumServiceUnits(8)
+                             .NodeCapacity(Resource(16 * 1024, 8))
+                             .Build();
+    ConstraintManager manager(state.groups_ptr());
+    std::vector<LraSpec> specs;
+    for (uint32_t i = 0; i < 20; ++i) {
+      specs.push_back(MakeHBaseInstance(ApplicationId(i + 1), manager.tags(), 10));
+    }
+    SchedulerConfig config;
+    config.node_pool_size = pool;
+    config.candidates_per_container = std::min(pool, 16);
+    config.x_var_budget = 1600;
+    config.ilp_time_limit_seconds = 0.5;
+    auto scheduler = MakeScheduler("medea-ilp", config);
+    const auto result = DeployLras(state, manager, *scheduler, std::move(specs), 2);
+    const auto report = ConstraintEvaluator::EvaluateAll(state, manager);
+    std::printf("%-12d %12.1f %12d %12d %12.1f\n", pool,
+                100.0 * report.ViolationFraction(), result.placed, result.rejected,
+                result.cycle_latency_ms.Mean());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace medea::bench
+
+int main() {
+  medea::bench::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Figures 10a and 10b: global cluster objectives while varying
+// LRA utilization (§7.4) —
+//  10a: percentage of nodes with resource fragmentation (free < 1 core or
+//       < 2 GB but not fully utilized);
+//  10b: coefficient of variation of per-node memory utilization (the load
+//       imbalance proxy).
+// Paper shape: all algorithms keep fragmentation low except at high
+// utilization; all but Serial have similar CV; imbalance is most pronounced
+// at low utilization and evens out as the cluster fills.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace medea::bench {
+namespace {
+
+constexpr size_t kNodes = 80;
+constexpr double kInstanceMemoryMb = 10 * 2048 + 3 * 1024;
+
+struct Point {
+  double fragmentation_pct = 0.0;
+  double cv_pct = 0.0;
+};
+
+Point RunPoint(const std::string& scheduler_name, double utilization, uint64_t seed) {
+  ClusterState state = ClusterBuilder()
+                           .NumNodes(kNodes)
+                           .NumRacks(10)
+                           .NumUpgradeDomains(10)
+                           .NumServiceUnits(10)
+                           .NodeCapacity(Resource(16 * 1024, 8))
+                           .Build();
+  ConstraintManager manager(state.groups_ptr());
+  const double total_mb = static_cast<double>(state.TotalCapacity().memory_mb);
+  const int instances =
+      std::max(1, static_cast<int>(utilization * total_mb / kInstanceMemoryMb));
+  std::vector<LraSpec> specs;
+  for (int i = 0; i < instances; ++i) {
+    specs.push_back(MakeHBaseInstance(ApplicationId(static_cast<uint32_t>(i + 1)),
+                                      manager.tags(), 10, true, /*max_workers_per_node=*/7));
+  }
+  SchedulerConfig config;
+  config.node_pool_size = 48;
+  config.candidates_per_container = 16;
+  config.x_var_budget = 1200;
+  config.ilp_time_limit_seconds = 0.5;
+  config.seed = seed;
+  auto scheduler = MakeScheduler(scheduler_name, config);
+  DeployLras(state, manager, *scheduler, std::move(specs), /*batch_size=*/2);
+
+  Point point;
+  point.fragmentation_pct = 100.0 * state.FragmentedNodeFraction(Resource(2048, 1));
+  Distribution util;
+  util.AddAll(state.NodeMemoryUtilization());
+  point.cv_pct = util.CoefficientOfVariationPct();
+  return point;
+}
+
+void Run() {
+  const double utilizations[] = {0.10, 0.30, 0.50, 0.70, 0.90};
+  const char* schedulers[] = {"medea-ilp", "medea-nc", "medea-tp", "j-kube", "serial"};
+
+  // Cache results; both figures come from one sweep.
+  Point results[5][5];
+  for (size_t s = 0; s < 5; ++s) {
+    for (size_t u = 0; u < 5; ++u) {
+      results[s][u] = RunPoint(schedulers[s], utilizations[u], 42);
+    }
+  }
+
+  PrintHeader("Figure 10a — Nodes with resource fragmentation (%) vs LRA utilization",
+              "low for all algorithms except at high utilization");
+  std::printf("%-12s", "scheduler");
+  for (double u : utilizations) {
+    std::printf("%11.0f%%", 100 * u);
+  }
+  std::printf("\n");
+  for (size_t s = 0; s < 5; ++s) {
+    std::printf("%-12s", schedulers[s]);
+    for (size_t u = 0; u < 5; ++u) {
+      std::printf("%12.1f", results[s][u].fragmentation_pct);
+    }
+    std::printf("\n");
+  }
+
+  PrintHeader("Figure 10b — Coefficient of variation of node memory utilization (%)",
+              "similar for all but Serial; imbalance highest at low utilization");
+  std::printf("%-12s", "scheduler");
+  for (double u : utilizations) {
+    std::printf("%11.0f%%", 100 * u);
+  }
+  std::printf("\n");
+  for (size_t s = 0; s < 5; ++s) {
+    std::printf("%-12s", schedulers[s]);
+    for (size_t u = 0; u < 5; ++u) {
+      std::printf("%12.1f", results[s][u].cv_pct);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace medea::bench
+
+int main() {
+  medea::bench::Run();
+  return 0;
+}

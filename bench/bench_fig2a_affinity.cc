@@ -1,0 +1,96 @@
+// Reproduces Figure 2a: Memcached lookup latency with node affinity
+// constraints. A Storm top-k topology (five supervisors) joins against a
+// Memcached instance (§2.2 "Affinity"). Three placements are compared:
+//   no-constraints : YARN's constraint-unaware placement,
+//   intra-only     : Storm supervisors collocated on one node,
+//   intra-inter    : Storm supervisors AND Memcached collocated.
+// The paper reports ~4.6x lower mean Memcached latency for intra-inter vs
+// intra-only and ~7.6x lower end-to-end latency vs no-constraints.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/perf_model.h"
+
+namespace medea::bench {
+namespace {
+
+struct Strategy {
+  std::string name;
+  bool intra = false;
+  bool inter = false;
+};
+
+void Run() {
+  PrintHeader("Figure 2a — Memcached lookup latency CDF under affinity constraints",
+              "intra-inter << intra-only ~= no-constraints (mean ~4.6x lower)");
+
+  const Strategy strategies[] = {
+      {"no-constraints", false, false},
+      {"intra-only", true, false},
+      {"intra-inter", true, true},
+  };
+
+  std::printf("%-16s %10s %10s %10s %10s %10s %10s\n", "placement", "mean(ms)", "p10", "p50",
+              "p90", "p99", "e2e(ms)");
+
+  for (const Strategy& strategy : strategies) {
+    ClusterState state = ClusterBuilder()
+                             .NumNodes(64)
+                             .NumRacks(8)
+                             .NumUpgradeDomains(8)
+                             .NumServiceUnits(8)
+                             .NodeCapacity(Resource(32 * 1024, 16))
+                             .Build();
+    ConstraintManager manager(state.groups_ptr());
+
+    auto memcached = MakeMemcachedInstance(ApplicationId(1), manager.tags());
+    auto storm = MakeStormInstance(ApplicationId(2), manager.tags(), 5,
+                                   /*with_constraints=*/strategy.intra);
+    if (strategy.inter) {
+      storm.app_constraints.push_back("{appID:2 & storm_sup, {mem, 1, inf}, node}");
+    }
+
+    SchedulerConfig config;
+    config.node_pool_size = 64;
+    config.seed = 17;
+    // Memcached lands wherever YARN put it (it predates the Storm job in
+    // the §2.2 experiment); Storm is placed per strategy.
+    auto yarn = MakeScheduler("yarn", config);
+    DeployLras(state, manager, *yarn, {std::move(memcached)}, 1);
+    auto scheduler = MakeScheduler(strategy.intra ? "medea-ilp" : "yarn", config);
+    DeployLras(state, manager, *scheduler, {std::move(storm)}, 1);
+
+    // Sample lookups from each supervisor to the memcached node.
+    const auto mem_containers = state.ContainersOf(ApplicationId(1));
+    MEDEA_CHECK(mem_containers.size() == 1);
+    const NodeId server = state.FindContainer(mem_containers[0])->node;
+    PerfModel model(PerfModelConfig{}, 99);
+    Distribution latency;
+    for (ContainerId c : state.ContainersOf(ApplicationId(2))) {
+      const NodeId client = state.FindContainer(c)->node;
+      for (int i = 0; i < 2000; ++i) {
+        latency.Add(model.SampleLookupLatencyMs(state, client, server));
+      }
+    }
+    // End-to-end latency: every tweet traverses the topology (hop cost
+    // driven by how spread the supervisors are) and performs two profile
+    // lookups on the critical path.
+    const TagId sup = manager.tags().Find("storm_sup");
+    const auto shape = ComputePlacementShape(state, ApplicationId(2), sup);
+    const double hop_ms = 40.0 + 430.0 * shape.cross_node_pair_share;
+    const double e2e = 2.0 * latency.Mean() + hop_ms;
+
+    std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n", strategy.name.c_str(),
+                latency.Mean(), latency.Percentile(10), latency.Percentile(50),
+                latency.Percentile(90), latency.Percentile(99), e2e);
+  }
+}
+
+}  // namespace
+}  // namespace medea::bench
+
+int main() {
+  medea::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 2c: HBase total YCSB runtime as a function of the
+// maximum region servers per node (cardinality 1 = full anti-affinity,
+// 10 = full affinity), in a low-utilized (GridMix 5%) and a high-utilized
+// (GridMix 70%) cluster (§2.2 "Cardinality").
+// Paper shape: U-curve; the optimum sits between the extremes and moves
+// with cluster load.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/perf_model.h"
+
+namespace medea::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 2c — HBase total runtime (min) vs max region servers per node",
+              "U-shaped; extremes (1 and 10 per node) are slower than the middle");
+
+  const int kWorkers = 10;
+  const double kIdealRuntimeMin = 22.0;  // all six YCSB workloads, ideal placement
+  const int cards[] = {1, 2, 4, 8, 10};
+  PerfModel model(PerfModelConfig{}, 11);
+
+  std::printf("%-22s", "max RS per node");
+  for (int c : cards) {
+    std::printf("%10d", c);
+  }
+  std::printf("\n");
+
+  const struct {
+    const char* label;
+    double load;
+  } clusters[] = {{"low utilized (5%)", 0.05}, {"high utilized (70%)", 0.70}};
+
+  for (const auto& cluster : clusters) {
+    std::printf("%-22s", cluster.label);
+    for (int c : cards) {
+      ClusterState state = ClusterBuilder()
+                               .NumNodes(24)
+                               .NumRacks(4)
+                               .NumUpgradeDomains(4)
+                               .NumServiceUnits(4)
+                               .NodeCapacity(Resource(64 * 1024, 32))
+                               .Build();
+      const TagId rs(0);
+      int placed = 0;
+      uint32_t node = 0;
+      while (placed < kWorkers) {
+        for (int i = 0; i < c && placed < kWorkers; ++i, ++placed) {
+          MEDEA_CHECK(
+              state.Allocate(ApplicationId(1), NodeId(node), Resource(2048, 1), {rs}, true)
+                  .ok());
+        }
+        ++node;
+      }
+      const auto shape = ComputePlacementShape(state, ApplicationId(1), rs);
+      const double runtime = kIdealRuntimeMin * model.Multiplier(shape, cluster.load);
+      std::printf("%10.1f", runtime);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace medea::bench
+
+int main() {
+  medea::bench::Run();
+  return 0;
+}

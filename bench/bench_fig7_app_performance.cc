@@ -1,0 +1,137 @@
+// Reproduces Figures 7a-7d: application performance under Medea, J-Kube,
+// J-Kube++ and YARN (§7.2). TensorFlow and HBase instances are deployed
+// with the §7.1 constraints next to GridMix load at ~50% of cluster
+// memory; runtimes are sampled from the placement-to-performance model and
+// reported as box plots (p25/p50/p75 with p5..p99 whiskers), like the
+// paper's.
+//
+// Paper shape: Medea < J-Kube++ < J-Kube << YARN in median runtime
+// (J-Kube ~32% worse for TF, ~23% for HBase workload A; YARN up to 2.1x);
+// J-Kube++ shows a long upper tail; GridMix runtimes are essentially
+// identical across schedulers (7d).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include <cmath>
+
+#include "src/perfmodel/perf_model.h"
+
+namespace medea::bench {
+namespace {
+
+constexpr int kTfInstances = 22;
+constexpr int kHBaseInstances = 25;
+constexpr size_t kNodes = 200;
+
+struct Results {
+  Distribution tf_runtime_min;
+  Distribution hbase_insert_s;
+  Distribution hbase_a_s;
+  Distribution gridmix_s;
+};
+
+Results RunScheduler(const std::string& scheduler_name, uint64_t seed) {
+  ClusterState state = ClusterBuilder()
+                           .NumNodes(kNodes)
+                           .NumRacks(10)
+                           .NumUpgradeDomains(10)
+                           .NumServiceUnits(10)
+                           .NodeCapacity(Resource(16 * 1024, 8))
+                           .Build();
+  ConstraintManager manager(state.groups_ptr());
+  // GridMix background at ~50% of memory, skewed across service units, is
+  // present *before* the LRAs arrive — the collocation pressure that makes
+  // cardinality constraints matter (§7.2).
+  Rng fill_rng(seed + 7);
+  FillWithTasksSkewed(state, 0.50, /*skew=*/0.8, fill_rng);
+
+  // Interleave TF and HBase submissions, as a shared cluster would see them.
+  std::vector<LraSpec> specs;
+  uint32_t app = 1;
+  for (int i = 0; i < std::max(kTfInstances, kHBaseInstances); ++i) {
+    if (i < kTfInstances) {
+      specs.push_back(MakeTensorFlowInstance(ApplicationId(app++), manager.tags(), 8, 2));
+    }
+    if (i < kHBaseInstances) {
+      specs.push_back(MakeHBaseInstance(ApplicationId(app++), manager.tags(), 10));
+    }
+  }
+  SchedulerConfig config;
+  config.node_pool_size = 64;
+  config.candidates_per_container = 16;
+  config.x_var_budget = 1600;
+  config.ilp_time_limit_seconds = 0.5;
+  config.seed = seed;
+  auto scheduler = MakeScheduler(scheduler_name, config);
+  DeployLras(state, manager, *scheduler, std::move(specs), /*batch_size=*/2);
+
+  const Resource used = state.TotalUsed();
+  const double cluster_load =
+      static_cast<double>(used.memory_mb) / state.TotalCapacity().memory_mb;
+  PerfModel tf_model(TensorFlowTrainingPerfConfig(), seed + 1);
+  PerfModel hbase_model(HBaseServingPerfConfig(), seed + 3);
+  Results results;
+  const TagId tf_w = manager.tags().Find("tf_w");
+  const TagId hb_rs = manager.tags().Find("hb_rs");
+  uint32_t app_id = 1;
+  for (int i = 0; i < std::max(kTfInstances, kHBaseInstances); ++i) {
+    if (i < kTfInstances) {
+      const auto shape = ComputePlacementShape(state, ApplicationId(app_id++), tf_w);
+      if (shape.workers > 0) {
+        // One ML workflow of 1M iterations: ~310 min at the ideal placement.
+        results.tf_runtime_min.Add(tf_model.SampleRuntime(310.0, shape, cluster_load));
+      }
+    }
+    if (i < kHBaseInstances) {
+      const auto shape = ComputePlacementShape(state, ApplicationId(app_id++), hb_rs);
+      if (shape.workers > 0) {
+        results.hbase_insert_s.Add(hbase_model.SampleRuntime(210.0, shape, cluster_load));
+        results.hbase_a_s.Add(hbase_model.SampleRuntime(170.0, shape, cluster_load));
+      }
+    }
+  }
+  // GridMix task runtimes: short tasks see only their own node's load,
+  // which is similar under every LRA scheduler.
+  Rng task_rng(seed + 2);
+  for (int t = 0; t < 200; ++t) {
+    const NodeId node(static_cast<uint32_t>(task_rng.NextBounded(kNodes)));
+    const double node_load =
+        state.node(node).used().DominantShareOf(state.node(node).capacity());
+    results.gridmix_s.Add(30.0 * (1.0 + 0.4 * node_load) *
+                          std::exp(task_rng.NextGaussian(0.0, 0.05)));
+  }
+  return results;
+}
+
+void Run() {
+  PrintHeader("Figure 7 — Application performance across schedulers (box plots)",
+              "Medea < J-Kube++ < J-Kube << YARN; GridMix identical everywhere");
+
+  const char* schedulers[] = {"medea-ilp", "j-kube", "j-kube++", "yarn"};
+  std::printf("%-10s %28s %28s %28s %24s\n", "scheduler", "7a TF runtime (min)",
+              "7b HBase insert (s)", "7c HBase workload A (s)", "7d GridMix (s)");
+  Distribution medea_tf;
+  for (const char* name : schedulers) {
+    const Results results = RunScheduler(name, 42);
+    std::printf("%-10s %28s %28s %28s %24s\n", name, FmtBox(results.tf_runtime_min).c_str(),
+                FmtBox(results.hbase_insert_s).c_str(), FmtBox(results.hbase_a_s).c_str(),
+                FmtBox(results.gridmix_s).c_str());
+    std::fflush(stdout);
+    if (std::string(name) == "medea-ilp") {
+      medea_tf = results.tf_runtime_min;
+    } else if (std::string(name) == "j-kube" && !medea_tf.Empty()) {
+      std::printf("   (J-Kube vs Medea TF median: +%.0f%%, paper: +32%%)\n",
+                  100.0 * (results.tf_runtime_min.Percentile(50) / medea_tf.Percentile(50) -
+                           1.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace medea::bench
+
+int main() {
+  medea::bench::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Figure 8: application resilience over 15 days (§7.3).
+// LRAs of 100 containers each are placed with the intra-application
+// constraint that containers spread across service units; placements are
+// replayed against a synthetic unavailability trace with Fig. 3's
+// statistical structure (correlated within a service unit, asynchronous
+// across units). For each hour we take the LRA with the highest fraction
+// of unavailable containers and report the CDF of that maximum.
+// Paper shape: Medea's CDF sits left of J-Kube's across all percentiles
+// (~16% lower median, ~24% lower maximum).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/sim/unavailability.h"
+
+namespace medea::bench {
+namespace {
+
+constexpr size_t kNodes = 500;
+constexpr int kServiceUnits = 25;
+constexpr int kLras = 10;
+constexpr int kContainersPerLra = 100;
+
+// Returns per-LRA container counts per service unit.
+std::vector<std::vector<int>> PlaceLras(const std::string& scheduler_name, uint64_t seed) {
+  ClusterState state = ClusterBuilder()
+                           .NumNodes(kNodes)
+                           .NumRacks(10)
+                           .NumUpgradeDomains(10)
+                           .NumServiceUnits(kServiceUnits)
+                           .NodeCapacity(Resource(16 * 1024, 8))
+                           .Build();
+  ConstraintManager manager(state.groups_ptr());
+  // Skewed background load: production service units are unevenly utilized,
+  // which is what tempts least-loaded placement into packing a few units.
+  Rng rng(seed);
+  FillWithTasksSkewed(state, 0.45, /*skew=*/0.9, rng);
+
+  std::vector<LraSpec> specs;
+  for (int i = 0; i < kLras; ++i) {
+    LraSpec spec = MakeGenericLra(ApplicationId(static_cast<uint32_t>(i + 1)), manager.tags(),
+                                  kContainersPerLra, StrFormat("svc%d", i).c_str());
+    // Spread across service units: at most ceil(100/25) = 4 containers of
+    // the same LRA per unit. This is a *cardinality* constraint — J-Kube
+    // cannot express it (Table 1) and ignores it.
+    spec.app_constraints.push_back(StrFormat("{appID:%d & svc%d, {appID:%d & svc%d, 0, 4}, "
+                                             "service_unit}",
+                                             i + 1, i, i + 1, i));
+    specs.push_back(std::move(spec));
+  }
+  SchedulerConfig config;
+  config.node_pool_size = 200;
+  config.candidates_per_container = 25;
+  config.x_var_budget = 3000;
+  config.ilp_time_limit_seconds = 1.0;
+  config.seed = seed;
+  auto scheduler = MakeScheduler(scheduler_name, config);
+  DeployLras(state, manager, *scheduler, std::move(specs), /*batch_size=*/1);
+
+  std::vector<std::vector<int>> per_su(kLras, std::vector<int>(kServiceUnits, 0));
+  for (int i = 0; i < kLras; ++i) {
+    for (ContainerId c : state.ContainersOf(ApplicationId(static_cast<uint32_t>(i + 1)))) {
+      const NodeId node = state.FindContainer(c)->node;
+      for (int su : state.groups().SetsContaining(kNodeGroupServiceUnit, node)) {
+        ++per_su[static_cast<size_t>(i)][static_cast<size_t>(su)];
+      }
+    }
+  }
+  return per_su;
+}
+
+Distribution Replay(const UnavailabilityTrace& trace,
+                    const std::vector<std::vector<int>>& placements) {
+  Distribution worst_per_hour;
+  for (int hour = 0; hour < trace.hours(); ++hour) {
+    double worst = 0.0;
+    for (const auto& lra : placements) {
+      worst = std::max(worst, LraUnavailableFraction(trace, hour, lra));
+    }
+    worst_per_hour.Add(100.0 * worst);
+  }
+  return worst_per_hour;
+}
+
+void Run() {
+  PrintHeader("Figure 8 — Max container unavailability per LRA over 15 days (CDF, %)",
+              "Medea left of J-Kube at every percentile (median ~16%, max ~24% better)");
+
+  const auto trace = UnavailabilityTrace::Generate(UnavailabilityConfig{}, 2024);
+  const auto medea = Replay(trace, PlaceLras("medea-ilp", 42));
+  const auto jkube = Replay(trace, PlaceLras("j-kube", 42));
+
+  std::printf("%-12s %10s %10s %10s %10s %10s %10s\n", "scheduler", "p25", "p50", "p75",
+              "p90", "p99", "max");
+  const auto row = [&](const char* name, const Distribution& d) {
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n", name, d.Percentile(25),
+                d.Percentile(50), d.Percentile(75), d.Percentile(90), d.Percentile(99),
+                d.Max());
+  };
+  row("MEDEA", medea);
+  row("J-KUBE", jkube);
+  std::printf("\nmedian improvement: %.0f%%   max improvement: %.0f%%\n",
+              100.0 * (1.0 - medea.Percentile(50) / std::max(1e-9, jkube.Percentile(50))),
+              100.0 * (1.0 - medea.Max() / std::max(1e-9, jkube.Max())));
+}
+
+}  // namespace
+}  // namespace medea::bench
+
+int main() {
+  medea::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks for the in-repo LP/MIP solver (the CPLEX substitute):
+// LP relaxation solve time and full branch-and-bound time on synthetic
+// placement-shaped models (X-assignment binaries + capacity rows), across
+// model sizes. Establishes the per-cycle solver budget the scheduler
+// latency figures (11a/11b) build on.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/solver/mip.h"
+#include "src/solver/presolve.h"
+
+namespace medea::solver {
+namespace {
+
+// A placement-shaped model: `containers` x `nodes` binaries, <=1 row per
+// container, two capacity rows per node, random per-container scores.
+Model PlacementModel(int containers, int nodes, uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<size_t>(containers));
+  for (int c = 0; c < containers; ++c) {
+    for (int n = 0; n < nodes; ++n) {
+      x[static_cast<size_t>(c)].push_back(m.AddBinary(rng.NextDouble(0.5, 1.5)));
+    }
+  }
+  for (int c = 0; c < containers; ++c) {
+    std::vector<std::pair<int, double>> once;
+    for (int n = 0; n < nodes; ++n) {
+      once.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+    }
+    m.AddRow(once, RowSense::kLessEqual, 1.0);
+  }
+  for (int n = 0; n < nodes; ++n) {
+    std::vector<std::pair<int, double>> mem, cpu;
+    for (int c = 0; c < containers; ++c) {
+      mem.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)],
+                       rng.NextDouble(1, 4));
+      cpu.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+    }
+    m.AddRow(mem, RowSense::kLessEqual, 16.0);
+    m.AddRow(cpu, RowSense::kLessEqual, 8.0);
+  }
+  return m;
+}
+
+void BM_LpRelaxation(::benchmark::State& state) {
+  const Model m =
+      PlacementModel(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 7);
+  for (auto _ : state) {
+    const Solution s = SolveLp(m);
+    ::benchmark::DoNotOptimize(s.objective);
+    state.counters["status_ok"] = s.status == SolveStatus::kOptimal ? 1 : 0;
+  }
+  state.counters["vars"] = m.num_variables();
+  state.counters["rows"] = m.num_rows();
+}
+
+void BM_BranchAndBound(::benchmark::State& state) {
+  const Model m =
+      PlacementModel(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 7);
+  MipOptions options;
+  options.time_limit_seconds = 5.0;
+  for (auto _ : state) {
+    MipStats stats;
+    const Solution s = SolveMip(m, options, &stats);
+    ::benchmark::DoNotOptimize(s.objective);
+    state.counters["bnb_nodes"] = stats.nodes_explored;
+  }
+}
+
+void BM_Presolve(::benchmark::State& state) {
+  const Model m =
+      PlacementModel(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 7);
+  for (auto _ : state) {
+    PresolveStats stats;
+    const Model reduced = Presolved(m, &stats);
+    ::benchmark::DoNotOptimize(reduced.num_rows());
+  }
+}
+
+BENCHMARK(BM_LpRelaxation)
+    ->Args({8, 16})
+    ->Args({16, 32})
+    ->Args({26, 48})
+    ->Args({40, 96})
+    ->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_BranchAndBound)
+    ->Args({8, 16})
+    ->Args({16, 32})
+    ->Args({26, 48})
+    ->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_Presolve)->Args({26, 48})->Args({40, 96})->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace medea::solver
+
+BENCHMARK_MAIN();

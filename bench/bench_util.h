@@ -1,0 +1,71 @@
+// Copyright (c) Medea reproduction authors.
+// Shared helpers for the per-figure bench binaries: batch LRA deployment
+// through a scheduler, background-load filling, scheduler construction by
+// name, and aligned table printing.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/violation.h"
+#include "src/schedulers/placement.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea::bench {
+
+// Deploys `specs` through `scheduler` in batches of `batch_size`,
+// registering each spec's constraints and committing each plan directly
+// against `state`. Returns per-deployment statistics.
+struct DeployResult {
+  int placed = 0;
+  int rejected = 0;
+  double total_latency_ms = 0.0;
+  Distribution cycle_latency_ms;
+};
+
+DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
+                        LraScheduler& scheduler, std::vector<LraSpec> specs, int batch_size);
+
+// Fills the cluster with short-running "background" task containers until
+// the target memory fraction is reached, spreading least-loaded first.
+// Returns the number of containers created.
+// The default task shape matches the node memory:core ratio (2 GB per
+// core), so memory and cores fill evenly.
+int FillWithTasks(ClusterState& state, double memory_fraction,
+                  const Resource& task_demand = Resource(2048, 1));
+
+// Same, but skewed: service units receive load proportional to their index
+// (later SUs much busier), to create the load imbalance production clusters
+// exhibit. `skew` of 0 is uniform; 1 is strongly skewed.
+int FillWithTasksSkewed(ClusterState& state, double memory_fraction, double skew, Rng& rng,
+                        const Resource& task_demand = Resource(2048, 1));
+
+// Scheduler factory: "medea-ilp", "medea-nc", "medea-tp", "serial",
+// "j-kube", "j-kube++", "yarn".
+std::unique_ptr<LraScheduler> MakeScheduler(const std::string& name,
+                                            const SchedulerConfig& config);
+
+// ---- Table printing --------------------------------------------------------
+
+// Prints a header banner for a figure/table.
+void PrintHeader(const std::string& title, const std::string& paper_expectation);
+
+// Prints one row of right-aligned cells (first cell left-aligned, width 24;
+// the rest width 12).
+void PrintRow(const std::vector<std::string>& cells);
+
+// Formats a double with the given precision.
+std::string Fmt(double value, int precision = 2);
+
+// Formats a box plot as "p25/p50/p75 (p5..p99)".
+std::string FmtBox(const Distribution& d);
+
+}  // namespace medea::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

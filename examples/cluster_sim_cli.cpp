@@ -1,0 +1,227 @@
+// Command-line cluster simulator: run a configurable shared-cluster
+// scenario through the full Medea pipeline and print the metrics the paper
+// evaluates (violations, fragmentation, load imbalance, latencies).
+//
+//   cluster_sim_cli [--nodes N] [--racks R] [--service-units S]
+//                   [--scheduler medea-ilp|medea-nc|medea-tp|serial|
+//                               j-kube|j-kube++|yarn]
+//                   [--hbase N] [--tensorflow N] [--gridmix-frac F]
+//                   [--interval MS] [--minutes M] [--migration MS]
+//                   [--conflict resubmit|kill|reserve] [--seed S]
+//
+// Example:
+//   ./cluster_sim_cli --nodes 200 --hbase 12 --tensorflow 8
+//       --gridmix-frac 0.4 --scheduler medea-ilp --minutes 15
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/schedulers/greedy.h"
+#include "src/schedulers/ilp_scheduler.h"
+#include "src/schedulers/jkube.h"
+#include "src/schedulers/yarn.h"
+#include "src/sim/scenario.h"
+#include "src/sim/simulation.h"
+#include "src/workload/gridmix.h"
+#include "src/workload/lra_templates.h"
+
+using namespace medea;
+
+namespace {
+
+struct Options {
+  size_t nodes = 100;
+  size_t racks = 10;
+  size_t service_units = 10;
+  std::string scheduler = "medea-ilp";
+  int hbase = 8;
+  int tensorflow = 4;
+  double gridmix_frac = 0.3;
+  SimTimeMs interval_ms = 10000;
+  int minutes = 10;
+  SimTimeMs migration_ms = 0;
+  std::string conflict = "resubmit";
+  uint64_t seed = 42;
+};
+
+std::unique_ptr<LraScheduler> MakeLraScheduler(const Options& options) {
+  SchedulerConfig config;
+  config.node_pool_size = static_cast<int>(std::min<size_t>(options.nodes, 96));
+  config.ilp_time_limit_seconds = 1.0;
+  config.seed = options.seed;
+  if (options.scheduler == "medea-ilp") {
+    return std::make_unique<MedeaIlpScheduler>(config);
+  }
+  if (options.scheduler == "medea-nc") {
+    return std::make_unique<GreedyScheduler>(GreedyOrdering::kNodeCandidates, config);
+  }
+  if (options.scheduler == "medea-tp") {
+    return std::make_unique<GreedyScheduler>(GreedyOrdering::kTagPopularity, config);
+  }
+  if (options.scheduler == "serial") {
+    return std::make_unique<GreedyScheduler>(GreedyOrdering::kSerial, config);
+  }
+  if (options.scheduler == "j-kube") {
+    return std::make_unique<JKubeScheduler>(false, config);
+  }
+  if (options.scheduler == "j-kube++") {
+    return std::make_unique<JKubeScheduler>(true, config);
+  }
+  if (options.scheduler == "yarn") {
+    return std::make_unique<YarnScheduler>(config);
+  }
+  std::fprintf(stderr, "unknown scheduler '%s'\n", options.scheduler.c_str());
+  std::exit(2);
+}
+
+bool ParseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--nodes") {
+      options.nodes = static_cast<size_t>(std::atoi(next()));
+    } else if (flag == "--racks") {
+      options.racks = static_cast<size_t>(std::atoi(next()));
+    } else if (flag == "--service-units") {
+      options.service_units = static_cast<size_t>(std::atoi(next()));
+    } else if (flag == "--scheduler") {
+      options.scheduler = next();
+    } else if (flag == "--hbase") {
+      options.hbase = std::atoi(next());
+    } else if (flag == "--tensorflow") {
+      options.tensorflow = std::atoi(next());
+    } else if (flag == "--gridmix-frac") {
+      options.gridmix_frac = std::atof(next());
+    } else if (flag == "--interval") {
+      options.interval_ms = std::atol(next());
+    } else if (flag == "--minutes") {
+      options.minutes = std::atoi(next());
+    } else if (flag == "--migration") {
+      options.migration_ms = std::atol(next());
+    } else if (flag == "--conflict") {
+      options.conflict = next();
+    } else if (flag == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Scenario-file mode: `cluster_sim_cli --scenario FILE` replays a textual
+  // scenario (see src/sim/scenario.h for the format).
+  if (argc == 3 && std::string(argv[1]) == "--scenario") {
+    auto outcome = RunScenarioFile(argv[2]);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== scenario %s ===\n%s", argv[2], outcome->Summary().c_str());
+    return 0;
+  }
+
+  Options options;
+  if (!ParseArgs(argc, argv, options)) {
+    std::printf("usage: %s [--nodes N] [--scheduler NAME] [--hbase N] [--tensorflow N]\n"
+                "          [--gridmix-frac F] [--interval MS] [--minutes M]\n"
+                "          [--migration MS] [--conflict resubmit|kill|reserve] [--seed S]\n"
+                "       %s --scenario FILE\n",
+                argv[0], argv[0]);
+    return 2;
+  }
+
+  SimConfig config;
+  config.num_nodes = options.nodes;
+  config.num_racks = options.racks;
+  config.num_upgrade_domains = options.racks;
+  config.num_service_units = options.service_units;
+  config.lra_interval_ms = options.interval_ms;
+  config.migration_interval_ms = options.migration_ms;
+  if (options.conflict == "kill") {
+    config.conflict_policy = ConflictPolicy::kKillTasks;
+  } else if (options.conflict == "reserve") {
+    config.conflict_policy = ConflictPolicy::kReserve;
+  }
+
+  Simulation sim(config, MakeLraScheduler(options));
+  const SimTimeMs horizon = static_cast<SimTimeMs>(options.minutes) * 60000;
+
+  // GridMix batch stream: jobs arriving through the run, sized so the
+  // aggregate reaches the requested fraction of memory.
+  GridMixGenerator gridmix(GridMixConfig{}, options.seed);
+  Rng arrivals(options.seed + 1);
+  const auto jobs =
+      gridmix.JobsForMemoryFraction(sim.state().TotalCapacity(), options.gridmix_frac);
+  SimTimeMs t = 0;
+  for (const auto& job : jobs) {
+    t += static_cast<SimTimeMs>(arrivals.NextExponential(
+        static_cast<double>(jobs.size()) / static_cast<double>(horizon / 2)));
+    sim.SubmitTaskJobAt(std::min(t, horizon - 1), job);
+  }
+
+  // LRAs arriving through the first half of the run.
+  uint32_t app = 1;
+  Rng lra_arrivals(options.seed + 2);
+  for (int i = 0; i < options.hbase; ++i) {
+    sim.SubmitLraAt(lra_arrivals.NextBounded(static_cast<uint64_t>(horizon / 2)),
+                    MakeHBaseInstance(ApplicationId(app++), sim.manager().tags(), 10));
+  }
+  for (int i = 0; i < options.tensorflow; ++i) {
+    sim.SubmitLraAt(lra_arrivals.NextBounded(static_cast<uint64_t>(horizon / 2)),
+                    MakeTensorFlowInstance(ApplicationId(app++), sim.manager().tags(), 8, 2));
+  }
+
+  sim.RunUntil(horizon);
+
+  const SimMetrics& metrics = sim.metrics();
+  const auto report = sim.EvaluateViolations();
+  Distribution node_util;
+  node_util.AddAll(sim.state().NodeMemoryUtilization());
+
+  std::printf("=== %s on %zu nodes, %d min ===\n", options.scheduler.c_str(), options.nodes,
+              options.minutes);
+  std::printf("LRAs placed/rejected:     %d / %d (resubmissions %d, conflicts %d)\n",
+              metrics.lras_placed, metrics.lras_rejected, metrics.lra_resubmissions,
+              metrics.commit_conflicts);
+  if (config.conflict_policy == ConflictPolicy::kKillTasks) {
+    std::printf("tasks killed:             %d\n", metrics.tasks_killed);
+  }
+  if (config.conflict_policy == ConflictPolicy::kReserve) {
+    std::printf("reservations made:        %d\n", metrics.reservations_made);
+  }
+  if (options.migration_ms > 0) {
+    std::printf("containers migrated:      %d\n", metrics.migrations);
+  }
+  std::printf("LRA cycle latency (ms):   mean %.1f  max %.1f over %d cycles\n",
+              metrics.lra_cycle_latency_ms.Mean(),
+              metrics.lra_cycle_latency_ms.Empty() ? 0.0 : metrics.lra_cycle_latency_ms.Max(),
+              metrics.cycles);
+  std::printf("task allocations:         %zu, mean queueing %.0f ms\n",
+              sim.task_scheduler().allocation_latency_ms().Count(),
+              sim.task_scheduler().allocation_latency_ms().Mean());
+  std::printf("constraint violations:    %d / %d subjects (%.1f%%)\n",
+              report.violated_subjects, report.total_subjects,
+              100.0 * report.ViolationFraction());
+  std::printf("memory utilization:       %.0f%% (node CV %.1f%%)\n",
+              100.0 * sim.MemoryUtilization(), node_util.CoefficientOfVariationPct());
+  std::printf("fragmented nodes:         %.1f%%\n",
+              100.0 * sim.state().FragmentedNodeFraction(Resource(2048, 1)));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: a shared production cluster serving HBase instances next to
+// batch jobs, driven through the discrete-event simulator.
+//
+// Ten HBase instances (each with the §7.1 constraints: rack affinity for
+// region servers, at most two region servers per node across instances,
+// master/thrift collocation, master/secondary separation) arrive over five
+// minutes while GridMix batch jobs churn through the task scheduler. The
+// example prints the two-scheduler pipeline's metrics: placement latencies,
+// violations, utilization and fragmentation.
+
+#include <cstdio>
+
+#include "src/schedulers/ilp_scheduler.h"
+#include "src/sim/simulation.h"
+#include "src/workload/gridmix.h"
+#include "src/workload/lra_templates.h"
+
+using namespace medea;
+
+int main() {
+  SimConfig config;
+  config.num_nodes = 100;
+  config.num_racks = 10;
+  config.num_upgrade_domains = 10;
+  config.num_service_units = 10;
+  config.lra_interval_ms = 10000;  // the paper's 10 s scheduling interval
+
+  SchedulerConfig scheduler_config;
+  scheduler_config.node_pool_size = 64;
+  scheduler_config.ilp_time_limit_seconds = 1.0;
+  Simulation sim(config, std::make_unique<MedeaIlpScheduler>(scheduler_config));
+
+  // Batch jobs: a GridMix stream submitted through the first 5 minutes.
+  GridMixGenerator gridmix(GridMixConfig{}, /*seed=*/7);
+  Rng arrivals(11);
+  SimTimeMs t = 0;
+  for (int job = 0; job < 60; ++job) {
+    t += static_cast<SimTimeMs>(arrivals.NextExponential(1.0 / 5000.0));  // ~1 job / 5 s
+    sim.SubmitTaskJobAt(t, gridmix.NextJob());
+  }
+
+  // Ten HBase instances, one every ~30 seconds.
+  for (uint32_t i = 0; i < 10; ++i) {
+    sim.SubmitLraAt(static_cast<SimTimeMs>(i) * 30000,
+                    MakeHBaseInstance(ApplicationId(i + 1), sim.manager().tags(), 10));
+  }
+
+  sim.RunUntil(10 * 60 * 1000);  // ten simulated minutes
+
+  const SimMetrics& metrics = sim.metrics();
+  std::printf("=== HBase on a shared cluster (10 simulated minutes) ===\n");
+  std::printf("LRAs placed:              %d (rejected %d, resubmissions %d)\n",
+              metrics.lras_placed, metrics.lras_rejected, metrics.lra_resubmissions);
+  std::printf("LRA scheduling cycles:    %d, mean solver latency %.1f ms\n", metrics.cycles,
+              metrics.lra_cycle_latency_ms.Mean());
+  if (!metrics.lra_placement_latency_ms.Empty()) {
+    std::printf("LRA submission->commit:   median %.0f ms\n",
+                metrics.lra_placement_latency_ms.Percentile(50));
+  }
+  std::printf("task allocations:         %zu, mean queueing %.0f ms\n",
+              sim.task_scheduler().allocation_latency_ms().Count(),
+              sim.task_scheduler().allocation_latency_ms().Mean());
+
+  const auto report = sim.EvaluateViolations();
+  std::printf("constraint subjects:      %d, violated %d (%.1f%%)\n", report.total_subjects,
+              report.violated_subjects, 100.0 * report.ViolationFraction());
+  std::printf("memory utilization:       %.0f%%\n", 100.0 * sim.MemoryUtilization());
+  std::printf("fragmented nodes:         %.0f%%\n",
+              100.0 * sim.state().FragmentedNodeFraction(Resource(2048, 1)));
+
+  // Where did the region servers of instance 1 land?
+  const TagId rs = sim.manager().tags().Find("hb_rs");
+  std::printf("instance 1 region servers:");
+  for (ContainerId c : sim.state().ContainersOf(ApplicationId(1))) {
+    const ContainerInfo* info = sim.state().FindContainer(c);
+    for (TagId tag : info->tags) {
+      if (tag == rs) {
+        std::printf(" n%u", info->node.value);
+      }
+    }
+  }
+  std::printf("\n");
+  return report.violated_subjects == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Example: surviving correlated failures with high-level constraints (§2.3).
+//
+// A 100-container service is deployed twice on a 100-node cluster with 10
+// service units: once spread across service units with a Medea cardinality
+// constraint, once packed by a constraint-unaware scheduler. An entire
+// service unit then fails (the correlated-failure pattern of Fig. 3) and
+// the example reports how much of each deployment survived — and shows the
+// simulator healing the lost containers on the remaining nodes.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/schedulers/ilp_scheduler.h"
+#include "src/schedulers/yarn.h"
+#include "src/sim/simulation.h"
+#include "src/workload/lra_templates.h"
+
+using namespace medea;
+
+namespace {
+
+struct Outcome {
+  size_t containers_before = 0;
+  int lost = 0;
+  size_t containers_after_heal = 0;
+};
+
+Outcome Deploy(bool spread) {
+  SimConfig config;
+  config.num_nodes = 100;
+  config.num_racks = 10;
+  config.num_upgrade_domains = 10;
+  config.num_service_units = 10;
+  SchedulerConfig sc;
+  sc.node_pool_size = 100;
+  sc.ilp_time_limit_seconds = 1.0;
+  // The packed variant mimics a constraint-unaware scheduler that fills the
+  // least-loaded nodes — which all sit in the same service units at first.
+  std::unique_ptr<LraScheduler> scheduler;
+  if (spread) {
+    scheduler = std::make_unique<MedeaIlpScheduler>(sc);
+  } else {
+    scheduler = std::make_unique<YarnScheduler>(sc, YarnPolicy::kPack);
+  }
+  Simulation sim(config, std::move(scheduler));
+
+  auto service = MakeGenericLra(ApplicationId(1), sim.manager().tags(), 100, "svc");
+  if (spread) {
+    // At most ceil(100/10) = 10 containers of the service per service unit.
+    service.app_constraints.push_back("{svc, {svc, 0, 9}, service_unit}");
+  }
+  sim.SubmitLraAt(0, std::move(service));
+  sim.RunUntil(20000);
+
+  Outcome outcome;
+  outcome.containers_before = sim.state().ContainersOf(ApplicationId(1)).size();
+
+  // Service unit 0 (nodes 0-9) fails wholesale.
+  for (uint32_t n = 0; n < 10; ++n) {
+    sim.NodeDownAt(30000, NodeId(n));
+  }
+  sim.RunUntil(31000);
+  outcome.lost = sim.metrics().lra_containers_lost;
+
+  // The simulator resubmits the lost containers; they land on healthy units.
+  sim.RunUntilQuiescent();
+  outcome.containers_after_heal = sim.state().ContainersOf(ApplicationId(1)).size();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A 100-container service vs a full service-unit outage ===\n");
+  const Outcome packed = Deploy(false);
+  const Outcome spread = Deploy(true);
+  std::printf("%-26s %12s %18s %16s\n", "placement", "deployed", "lost in outage",
+              "after healing");
+  std::printf("%-26s %12zu %17d%% %16zu\n", "packed (no constraints)",
+              packed.containers_before, packed.lost, packed.containers_after_heal);
+  std::printf("%-26s %12zu %17d%% %16zu\n", "Medea SU-spread",
+              spread.containers_before, spread.lost, spread.containers_after_heal);
+  std::printf("\nspreading across service units caps the blast radius at ~10%%;\n"
+              "packing loses every container that shared the failed unit.\n");
+  return spread.lost <= packed.lost ? 0 : 1;
+}

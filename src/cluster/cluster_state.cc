@@ -1,0 +1,211 @@
+#include "src/cluster/cluster_state.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace medea {
+
+ClusterState::ClusterState(std::vector<Node> nodes,
+                           std::shared_ptr<const NodeGroupRegistry> groups)
+    : nodes_(std::move(nodes)), groups_(std::move(groups)) {
+  MEDEA_CHECK(groups_ != nullptr);
+  MEDEA_CHECK(groups_->num_nodes() == nodes_.size());
+}
+
+const Node& ClusterState::node(NodeId id) const {
+  MEDEA_CHECK(id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+Result<ContainerId> ClusterState::Allocate(ApplicationId app, NodeId node_id,
+                                           const Resource& demand, std::vector<TagId> tags,
+                                           bool long_running) {
+  if (node_id.value >= nodes_.size()) {
+    return Status::InvalidArgument("no such node");
+  }
+  Node& n = nodes_[node_id.value];
+  if (!n.available()) {
+    return Status::Unavailable(StrFormat("node n%u is unavailable", node_id.value));
+  }
+  if (!n.CanFit(demand)) {
+    return Status::ResourceExhausted(
+        StrFormat("node n%u cannot fit demand (free %s, demand %s)", node_id.value,
+                  n.Free().ToString().c_str(), demand.ToString().c_str()));
+  }
+  const ContainerId id(next_container_++);
+  n.AddContainer(id, demand, tags);
+  ContainerInfo info{id, app, node_id, demand, std::move(tags), long_running};
+  app_containers_[app].push_back(id);
+  containers_.emplace(id, std::move(info));
+  if (long_running) {
+    ++num_lra_containers_;
+  }
+  return id;
+}
+
+Status ClusterState::Release(ContainerId container) {
+  const auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    return Status::NotFound("no such container");
+  }
+  const ContainerInfo& info = it->second;
+  nodes_[info.node.value].RemoveContainer(container, info.resource, info.tags);
+  auto& list = app_containers_[info.app];
+  list.erase(std::remove(list.begin(), list.end(), container), list.end());
+  if (list.empty()) {
+    app_containers_.erase(info.app);
+  }
+  if (info.long_running) {
+    --num_lra_containers_;
+  }
+  containers_.erase(it);
+  return Status::Ok();
+}
+
+int ClusterState::ReleaseApplication(ApplicationId app) {
+  const auto it = app_containers_.find(app);
+  if (it == app_containers_.end()) {
+    return 0;
+  }
+  const std::vector<ContainerId> ids = it->second;  // copy: Release mutates the map
+  for (ContainerId id : ids) {
+    MEDEA_CHECK(Release(id).ok());
+  }
+  return static_cast<int>(ids.size());
+}
+
+const ContainerInfo* ClusterState::FindContainer(ContainerId container) const {
+  const auto it = containers_.find(container);
+  return it == containers_.end() ? nullptr : &it->second;
+}
+
+std::vector<ContainerId> ClusterState::ContainersOf(ApplicationId app) const {
+  const auto it = app_containers_.find(app);
+  return it == app_containers_.end() ? std::vector<ContainerId>{} : it->second;
+}
+
+void ClusterState::SetNodeAvailable(NodeId node_id, bool available) {
+  MEDEA_CHECK(node_id.value < nodes_.size());
+  nodes_[node_id.value].set_available(available);
+}
+
+void ClusterState::AddStaticNodeTag(NodeId node_id, TagId tag) {
+  MEDEA_CHECK(node_id.value < nodes_.size());
+  nodes_[node_id.value].AddStaticTag(tag);
+}
+
+int ClusterState::TagCardinality(NodeId node_id, TagId tag) const {
+  return node(node_id).TagCardinality(tag);
+}
+
+int ClusterState::TagCardinality(NodeId node_id, std::span<const TagId> conjunction) const {
+  const Node& n = node(node_id);
+  if (conjunction.empty()) {
+    return static_cast<int>(n.containers().size());
+  }
+  if (conjunction.size() == 1) {
+    return n.TagCardinality(conjunction[0]);
+  }
+  int count = 0;
+  for (ContainerId c : n.containers()) {
+    const ContainerInfo* info = FindContainer(c);
+    MEDEA_CHECK(info != nullptr);
+    bool matches = true;
+    for (TagId t : conjunction) {
+      const bool in_container =
+          std::find(info->tags.begin(), info->tags.end(), t) != info->tags.end();
+      if (!in_container && !n.HasStaticTag(t)) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int ClusterState::SetTagCardinality(std::span<const NodeId> node_set,
+                                    std::span<const TagId> conjunction) const {
+  int total = 0;
+  for (NodeId n : node_set) {
+    total += TagCardinality(n, conjunction);
+  }
+  return total;
+}
+
+Resource ClusterState::TotalCapacity() const {
+  Resource total;
+  for (const Node& n : nodes_) {
+    total += n.capacity();
+  }
+  return total;
+}
+
+Resource ClusterState::TotalUsed() const {
+  Resource total;
+  for (const Node& n : nodes_) {
+    total += n.used();
+  }
+  return total;
+}
+
+double ClusterState::FragmentedNodeFraction(const Resource& threshold) const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  size_t fragmented = 0;
+  for (const Node& n : nodes_) {
+    const Resource free = n.Free();
+    const bool fully_used = free.IsZero();
+    const bool below = free.memory_mb < threshold.memory_mb || free.vcores < threshold.vcores;
+    if (below && !fully_used) {
+      ++fragmented;
+    }
+  }
+  return static_cast<double>(fragmented) / static_cast<double>(nodes_.size());
+}
+
+std::vector<double> ClusterState::NodeMemoryUtilization() const {
+  std::vector<double> util;
+  util.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    util.push_back(n.capacity().memory_mb == 0
+                       ? 0.0
+                       : static_cast<double>(n.used().memory_mb) /
+                             static_cast<double>(n.capacity().memory_mb));
+  }
+  return util;
+}
+
+ClusterState ClusterBuilder::Build() const {
+  MEDEA_CHECK(num_nodes_ > 0);
+  std::vector<Node> nodes;
+  nodes.reserve(num_nodes_);
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    nodes.emplace_back(NodeId(static_cast<uint32_t>(i)), StrFormat("node-%04zu", i),
+                       node_capacity_);
+  }
+  auto groups = std::make_shared<NodeGroupRegistry>(num_nodes_);
+
+  const auto partition = [&](size_t num_sets) {
+    const size_t sets = std::max<size_t>(1, std::min(num_sets, num_nodes_));
+    std::vector<int> assignment(num_nodes_);
+    for (size_t i = 0; i < num_nodes_; ++i) {
+      assignment[i] = static_cast<int>(i * sets / num_nodes_);
+    }
+    return assignment;
+  };
+
+  MEDEA_CHECK(groups->RegisterPartition(kNodeGroupRack, partition(num_racks_)).ok());
+  MEDEA_CHECK(
+      groups->RegisterPartition(kNodeGroupUpgradeDomain, partition(num_upgrade_domains_)).ok());
+  MEDEA_CHECK(
+      groups->RegisterPartition(kNodeGroupServiceUnit, partition(num_service_units_)).ok());
+
+  return ClusterState(std::move(nodes), std::move(groups));
+}
+
+}  // namespace medea

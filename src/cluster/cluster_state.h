@@ -1,0 +1,160 @@
+// Copyright (c) Medea reproduction authors.
+// ClusterState: the authoritative view of nodes, containers and tags that
+// both Medea schedulers operate on ("Cluster State" box in Fig. 4/6).
+//
+// ClusterState is copyable: LRA schedulers clone it to run what-if
+// placements during a scheduling cycle without touching live state. The
+// NodeGroupRegistry is immutable after construction and shared between
+// copies.
+
+#ifndef SRC_CLUSTER_CLUSTER_STATE_H_
+#define SRC_CLUSTER_CLUSTER_STATE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/node.h"
+#include "src/cluster/node_group.h"
+#include "src/common/resource.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+
+namespace medea {
+
+// Record of one allocated container.
+struct ContainerInfo {
+  ContainerId id;
+  ApplicationId app;
+  NodeId node;
+  Resource resource;
+  std::vector<TagId> tags;
+  bool long_running = false;
+};
+
+class ClusterState {
+ public:
+  ClusterState(std::vector<Node> nodes, std::shared_ptr<const NodeGroupRegistry> groups);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const NodeGroupRegistry& groups() const { return *groups_; }
+  std::shared_ptr<const NodeGroupRegistry> groups_ptr() const { return groups_; }
+
+  // --- Container lifecycle -------------------------------------------------
+
+  // Allocates a container on `node`. Fails with RESOURCE_EXHAUSTED if the
+  // demand does not fit and UNAVAILABLE if the node is down.
+  Result<ContainerId> Allocate(ApplicationId app, NodeId node, const Resource& demand,
+                               std::vector<TagId> tags, bool long_running);
+
+  // Releases a previously allocated container.
+  Status Release(ContainerId container);
+
+  // Releases every container of an application. Returns the count released.
+  int ReleaseApplication(ApplicationId app);
+
+  const ContainerInfo* FindContainer(ContainerId container) const;
+
+  // Container ids of an application (empty if none).
+  std::vector<ContainerId> ContainersOf(ApplicationId app) const;
+
+  size_t num_containers() const { return containers_.size(); }
+  size_t num_long_running_containers() const { return num_lra_containers_; }
+
+  // Iterates over all containers (unspecified order).
+  template <typename Fn>
+  void ForEachContainer(Fn&& fn) const {
+    for (const auto& [id, info] : containers_) {
+      fn(info);
+    }
+  }
+
+  // --- Node availability ----------------------------------------------------
+
+  // Marks a node (un)available. Containers on an unavailable node stay
+  // allocated (the resilience pipeline decides what "lost" means).
+  void SetNodeAvailable(NodeId node, bool available);
+
+  // Attaches a static tag (e.g. hardware capability) to a node.
+  void AddStaticNodeTag(NodeId node, TagId tag);
+
+  // --- Tag cardinality (gamma of §4.1) ---------------------------------------
+
+  // gamma_n(t): occurrences of tag t on node n.
+  int TagCardinality(NodeId node, TagId tag) const;
+
+  // gamma_n of a conjunction: number of containers on `node` carrying every
+  // tag in `conjunction` (a static node tag satisfies its conjunct for all
+  // containers on that node). An empty conjunction counts all containers.
+  int TagCardinality(NodeId node, std::span<const TagId> conjunction) const;
+
+  // gamma_S over a node set: sum of per-node cardinalities.
+  int SetTagCardinality(std::span<const NodeId> node_set, std::span<const TagId> conjunction) const;
+
+  // --- Aggregate metrics ------------------------------------------------------
+
+  Resource TotalCapacity() const;
+  Resource TotalUsed() const;
+
+  // Fraction of nodes that are "fragmented" per §7.4: free resources below
+  // `threshold` in any dimension but the node is not fully utilized.
+  double FragmentedNodeFraction(const Resource& threshold) const;
+
+  // Per-node memory utilization in [0,1], for load-imbalance metrics.
+  std::vector<double> NodeMemoryUtilization() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::shared_ptr<const NodeGroupRegistry> groups_;
+  std::unordered_map<ContainerId, ContainerInfo, std::hash<ContainerId>> containers_;
+  std::unordered_map<ApplicationId, std::vector<ContainerId>, std::hash<ApplicationId>>
+      app_containers_;
+  uint32_t next_container_ = 0;
+  size_t num_lra_containers_ = 0;
+};
+
+// Convenience builder for the symmetric test/bench topologies: N identical
+// nodes split into contiguous racks, upgrade domains and service units.
+class ClusterBuilder {
+ public:
+  ClusterBuilder& NumNodes(size_t n) {
+    num_nodes_ = n;
+    return *this;
+  }
+  ClusterBuilder& NumRacks(size_t n) {
+    num_racks_ = n;
+    return *this;
+  }
+  ClusterBuilder& NumUpgradeDomains(size_t n) {
+    num_upgrade_domains_ = n;
+    return *this;
+  }
+  ClusterBuilder& NumServiceUnits(size_t n) {
+    num_service_units_ = n;
+    return *this;
+  }
+  ClusterBuilder& NodeCapacity(const Resource& capacity) {
+    node_capacity_ = capacity;
+    return *this;
+  }
+
+  // Builds the state. Group kinds registered: rack, upgrade_domain,
+  // service_unit (each a contiguous partition; counts clamped to num nodes).
+  ClusterState Build() const;
+
+ private:
+  size_t num_nodes_ = 100;
+  size_t num_racks_ = 4;
+  size_t num_upgrade_domains_ = 4;
+  size_t num_service_units_ = 4;
+  // Default mirrors the §7.4 simulated nodes: 8 cores / 16 GB.
+  Resource node_capacity_ = Resource(16 * 1024, 8);
+};
+
+}  // namespace medea
+
+#endif  // SRC_CLUSTER_CLUSTER_STATE_H_

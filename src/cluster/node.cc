@@ -1,0 +1,49 @@
+#include "src/cluster/node.h"
+
+#include <algorithm>
+
+#include "src/common/result.h"
+
+namespace medea {
+
+int Node::TagCardinality(TagId t) const {
+  const auto it = tag_counts_.find(t);
+  return it == tag_counts_.end() ? 0 : it->second;
+}
+
+void Node::AddStaticTag(TagId t) {
+  if (HasStaticTag(t)) {
+    return;
+  }
+  static_tags_.push_back(t);
+  ++tag_counts_[t];
+}
+
+bool Node::HasStaticTag(TagId t) const {
+  return std::find(static_tags_.begin(), static_tags_.end(), t) != static_tags_.end();
+}
+
+void Node::AddContainer(ContainerId c, const Resource& demand, const std::vector<TagId>& tags) {
+  containers_.push_back(c);
+  used_ += demand;
+  for (TagId t : tags) {
+    ++tag_counts_[t];
+  }
+}
+
+void Node::RemoveContainer(ContainerId c, const Resource& demand, const std::vector<TagId>& tags) {
+  const auto it = std::find(containers_.begin(), containers_.end(), c);
+  MEDEA_CHECK(it != containers_.end());
+  containers_.erase(it);
+  used_ -= demand;
+  MEDEA_CHECK(!used_.IsNegative());
+  for (TagId t : tags) {
+    const auto cit = tag_counts_.find(t);
+    MEDEA_CHECK(cit != tag_counts_.end() && cit->second > 0);
+    if (--cit->second == 0) {
+      tag_counts_.erase(cit);
+    }
+  }
+}
+
+}  // namespace medea

@@ -1,0 +1,75 @@
+// Copyright (c) Medea reproduction authors.
+// A cluster machine: capacity, allocated containers, and its dynamic tag
+// multiset (the "node tag set" T_n of §4.1 plus the cardinality function
+// gamma_n).
+
+#ifndef SRC_CLUSTER_NODE_H_
+#define SRC_CLUSTER_NODE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/resource.h"
+#include "src/common/types.h"
+
+namespace medea {
+
+// Per-node state. Mutated only through ClusterState so that tag multisets
+// and resource accounting stay consistent.
+class Node {
+ public:
+  Node(NodeId id, std::string hostname, Resource capacity)
+      : id_(id), hostname_(std::move(hostname)), capacity_(capacity) {}
+
+  NodeId id() const { return id_; }
+  const std::string& hostname() const { return hostname_; }
+
+  const Resource& capacity() const { return capacity_; }
+  const Resource& used() const { return used_; }
+  Resource Free() const { return capacity_ - used_; }
+
+  // True iff `demand` fits into the node's free resources.
+  bool CanFit(const Resource& demand) const { return Free().Fits(demand); }
+
+  // Machine availability: an unavailable node (failure, upgrade, ...)
+  // rejects new containers and counts its existing ones as lost.
+  bool available() const { return available_; }
+  void set_available(bool available) { available_ = available; }
+
+  // Number of occurrences of tag `t` among containers on this node
+  // (gamma_n(t) in §4.1). Zero for unknown tags.
+  int TagCardinality(TagId t) const;
+
+  // All tags present on the node with their multiplicities.
+  const std::unordered_map<TagId, int, std::hash<TagId>>& tag_counts() const {
+    return tag_counts_;
+  }
+
+  // Containers currently running on the node.
+  const std::vector<ContainerId>& containers() const { return containers_; }
+
+  // Statically attached tags (hardware capabilities such as "gpu"); they
+  // participate in the tag set with multiplicity 1 and never expire.
+  void AddStaticTag(TagId t);
+  bool HasStaticTag(TagId t) const;
+
+ private:
+  friend class ClusterState;
+
+  void AddContainer(ContainerId c, const Resource& demand, const std::vector<TagId>& tags);
+  void RemoveContainer(ContainerId c, const Resource& demand, const std::vector<TagId>& tags);
+
+  NodeId id_;
+  std::string hostname_;
+  Resource capacity_;
+  Resource used_;
+  bool available_ = true;
+  std::vector<ContainerId> containers_;
+  std::unordered_map<TagId, int, std::hash<TagId>> tag_counts_;
+  std::vector<TagId> static_tags_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_CLUSTER_NODE_H_

@@ -1,0 +1,91 @@
+#include "src/cluster/node_group.h"
+
+#include <algorithm>
+
+namespace medea {
+
+NodeGroupRegistry::NodeGroupRegistry(size_t num_nodes) : num_nodes_(num_nodes) {
+  Kind node_kind;
+  node_kind.sets.resize(num_nodes);
+  node_kind.membership.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    node_kind.sets[i] = {NodeId(static_cast<uint32_t>(i))};
+    node_kind.membership[i] = {static_cast<int>(i)};
+  }
+  kinds_.emplace(kNodeGroupNode, std::move(node_kind));
+}
+
+Status NodeGroupRegistry::RegisterKind(const std::string& kind,
+                                       std::vector<std::vector<NodeId>> sets) {
+  if (kinds_.count(kind) > 0) {
+    return Status::AlreadyExists("node group kind already registered: " + kind);
+  }
+  Kind k;
+  k.membership.resize(num_nodes_);
+  for (size_t s = 0; s < sets.size(); ++s) {
+    for (NodeId n : sets[s]) {
+      if (n.value >= num_nodes_) {
+        return Status::InvalidArgument("node id out of range in group kind " + kind);
+      }
+      k.membership[n.value].push_back(static_cast<int>(s));
+    }
+  }
+  k.sets = std::move(sets);
+  kinds_.emplace(kind, std::move(k));
+  return Status::Ok();
+}
+
+Status NodeGroupRegistry::RegisterPartition(const std::string& kind,
+                                            const std::vector<int>& assignment) {
+  if (assignment.size() != num_nodes_) {
+    return Status::InvalidArgument("partition assignment size mismatch for kind " + kind);
+  }
+  int num_sets = 0;
+  for (int a : assignment) {
+    if (a < 0) {
+      return Status::InvalidArgument("negative set index in partition for kind " + kind);
+    }
+    num_sets = std::max(num_sets, a + 1);
+  }
+  std::vector<std::vector<NodeId>> sets(static_cast<size_t>(num_sets));
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    sets[static_cast<size_t>(assignment[i])].push_back(NodeId(static_cast<uint32_t>(i)));
+  }
+  return RegisterKind(kind, std::move(sets));
+}
+
+bool NodeGroupRegistry::HasKind(const std::string& kind) const { return kinds_.count(kind) > 0; }
+
+std::vector<std::string> NodeGroupRegistry::Kinds() const {
+  std::vector<std::string> names;
+  names.reserve(kinds_.size());
+  for (const auto& [name, _] : kinds_) {
+    if (name != kNodeGroupNode) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const std::vector<std::vector<NodeId>>& NodeGroupRegistry::SetsOf(const std::string& kind) const {
+  const auto it = kinds_.find(kind);
+  MEDEA_CHECK(it != kinds_.end());
+  return it->second.sets;
+}
+
+const std::vector<int>& NodeGroupRegistry::SetsContaining(const std::string& kind,
+                                                          NodeId node) const {
+  const auto it = kinds_.find(kind);
+  if (it == kinds_.end() || node.value >= it->second.membership.size()) {
+    return empty_membership_;
+  }
+  return it->second.membership[node.value];
+}
+
+size_t NodeGroupRegistry::NumSets(const std::string& kind) const {
+  const auto it = kinds_.find(kind);
+  return it == kinds_.end() ? 0 : it->second.sets.size();
+}
+
+}  // namespace medea

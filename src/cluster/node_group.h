@@ -1,0 +1,72 @@
+// Copyright (c) Medea reproduction authors.
+// Node groups (§4.1): logical, possibly overlapping categories of node sets
+// registered by the cluster operator. Constraints name a *group kind*
+// ("node", "rack", "upgrade_domain", ...) and quantify over its node sets,
+// which keeps them independent of the cluster's physical organization.
+
+#ifndef SRC_CLUSTER_NODE_GROUP_H_
+#define SRC_CLUSTER_NODE_GROUP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+
+namespace medea {
+
+// Well-known group kind names. "node" is implicit: every registry exposes it
+// as the partition of the cluster into singleton sets.
+inline constexpr const char* kNodeGroupNode = "node";
+inline constexpr const char* kNodeGroupRack = "rack";
+inline constexpr const char* kNodeGroupUpgradeDomain = "upgrade_domain";
+inline constexpr const char* kNodeGroupServiceUnit = "service_unit";
+
+// Registry of group kinds. Each kind holds an ordered list of node sets;
+// a node may belong to several sets of the same kind (overlap is allowed).
+class NodeGroupRegistry {
+ public:
+  // Creates the registry for a cluster of `num_nodes` nodes and registers
+  // the implicit "node" kind (singleton sets, set index == node index).
+  explicit NodeGroupRegistry(size_t num_nodes);
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  // Registers a kind with the given node sets. Node ids must be < num_nodes.
+  // Fails with ALREADY_EXISTS if the kind is already registered.
+  Status RegisterKind(const std::string& kind, std::vector<std::vector<NodeId>> sets);
+
+  // Convenience: registers `kind` as a partition where node i belongs to set
+  // assignment[i]. Set count is max(assignment)+1.
+  Status RegisterPartition(const std::string& kind, const std::vector<int>& assignment);
+
+  bool HasKind(const std::string& kind) const;
+
+  // All kinds, excluding the implicit "node".
+  std::vector<std::string> Kinds() const;
+
+  // Node sets of a kind. Check HasKind first; unknown kinds abort.
+  const std::vector<std::vector<NodeId>>& SetsOf(const std::string& kind) const;
+
+  // Set indices (within `kind`) that contain `node`. Empty for unknown kind.
+  const std::vector<int>& SetsContaining(const std::string& kind, NodeId node) const;
+
+  // Number of node sets in a kind (0 if unknown).
+  size_t NumSets(const std::string& kind) const;
+
+ private:
+  struct Kind {
+    std::vector<std::vector<NodeId>> sets;
+    // node index -> set indices containing it.
+    std::vector<std::vector<int>> membership;
+  };
+
+  size_t num_nodes_;
+  std::unordered_map<std::string, Kind> kinds_;
+  std::vector<int> empty_membership_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_CLUSTER_NODE_GROUP_H_

@@ -1,0 +1,46 @@
+// Copyright (c) Medea reproduction authors.
+// Minimal leveled logging. Disabled below the configured level with zero
+// allocation; no global locks because the simulator is single-threaded.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace medea {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level. Defaults to kWarning so that library users and
+// benches are quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream collector that emits on destruction. Instantiated by MEDEA_LOG only
+// when the level is enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace medea
+
+#define MEDEA_LOG(level)                                                     \
+  if (::medea::LogLevel::level >= ::medea::GetLogLevel())                    \
+  ::medea::internal::LogMessage(::medea::LogLevel::level, __FILE__, __LINE__).stream()
+
+#endif  // SRC_COMMON_LOGGING_H_

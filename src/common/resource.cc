@@ -1,0 +1,29 @@
+#include "src/common/resource.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace medea {
+
+double Resource::DominantShareOf(const Resource& capacity) const {
+  double share = 0.0;
+  if (capacity.memory_mb > 0) {
+    share = std::max(share, static_cast<double>(memory_mb) / capacity.memory_mb);
+  }
+  if (capacity.vcores > 0) {
+    share = std::max(share, static_cast<double>(vcores) / capacity.vcores);
+  }
+  return share;
+}
+
+std::string Resource::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Resource& r) {
+  return os << "<" << r.memory_mb << "MB, " << r.vcores << "vc>";
+}
+
+}  // namespace medea

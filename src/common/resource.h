@@ -1,0 +1,83 @@
+// Copyright (c) Medea reproduction authors.
+// Multi-dimensional cluster resources (memory + vcores).
+//
+// The paper's ILP uses a scalar resource "for simplicity ... our model can be
+// extended to use a vector of resources instead" (§5.2, footnote 6). We keep
+// the full two-dimensional vector everywhere and let the ILP emit one
+// capacity row per dimension.
+
+#ifndef SRC_COMMON_RESOURCE_H_
+#define SRC_COMMON_RESOURCE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace medea {
+
+// A resource vector. Negative components are permitted transiently (e.g. as
+// the result of Subtract) so that callers can detect over-subscription, but
+// no committed cluster state ever stores a negative amount.
+struct Resource {
+  int64_t memory_mb = 0;
+  int32_t vcores = 0;
+
+  constexpr Resource() = default;
+  constexpr Resource(int64_t memory, int32_t cores) : memory_mb(memory), vcores(cores) {}
+
+  static constexpr Resource Zero() { return Resource(0, 0); }
+
+  // True iff every component of `other` fits into this resource.
+  constexpr bool Fits(const Resource& other) const {
+    return other.memory_mb <= memory_mb && other.vcores <= vcores;
+  }
+
+  constexpr bool IsZero() const { return memory_mb == 0 && vcores == 0; }
+
+  // True iff any component is negative (over-subscribed).
+  constexpr bool IsNegative() const { return memory_mb < 0 || vcores < 0; }
+
+  constexpr Resource& operator+=(const Resource& o) {
+    memory_mb += o.memory_mb;
+    vcores += o.vcores;
+    return *this;
+  }
+  constexpr Resource& operator-=(const Resource& o) {
+    memory_mb -= o.memory_mb;
+    vcores -= o.vcores;
+    return *this;
+  }
+
+  friend constexpr Resource operator+(Resource a, const Resource& b) { return a += b; }
+  friend constexpr Resource operator-(Resource a, const Resource& b) { return a -= b; }
+  friend constexpr Resource operator*(Resource a, int64_t k) {
+    return Resource(a.memory_mb * k, static_cast<int32_t>(a.vcores * k));
+  }
+  friend constexpr bool operator==(const Resource& a, const Resource& b) {
+    return a.memory_mb == b.memory_mb && a.vcores == b.vcores;
+  }
+  friend constexpr bool operator!=(const Resource& a, const Resource& b) { return !(a == b); }
+
+  // Component-wise minimum / maximum.
+  static constexpr Resource Min(const Resource& a, const Resource& b) {
+    return Resource(a.memory_mb < b.memory_mb ? a.memory_mb : b.memory_mb,
+                    a.vcores < b.vcores ? a.vcores : b.vcores);
+  }
+  static constexpr Resource Max(const Resource& a, const Resource& b) {
+    return Resource(a.memory_mb > b.memory_mb ? a.memory_mb : b.memory_mb,
+                    a.vcores > b.vcores ? a.vcores : b.vcores);
+  }
+
+  // Dominant-share style scalarization against a capacity: the max over
+  // dimensions of used/capacity. Used for load-balance metrics and node
+  // scoring. Returns 0 for a zero capacity.
+  double DominantShareOf(const Resource& capacity) const;
+
+  std::string ToString() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Resource& r);
+};
+
+}  // namespace medea
+
+#endif  // SRC_COMMON_RESOURCE_H_

@@ -1,0 +1,123 @@
+// Copyright (c) Medea reproduction authors.
+// Lightweight status / result types.
+//
+// Expected failures (unsatisfiable placement, resource exhaustion, parse
+// errors) are reported through Status / Result<T> rather than exceptions,
+// following the os-systems guide. Programming errors are caught by MEDEA_CHECK.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace medea {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+// Human-readable name for a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional message. The default-constructed
+// status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or an error status. Mirrors absl::StatusOr in miniature.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(storage_).ok()) {
+      // An OK Result must carry a value; treat as a programming error.
+      std::fprintf(stderr, "Result constructed from OK status without value\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  // Value accessors. Undefined behaviour if !ok() (checked in debug).
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace medea
+
+// Fatal assertion for invariants; active in all build types because scheduler
+// state corruption must never propagate silently.
+#define MEDEA_CHECK(cond)                                                                \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "MEDEA_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
+                   #cond);                                                               \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,93 @@
+// Copyright (c) Medea reproduction authors.
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator and workload generators draws
+// from a seeded Xoshiro256** instance so that experiments are reproducible
+// bit-for-bit. SplitMix64 expands a single 64-bit seed into the 256-bit
+// Xoshiro state, per the generators' reference implementations.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace medea {
+
+// SplitMix64: fast seed expander; also a fine standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256** 1.0 — the general-purpose generator used across Medea.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached spare).
+  double NextGaussian();
+
+  // Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) { return mean + stddev * NextGaussian(); }
+
+  // Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double NextExponential(double rate);
+
+  // Log-normal: exp(N(mu, sigma)). Heavy-tailed task durations use this.
+  double NextLogNormal(double mu, double sigma);
+
+  // Pareto with scale xm > 0 and shape alpha > 0.
+  double NextPareto(double xm, double alpha);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples an index from an unnormalized non-negative weight vector.
+  // Returns weights.size() - 1 as a fallback if all weights are zero.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace medea
+
+#endif  // SRC_COMMON_RNG_H_

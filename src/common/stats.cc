@@ -1,0 +1,136 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/result.h"
+
+namespace medea {
+
+void Distribution::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Distribution::AddAll(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_valid_ = false;
+}
+
+double Distribution::Sum() const {
+  double s = 0.0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s;
+}
+
+double Distribution::Mean() const {
+  return samples_.empty() ? 0.0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double Distribution::StdDev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double x : samples_) {
+    ss += (x - mean) * (x - mean);
+  }
+  return std::sqrt(ss / static_cast<double>(samples_.size()));
+}
+
+double Distribution::CoefficientOfVariationPct() const {
+  const double mean = Mean();
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  return 100.0 * StdDev() / std::fabs(mean);
+}
+
+double Distribution::Min() const {
+  MEDEA_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Distribution::Max() const {
+  MEDEA_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Distribution::Percentile(double p) const {
+  MEDEA_CHECK(!samples_.empty());
+  MEDEA_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Distribution::BoxPlot::ToString() const {
+  std::ostringstream os;
+  os << "p5=" << p5 << " p25=" << p25 << " p50=" << p50 << " p75=" << p75 << " p99=" << p99;
+  return os.str();
+}
+
+Distribution::BoxPlot Distribution::Box() const {
+  BoxPlot box;
+  if (samples_.empty()) {
+    return box;
+  }
+  box.p5 = Percentile(5);
+  box.p25 = Percentile(25);
+  box.p50 = Percentile(50);
+  box.p75 = Percentile(75);
+  box.p99 = Percentile(99);
+  return box;
+}
+
+double Distribution::CdfAt(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Distribution::CdfPoints(size_t num_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (samples_.empty() || num_points == 0) {
+    return points;
+  }
+  points.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    const double frac =
+        num_points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(num_points - 1);
+    points.emplace_back(Percentile(100.0 * frac), frac);
+  }
+  return points;
+}
+
+void Distribution::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+void RunningStat::Add(double sample) {
+  ++count_;
+  sum_ += sample;
+  max_ = std::max(max_, sample);
+  min_ = std::min(min_, sample);
+}
+
+}  // namespace medea

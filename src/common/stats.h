@@ -1,0 +1,83 @@
+// Copyright (c) Medea reproduction authors.
+// Summary statistics used by the metrics pipeline and every bench binary:
+// percentiles (box plots of Figs. 7/11c), empirical CDFs (Figs. 2a/8), and
+// the coefficient of variation (Fig. 10b's load-imbalance proxy).
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace medea {
+
+// Accumulates samples and answers distribution queries. Samples are stored;
+// quantile queries sort lazily. Suitable for the (at most ~1e6-sample)
+// volumes the benches produce.
+class Distribution {
+ public:
+  void Add(double sample);
+  void AddAll(const std::vector<double>& samples);
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  // Population standard deviation; 0 for fewer than 2 samples.
+  double StdDev() const;
+  // Coefficient of variation (stddev / mean) in percent; 0 if mean is 0.
+  double CoefficientOfVariationPct() const;
+
+  double Min() const;
+  double Max() const;
+
+  // Linear-interpolation percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+  // Box-plot summary used by Figs. 7 and 11c: p5 / p25 / p50 / p75 / p99.
+  struct BoxPlot {
+    double p5 = 0, p25 = 0, p50 = 0, p75 = 0, p99 = 0;
+    std::string ToString() const;
+  };
+  BoxPlot Box() const;
+
+  // Empirical CDF evaluated at `x`: fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  // Dumps "value fraction" pairs at the given number of evenly spaced
+  // quantiles, e.g. for plotting CDFs (Figs. 2a, 8).
+  std::vector<std::pair<double, double>> CdfPoints(size_t num_points = 100) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Streaming mean/max tracker for counters that do not need percentiles.
+class RunningStat {
+ public:
+  void Add(double sample);
+
+  size_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double Max() const { return max_; }
+  double Min() const { return min_; }
+  double Sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = -1e300;
+  double min_ = 1e300;
+};
+
+}  // namespace medea
+
+#endif  // SRC_COMMON_STATS_H_

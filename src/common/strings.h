@@ -1,0 +1,36 @@
+// Copyright (c) Medea reproduction authors.
+// Small string helpers used by the constraint DSL parser and the bench
+// table printers.
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace medea {
+
+// Splits on a single-character delimiter. Empty pieces are kept.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// True iff `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+// Parses a non-negative integer; returns -1 on malformed input. The
+// constraint DSL uses "inf" for an unbounded maximum cardinality, mapped to
+// kCardinalityInfinity by the parser (not here).
+long long ParseNonNegativeInt(std::string_view input);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace medea
+
+#endif  // SRC_COMMON_STRINGS_H_

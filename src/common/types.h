@@ -1,0 +1,130 @@
+// Copyright (c) Medea reproduction authors.
+// Fundamental identifier types shared by every Medea module.
+//
+// All identifiers are small integer handles wrapped in distinct strong types
+// so that a NodeId cannot be accidentally passed where an ApplicationId is
+// expected. Handles are allocated densely by their owning registries, which
+// makes them usable as vector indices throughout the scheduler hot paths.
+
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace medea {
+
+// CRTP base for strongly typed integer handles.
+//
+// Usage:
+//   struct NodeId : StrongId<NodeId> { using StrongId::StrongId; };
+template <typename Derived>
+struct StrongId {
+  using ValueType = uint32_t;
+
+  static constexpr ValueType kInvalidValue = std::numeric_limits<ValueType>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(ValueType v) : value(v) {}
+
+  // Returns an id that compares unequal to every allocated id.
+  static constexpr Derived Invalid() { return Derived(kInvalidValue); }
+
+  constexpr bool IsValid() const { return value != kInvalidValue; }
+
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(const Derived& a, const Derived& b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(const Derived& a, const Derived& b) { return a.value < b.value; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Derived& id) {
+    return os << Derived::Prefix() << id.value;
+  }
+
+  ValueType value = kInvalidValue;
+};
+
+// Identifies a cluster machine. Dense index into ClusterState's node table.
+struct NodeId : StrongId<NodeId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "n"; }
+};
+
+// Identifies an application (LRA or task-based job).
+struct ApplicationId : StrongId<ApplicationId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "app"; }
+};
+
+// Identifies a single allocated container.
+struct ContainerId : StrongId<ContainerId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "c"; }
+};
+
+// Identifies a container *request* within an application (pre-allocation).
+struct RequestId : StrongId<RequestId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "r"; }
+};
+
+// Identifies an interned container tag (see src/core/tags.h).
+struct TagId : StrongId<TagId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "t"; }
+};
+
+// Identifies a registered node group (rack, upgrade domain, ...).
+struct NodeGroupId : StrongId<NodeGroupId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "g"; }
+};
+
+// Identifies a placement constraint stored in the ConstraintManager.
+struct ConstraintId : StrongId<ConstraintId> {
+  using StrongId::StrongId;
+  static constexpr const char* Prefix() { return "C"; }
+};
+
+// Simulated time in milliseconds since simulation start.
+using SimTimeMs = int64_t;
+
+}  // namespace medea
+
+namespace std {
+template <>
+struct hash<medea::NodeId> {
+  size_t operator()(const medea::NodeId& id) const { return hash<uint32_t>()(id.value); }
+};
+template <>
+struct hash<medea::ApplicationId> {
+  size_t operator()(const medea::ApplicationId& id) const { return hash<uint32_t>()(id.value); }
+};
+template <>
+struct hash<medea::ContainerId> {
+  size_t operator()(const medea::ContainerId& id) const { return hash<uint32_t>()(id.value); }
+};
+template <>
+struct hash<medea::RequestId> {
+  size_t operator()(const medea::RequestId& id) const { return hash<uint32_t>()(id.value); }
+};
+template <>
+struct hash<medea::TagId> {
+  size_t operator()(const medea::TagId& id) const { return hash<uint32_t>()(id.value); }
+};
+template <>
+struct hash<medea::NodeGroupId> {
+  size_t operator()(const medea::NodeGroupId& id) const { return hash<uint32_t>()(id.value); }
+};
+template <>
+struct hash<medea::ConstraintId> {
+  size_t operator()(const medea::ConstraintId& id) const { return hash<uint32_t>()(id.value); }
+};
+}  // namespace std
+
+#endif  // SRC_COMMON_TYPES_H_

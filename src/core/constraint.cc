@@ -1,0 +1,82 @@
+#include "src/core/constraint.h"
+
+#include "src/common/strings.h"
+
+namespace medea {
+
+std::string TagConstraint::ToString(const TagPool& pool) const {
+  const std::string max_str =
+      cmax == kCardinalityInfinity ? "inf" : StrFormat("%d", cmax);
+  return StrFormat("{%s, %d, %s}", c_tags.ToString(pool).c_str(), cmin, max_str.c_str());
+}
+
+std::string AtomicConstraint::ToString(const TagPool& pool) const {
+  std::vector<std::string> parts;
+  parts.reserve(targets.size());
+  for (const TagConstraint& tc : targets) {
+    parts.push_back(tc.ToString(pool));
+  }
+  return StrFormat("{%s, %s, %s}", subject.ToString(pool).c_str(),
+                   Join(parts, " && ").c_str(), node_group.c_str());
+}
+
+PlacementConstraint PlacementConstraint::Simple(AtomicConstraint atomic, double weight) {
+  PlacementConstraint c;
+  c.clauses.push_back({std::move(atomic)});
+  c.weight = weight;
+  return c;
+}
+
+std::vector<const AtomicConstraint*> PlacementConstraint::AllAtomics() const {
+  std::vector<const AtomicConstraint*> atomics;
+  for (const auto& clause : clauses) {
+    for (const auto& atomic : clause) {
+      atomics.push_back(&atomic);
+    }
+  }
+  return atomics;
+}
+
+std::string PlacementConstraint::ToString(const TagPool& pool) const {
+  std::vector<std::string> clause_strs;
+  clause_strs.reserve(clauses.size());
+  for (const auto& clause : clauses) {
+    std::vector<std::string> atom_strs;
+    atom_strs.reserve(clause.size());
+    for (const auto& atomic : clause) {
+      atom_strs.push_back(atomic.ToString(pool));
+    }
+    clause_strs.push_back(Join(atom_strs, " && "));
+  }
+  std::string out = Join(clause_strs, " || ");
+  if (weight != 1.0) {
+    out += StrFormat(" #%.2f", weight);
+  }
+  return out;
+}
+
+PlacementConstraint MakeAffinity(TagExpression subject, TagExpression target,
+                                 std::string node_group, double weight) {
+  AtomicConstraint atomic{std::move(subject),
+                          {TagConstraint::Affinity(std::move(target))},
+                          std::move(node_group)};
+  return PlacementConstraint::Simple(std::move(atomic), weight);
+}
+
+PlacementConstraint MakeAntiAffinity(TagExpression subject, TagExpression target,
+                                     std::string node_group, double weight) {
+  AtomicConstraint atomic{std::move(subject),
+                          {TagConstraint::AntiAffinity(std::move(target))},
+                          std::move(node_group)};
+  return PlacementConstraint::Simple(std::move(atomic), weight);
+}
+
+PlacementConstraint MakeCardinality(TagExpression subject, TagExpression target, int cmin,
+                                    int cmax, std::string node_group, double weight) {
+  AtomicConstraint atomic{std::move(subject),
+                          {TagConstraint::Cardinality(std::move(target), cmin, cmax)},
+                          std::move(node_group)};
+  return PlacementConstraint::Simple(std::move(atomic), weight);
+}
+
+}  // namespace medea

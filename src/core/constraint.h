@@ -1,0 +1,113 @@
+// Copyright (c) Medea reproduction authors.
+// Placement constraints (§4.2).
+//
+// The single generic constraint type is
+//     C = {subject_tag, {c_tag, cmin, cmax}, node_group}
+// with semantics: every container matching subject_tag must be placed on a
+// node belonging to a node set S of kind node_group such that
+// cmin <= gamma_S(c_tag) <= cmax.
+//
+//  * cmin = 1,  cmax = inf  -> affinity
+//  * cmin = 0,  cmax = 0    -> anti-affinity
+//  * anything else          -> cardinality
+//
+// The tag_constraint position may hold a conjunction of several
+// {c_tag, cmin, cmax} triples, and whole constraints combine in disjunctive
+// normal form (compound constraints). Constraints are soft by default and
+// carry a weight expressing relative importance.
+
+#ifndef SRC_CORE_CONSTRAINT_H_
+#define SRC_CORE_CONSTRAINT_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/core/tags.h"
+
+namespace medea {
+
+// Unbounded maximum cardinality ("inf" in the DSL).
+inline constexpr int kCardinalityInfinity = std::numeric_limits<int>::max();
+
+// One {c_tag, cmin, cmax} triple.
+struct TagConstraint {
+  TagExpression c_tags;
+  int cmin = 0;
+  int cmax = kCardinalityInfinity;
+
+  static TagConstraint Affinity(TagExpression tags) {
+    return TagConstraint{std::move(tags), 1, kCardinalityInfinity};
+  }
+  static TagConstraint AntiAffinity(TagExpression tags) {
+    return TagConstraint{std::move(tags), 0, 0};
+  }
+  static TagConstraint Cardinality(TagExpression tags, int cmin, int cmax) {
+    return TagConstraint{std::move(tags), cmin, cmax};
+  }
+
+  bool IsAffinity() const { return cmin >= 1 && cmax == kCardinalityInfinity; }
+  bool IsAntiAffinity() const { return cmin == 0 && cmax == 0; }
+
+  std::string ToString(const TagPool& pool) const;
+};
+
+// An atomic constraint: subject + conjunction of tag constraints + group.
+struct AtomicConstraint {
+  TagExpression subject;
+  // All tag constraints must hold (conjunction, §4.2 "boolean expression of
+  // multiple tag constraints"; negation is unsupported, as in the paper).
+  std::vector<TagConstraint> targets;
+  // Node-group *kind* the constraint quantifies over ("node", "rack", ...).
+  std::string node_group;
+
+  std::string ToString(const TagPool& pool) const;
+};
+
+// Who owns a constraint. Operator constraints override application
+// constraints when both bind the same subject and the operator one is more
+// restrictive (§5.2 "Resolution of constraint conflicts").
+enum class ConstraintOrigin { kApplication, kOperator };
+
+// A (possibly compound) placement constraint in DNF: the disjunction over
+// `clauses` must hold, where each clause is a conjunction of atomics.
+// A simple constraint is one clause with one atomic.
+struct PlacementConstraint {
+  // DNF: satisfied iff at least one clause has all its atomics satisfied.
+  std::vector<std::vector<AtomicConstraint>> clauses;
+  double weight = 1.0;
+  ConstraintOrigin origin = ConstraintOrigin::kApplication;
+  // Owning application for kApplication constraints.
+  ApplicationId owner = ApplicationId::Invalid();
+
+  // Convenience factory for the common single-atomic case.
+  static PlacementConstraint Simple(AtomicConstraint atomic, double weight = 1.0);
+
+  bool IsSimple() const { return clauses.size() == 1 && clauses[0].size() == 1; }
+
+  // All atomics across all clauses (for indexing / relevance tests).
+  std::vector<const AtomicConstraint*> AllAtomics() const;
+
+  std::string ToString(const TagPool& pool) const;
+};
+
+// Shorthand builders for the three §4.2 constraint families.
+//
+// Affinity: each `subject` container must share a `node_group` set with at
+// least one `target` container.
+PlacementConstraint MakeAffinity(TagExpression subject, TagExpression target,
+                                 std::string node_group, double weight = 1.0);
+
+// Anti-affinity: no `target` container may share a `node_group` set with a
+// `subject` container.
+PlacementConstraint MakeAntiAffinity(TagExpression subject, TagExpression target,
+                                     std::string node_group, double weight = 1.0);
+
+// Cardinality: between cmin and cmax `target` containers per `node_group`
+// set holding a `subject` container.
+PlacementConstraint MakeCardinality(TagExpression subject, TagExpression target, int cmin,
+                                    int cmax, std::string node_group, double weight = 1.0);
+
+}  // namespace medea
+
+#endif  // SRC_CORE_CONSTRAINT_H_

@@ -1,0 +1,200 @@
+#include "src/core/constraint_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace medea {
+namespace {
+
+// Splits `input` on the two-character operator `op` ("&&" or "||"), but only
+// at brace depth `depth`. Returns pieces (possibly one).
+std::vector<std::string_view> SplitAtDepth(std::string_view input, const char* op, int depth) {
+  std::vector<std::string_view> pieces;
+  int d = 0;
+  size_t start = 0;
+  for (size_t i = 0; i + 1 <= input.size(); ++i) {
+    const char c = input[i];
+    if (c == '{') {
+      ++d;
+    } else if (c == '}') {
+      --d;
+    } else if (d == depth && i + 1 < input.size() && c == op[0] && input[i + 1] == op[1]) {
+      pieces.push_back(input.substr(start, i - start));
+      start = i + 2;
+      ++i;
+    }
+  }
+  pieces.push_back(input.substr(start));
+  return pieces;
+}
+
+bool IsTagChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' || c == ':' ||
+         c == '-';
+}
+
+Result<TagExpression> ParseTagExpr(std::string_view text, TagPool& pool) {
+  std::vector<TagId> tags;
+  for (std::string_view piece : Split(std::string(text), '&')) {
+    const std::string_view name = Trim(piece);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty tag in expression: '" + std::string(text) + "'");
+    }
+    for (char c : name) {
+      if (!IsTagChar(c)) {
+        return Status::InvalidArgument("invalid tag character in '" + std::string(name) + "'");
+      }
+    }
+    tags.push_back(pool.Intern(std::string(name)));
+  }
+  if (tags.empty()) {
+    return Status::InvalidArgument("empty tag expression");
+  }
+  return TagExpression(std::move(tags));
+}
+
+// Splits the body of an atomic "{ subject , TARGETS , group }" into its three
+// top-level comma-separated fields (TARGETS may itself contain commas inside
+// braces).
+Result<std::vector<std::string_view>> SplitTopLevelFields(std::string_view body) {
+  std::vector<std::string_view> fields;
+  int d = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '{') {
+      ++d;
+    } else if (c == '}') {
+      --d;
+      if (d < 0) {
+        return Status::InvalidArgument("unbalanced braces");
+      }
+    } else if (c == ',' && d == 0) {
+      fields.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (d != 0) {
+    return Status::InvalidArgument("unbalanced braces");
+  }
+  fields.push_back(body.substr(start));
+  return fields;
+}
+
+Result<TagConstraint> ParseTagTriple(std::string_view text, TagPool& pool) {
+  text = Trim(text);
+  if (text.size() < 2 || text.front() != '{' || text.back() != '}') {
+    return Status::InvalidArgument("tag constraint must be brace-delimited: '" +
+                                   std::string(text) + "'");
+  }
+  const std::string_view body = text.substr(1, text.size() - 2);
+  auto fields = SplitTopLevelFields(body);
+  if (!fields.ok()) {
+    return fields.status();
+  }
+  if (fields->size() != 3) {
+    return Status::InvalidArgument("tag constraint needs {tags, cmin, cmax}: '" +
+                                   std::string(text) + "'");
+  }
+  auto tags = ParseTagExpr(Trim((*fields)[0]), pool);
+  if (!tags.ok()) {
+    return tags.status();
+  }
+  const long long cmin = ParseNonNegativeInt((*fields)[1]);
+  if (cmin < 0) {
+    return Status::InvalidArgument("bad cmin: '" + std::string((*fields)[1]) + "'");
+  }
+  const std::string_view max_text = Trim((*fields)[2]);
+  int cmax = 0;
+  if (max_text == "inf") {
+    cmax = kCardinalityInfinity;
+  } else {
+    const long long parsed = ParseNonNegativeInt(max_text);
+    if (parsed < 0) {
+      return Status::InvalidArgument("bad cmax: '" + std::string(max_text) + "'");
+    }
+    cmax = static_cast<int>(parsed);
+  }
+  if (cmax != kCardinalityInfinity && cmin > cmax) {
+    return Status::InvalidArgument("cmin exceeds cmax in '" + std::string(text) + "'");
+  }
+  return TagConstraint{std::move(*tags), static_cast<int>(cmin), cmax};
+}
+
+Result<AtomicConstraint> ParseAtomic(std::string_view text, TagPool& pool) {
+  text = Trim(text);
+  if (text.size() < 2 || text.front() != '{' || text.back() != '}') {
+    return Status::InvalidArgument("constraint must be brace-delimited: '" + std::string(text) +
+                                   "'");
+  }
+  const std::string_view body = text.substr(1, text.size() - 2);
+  auto fields = SplitTopLevelFields(body);
+  if (!fields.ok()) {
+    return fields.status();
+  }
+  if (fields->size() != 3) {
+    return Status::InvalidArgument("constraint needs {subject, tag_constraint, group}: '" +
+                                   std::string(text) + "'");
+  }
+  auto subject = ParseTagExpr(Trim((*fields)[0]), pool);
+  if (!subject.ok()) {
+    return subject.status();
+  }
+  AtomicConstraint atomic;
+  atomic.subject = std::move(*subject);
+  // Targets: one or more {tags, cmin, cmax} joined by && at depth 0 of the
+  // field (= depth 1 of the whole constraint).
+  for (std::string_view triple : SplitAtDepth(Trim((*fields)[1]), "&&", 0)) {
+    auto tc = ParseTagTriple(triple, pool);
+    if (!tc.ok()) {
+      return tc.status();
+    }
+    atomic.targets.push_back(std::move(*tc));
+  }
+  const std::string_view group = Trim((*fields)[2]);
+  if (group.empty()) {
+    return Status::InvalidArgument("empty node group in '" + std::string(text) + "'");
+  }
+  atomic.node_group = std::string(group);
+  return atomic;
+}
+
+}  // namespace
+
+Result<PlacementConstraint> ParseConstraint(std::string_view text, TagPool& pool) {
+  text = Trim(text);
+  // Optional trailing "#weight".
+  double weight = 1.0;
+  const size_t hash = text.rfind('#');
+  if (hash != std::string_view::npos && text.find('}', hash) == std::string_view::npos) {
+    const std::string w(Trim(text.substr(hash + 1)));
+    char* end = nullptr;
+    weight = std::strtod(w.c_str(), &end);
+    if (end == w.c_str() || *end != '\0' || weight <= 0.0) {
+      return Status::InvalidArgument("bad weight: '" + w + "'");
+    }
+    text = Trim(text.substr(0, hash));
+  }
+  if (text.empty()) {
+    return Status::InvalidArgument("empty constraint");
+  }
+
+  PlacementConstraint constraint;
+  constraint.weight = weight;
+  for (std::string_view clause_text : SplitAtDepth(text, "||", 0)) {
+    std::vector<AtomicConstraint> clause;
+    for (std::string_view atom_text : SplitAtDepth(clause_text, "&&", 0)) {
+      auto atomic = ParseAtomic(atom_text, pool);
+      if (!atomic.ok()) {
+        return atomic.status();
+      }
+      clause.push_back(std::move(*atomic));
+    }
+    constraint.clauses.push_back(std::move(clause));
+  }
+  return constraint;
+}
+
+}  // namespace medea

@@ -1,0 +1,37 @@
+// Copyright (c) Medea reproduction authors.
+// Text form of placement constraints, mirroring the paper's notation:
+//
+//   {storm, {hb & mem, 1, inf}, node}
+//   {hb_m, {hb_m, 0, 0}, upgrade_domain} && {hb_m, {thrift, 1, inf}, node}
+//   {spark, {spark, 3, 10}, rack} || {spark, {spark, 0, 0}, node}
+//   {storm, {hb, 0, 0}, rack} #2.5
+//
+//  * `&`  joins tags into a conjunction,
+//  * `&&` joins atomic constraints into a clause (all must hold),
+//  * `||` joins clauses into DNF (at least one must hold),
+//  * `,`-separated triple inside the inner braces is {c_tag, cmin, cmax},
+//    with `inf` for an unbounded maximum,
+//  * an optional trailing `#w` sets the soft-constraint weight.
+//
+// The inner tag_constraint position may also hold a conjunction of triples:
+//   {storm, {hb, 1, inf} && {mem, 1, inf}, node}
+
+#ifndef SRC_CORE_CONSTRAINT_PARSER_H_
+#define SRC_CORE_CONSTRAINT_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/core/constraint.h"
+#include "src/core/tags.h"
+
+namespace medea {
+
+// Parses `text` into a PlacementConstraint, interning tags into `pool`.
+// Returns INVALID_ARGUMENT with a description on malformed input.
+Result<PlacementConstraint> ParseConstraint(std::string_view text, TagPool& pool);
+
+}  // namespace medea
+
+#endif  // SRC_CORE_CONSTRAINT_PARSER_H_

@@ -1,0 +1,74 @@
+#include "src/core/tags.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace medea {
+
+TagId TagPool::Intern(const std::string& name) {
+  MEDEA_CHECK(!name.empty());
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const TagId id(static_cast<uint32_t>(names_.size()));
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+TagId TagPool::Find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? TagId::Invalid() : it->second;
+}
+
+const std::string& TagPool::Name(TagId id) const {
+  MEDEA_CHECK(id.IsValid() && id.value < names_.size());
+  return names_[id.value];
+}
+
+TagId TagPool::AppIdTag(ApplicationId app) {
+  return Intern(StrFormat("%s%u", kAppIdTagNamespace, app.value));
+}
+
+std::vector<TagId> TagPool::InternAll(const std::vector<std::string>& names) {
+  std::vector<TagId> ids;
+  ids.reserve(names.size());
+  for (const auto& name : names) {
+    ids.push_back(Intern(name));
+  }
+  return ids;
+}
+
+TagExpression::TagExpression(std::vector<TagId> tags) : tags_(std::move(tags)) {
+  std::sort(tags_.begin(), tags_.end());
+  tags_.erase(std::unique(tags_.begin(), tags_.end()), tags_.end());
+}
+
+TagExpression::TagExpression(std::initializer_list<TagId> tags)
+    : TagExpression(std::vector<TagId>(tags)) {}
+
+bool TagExpression::MatchedBy(std::span<const TagId> container_tags) const {
+  for (TagId t : tags_) {
+    if (std::find(container_tags.begin(), container_tags.end(), t) == container_tags.end()) {
+      return false;
+    }
+  }
+  return !tags_.empty();
+}
+
+bool TagExpression::Contains(TagId tag) const {
+  return std::binary_search(tags_.begin(), tags_.end(), tag);
+}
+
+std::string TagExpression::ToString(const TagPool& pool) const {
+  std::vector<std::string> names;
+  names.reserve(tags_.size());
+  for (TagId t : tags_) {
+    names.push_back(pool.Name(t));
+  }
+  return Join(names, " & ");
+}
+
+}  // namespace medea

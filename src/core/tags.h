@@ -1,0 +1,83 @@
+// Copyright (c) Medea reproduction authors.
+// Container tags (§4.1): interned strings attached to container requests.
+//
+// Tags are the vocabulary of Medea constraints. A TagPool interns tag
+// strings into dense TagIds so that hot-path cardinality lookups are integer
+// comparisons. Namespaced tags ("appID:0023") avoid naming conflicts, and
+// TagExpression captures the conjunctions ("hb & mem") that constraints use
+// for subjects and targets.
+
+#ifndef SRC_CORE_TAGS_H_
+#define SRC_CORE_TAGS_H_
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+
+namespace medea {
+
+// Namespace prefix automatically attached to every container with its
+// application id, e.g. "appID:0023" (§4.1 footnote 4).
+inline constexpr const char* kAppIdTagNamespace = "appID:";
+
+// Interns tag strings. Append-only; ids are dense and stable.
+class TagPool {
+ public:
+  // Returns the id for `name`, interning it if new. Empty names abort.
+  TagId Intern(const std::string& name);
+
+  // Returns the id for `name` or an invalid id if never interned.
+  TagId Find(const std::string& name) const;
+
+  // Reverse lookup. Aborts on invalid ids.
+  const std::string& Name(TagId id) const;
+
+  size_t size() const { return names_.size(); }
+
+  // Convenience: interns the predefined application-id tag for `app`.
+  TagId AppIdTag(ApplicationId app);
+
+  // Interns every name in `names`, returning ids in order.
+  std::vector<TagId> InternAll(const std::vector<std::string>& names);
+
+ private:
+  std::unordered_map<std::string, TagId> index_;
+  std::vector<std::string> names_;
+};
+
+// A conjunction of tags ("hb & mem"). Stored sorted + deduplicated so that
+// expressions compare structurally.
+class TagExpression {
+ public:
+  TagExpression() = default;
+  explicit TagExpression(std::vector<TagId> tags);
+  TagExpression(std::initializer_list<TagId> tags);
+
+  bool empty() const { return tags_.empty(); }
+  size_t size() const { return tags_.size(); }
+  std::span<const TagId> tags() const { return tags_; }
+
+  // True iff every tag of this expression appears in `container_tags`.
+  bool MatchedBy(std::span<const TagId> container_tags) const;
+
+  // True iff `tag` is one of the conjuncts.
+  bool Contains(TagId tag) const;
+
+  friend bool operator==(const TagExpression& a, const TagExpression& b) {
+    return a.tags_ == b.tags_;
+  }
+
+  // Renders "hb & mem" using the pool's names.
+  std::string ToString(const TagPool& pool) const;
+
+ private:
+  std::vector<TagId> tags_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_CORE_TAGS_H_

@@ -1,0 +1,140 @@
+#include "src/core/violation.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace medea {
+
+double ConstraintEvaluator::TagConstraintExtent(const TagConstraint& tc, int cardinality) {
+  double extent = 0.0;
+  if (cardinality < tc.cmin) {
+    extent += static_cast<double>(tc.cmin - cardinality) / std::max(tc.cmin, 1);
+  }
+  if (tc.cmax != kCardinalityInfinity && cardinality > tc.cmax) {
+    extent += static_cast<double>(cardinality - tc.cmax) / std::max(tc.cmax, 1);
+  }
+  return extent;
+}
+
+SubjectEvaluation ConstraintEvaluator::EvaluateAtomic(const ClusterState& state,
+                                                      const AtomicConstraint& atomic, NodeId node,
+                                                      std::span<const TagId> subject_tags) {
+  SubjectEvaluation eval;
+  const auto& groups = state.groups();
+  const std::vector<int>& containing = groups.SetsContaining(atomic.node_group, node);
+  if (containing.empty()) {
+    // Node belongs to no set of this kind: every tag constraint with
+    // cmin >= 1 is unsatisfiable there.
+    double extent = 0.0;
+    for (const TagConstraint& tc : atomic.targets) {
+      extent += TagConstraintExtent(tc, 0);
+    }
+    eval.satisfied = extent == 0.0;
+    eval.extent = extent;
+    return eval;
+  }
+  const auto& sets = groups.SetsOf(atomic.node_group);
+  double best_extent = std::numeric_limits<double>::infinity();
+  for (int set_index : containing) {
+    const std::vector<NodeId>& node_set = sets[static_cast<size_t>(set_index)];
+    double extent = 0.0;
+    for (const TagConstraint& tc : atomic.targets) {
+      int cardinality = state.SetTagCardinality(node_set, tc.c_tags.tags());
+      // Exclude the subject container itself (Eqs. 6–7: t_ij != t_is_js).
+      if (tc.c_tags.MatchedBy(subject_tags)) {
+        cardinality = std::max(0, cardinality - 1);
+      }
+      extent += TagConstraintExtent(tc, cardinality);
+    }
+    best_extent = std::min(best_extent, extent);
+    if (best_extent == 0.0) {
+      break;
+    }
+  }
+  eval.extent = best_extent;
+  eval.satisfied = best_extent == 0.0;
+  return eval;
+}
+
+SubjectEvaluation ConstraintEvaluator::EvaluateConstraint(const ClusterState& state,
+                                                          const PlacementConstraint& constraint,
+                                                          ContainerId subject, NodeId node,
+                                                          std::span<const TagId> subject_tags) {
+  SubjectEvaluation best;
+  best.subject = subject;
+  best.satisfied = false;
+  best.extent = std::numeric_limits<double>::infinity();
+  for (const auto& clause : constraint.clauses) {
+    double clause_extent = 0.0;
+    bool clause_satisfied = true;
+    for (const AtomicConstraint& atomic : clause) {
+      const SubjectEvaluation atom_eval = EvaluateAtomic(state, atomic, node, subject_tags);
+      clause_extent += atom_eval.extent;
+      clause_satisfied = clause_satisfied && atom_eval.satisfied;
+    }
+    if (clause_extent < best.extent) {
+      best.extent = clause_extent;
+      best.satisfied = clause_satisfied;
+    }
+    if (best.satisfied) {
+      best.extent = 0.0;
+      break;
+    }
+  }
+  return best;
+}
+
+ViolationReport ConstraintEvaluator::EvaluateAll(
+    const ClusterState& state,
+    std::span<const std::pair<ConstraintId, const PlacementConstraint*>> constraints,
+    bool collect_details) {
+  ViolationReport report;
+  for (const auto& [id, constraint] : constraints) {
+    state.ForEachContainer([&](const ContainerInfo& info) {
+      if (!info.long_running) {
+        return;
+      }
+      // A container is subject to the constraint if it matches the subject
+      // expression of any atomic in any clause. (All clauses of a DNF
+      // constraint share the subject in practice; this handles the general
+      // case conservatively.)
+      bool is_subject = false;
+      for (const auto& clause : constraint->clauses) {
+        for (const AtomicConstraint& atomic : clause) {
+          if (atomic.subject.MatchedBy(info.tags)) {
+            is_subject = true;
+            break;
+          }
+        }
+        if (is_subject) {
+          break;
+        }
+      }
+      if (!is_subject) {
+        return;
+      }
+      SubjectEvaluation eval =
+          EvaluateConstraint(state, *constraint, info.id, info.node, info.tags);
+      eval.constraint = id;
+      ++report.total_subjects;
+      if (!eval.satisfied) {
+        ++report.violated_subjects;
+        report.total_extent += eval.extent;
+        report.weighted_extent += eval.extent * constraint->weight;
+      }
+      if (collect_details) {
+        report.details.push_back(eval);
+      }
+    });
+  }
+  return report;
+}
+
+ViolationReport ConstraintEvaluator::EvaluateAll(const ClusterState& state,
+                                                 const ConstraintManager& manager,
+                                                 bool collect_details) {
+  const auto effective = manager.Effective();
+  return EvaluateAll(state, effective, collect_details);
+}
+
+}  // namespace medea

@@ -1,0 +1,90 @@
+// Copyright (c) Medea reproduction authors.
+// Constraint violation accounting, shared by every scheduler and by the
+// metrics pipeline so that all comparisons use identical semantics.
+//
+// Extent follows Eq. 8 of the paper: a violated constraint contributes
+// cmin_shortfall/cmin + cmax_excess/cmax, i.e. violations are quantified
+// *relative* to the requested cardinalities ("placing 10 containers instead
+// of at most 5 is a more extensive violation than placing 6", §2.4). Zero
+// denominators (anti-affinity's cmax = 0, or cmin = 0) are clamped to 1 so
+// the term degrades to the absolute shortfall/excess.
+
+#ifndef SRC_CORE_VIOLATION_H_
+#define SRC_CORE_VIOLATION_H_
+
+#include <span>
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/core/constraint.h"
+#include "src/core/constraint_manager.h"
+
+namespace medea {
+
+// Result of evaluating one (constraint, subject container) pair.
+struct SubjectEvaluation {
+  ConstraintId constraint = ConstraintId::Invalid();
+  ContainerId subject = ContainerId::Invalid();
+  bool satisfied = true;
+  // Eq. 8 extent of the best (minimum-violation) clause/node-set choice.
+  double extent = 0.0;
+};
+
+// Aggregated violation report over a set of constraints.
+struct ViolationReport {
+  int total_subjects = 0;     // (constraint, subject) pairs evaluated
+  int violated_subjects = 0;  // pairs with any unsatisfied clause
+  double total_extent = 0.0;  // sum of Eq. 8 extents
+  double weighted_extent = 0.0;  // extents scaled by constraint weights
+  std::vector<SubjectEvaluation> details;
+
+  // Fraction (0..1) of evaluated subject containers in violation — the
+  // "constraint violations (%)" metric of Fig. 9.
+  double ViolationFraction() const {
+    return total_subjects == 0 ? 0.0
+                               : static_cast<double>(violated_subjects) /
+                                     static_cast<double>(total_subjects);
+  }
+};
+
+class ConstraintEvaluator {
+ public:
+  // Evaluates a single tag constraint against the cardinality of a node set,
+  // returning the Eq. 8 extent (0 when satisfied). `cardinality` must
+  // already exclude the subject container.
+  static double TagConstraintExtent(const TagConstraint& tc, int cardinality);
+
+  // Evaluates one atomic constraint for a (hypothetically or actually)
+  // placed subject container. `self_matches_target` callers: the subject's
+  // own tags are excluded from cardinalities per Eqs. 6–7.
+  //
+  // Semantics for overlapping node groups: the constraint is satisfied if
+  // *some* node set of the kind containing the node meets every tag
+  // constraint; the reported extent is the minimum across containing sets.
+  static SubjectEvaluation EvaluateAtomic(const ClusterState& state,
+                                          const AtomicConstraint& atomic, NodeId node,
+                                          std::span<const TagId> subject_tags);
+
+  // Evaluates a full DNF constraint for a subject container at `node`.
+  // Satisfied iff some clause has all atomics satisfied; extent is the
+  // minimum clause extent (sum of atomic extents within the clause).
+  static SubjectEvaluation EvaluateConstraint(const ClusterState& state,
+                                              const PlacementConstraint& constraint,
+                                              ContainerId subject, NodeId node,
+                                              std::span<const TagId> subject_tags);
+
+  // Evaluates every constraint in `constraints` against every matching
+  // long-running subject container currently placed in `state`.
+  static ViolationReport EvaluateAll(
+      const ClusterState& state,
+      std::span<const std::pair<ConstraintId, const PlacementConstraint*>> constraints,
+      bool collect_details = false);
+
+  // Convenience overload evaluating the manager's Effective() set.
+  static ViolationReport EvaluateAll(const ClusterState& state, const ConstraintManager& manager,
+                                     bool collect_details = false);
+};
+
+}  // namespace medea
+
+#endif  // SRC_CORE_VIOLATION_H_

@@ -1,0 +1,169 @@
+#include "src/perfmodel/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace medea {
+
+PerfModelConfig HBaseServingPerfConfig() {
+  PerfModelConfig config;
+  config.self_interference_base = 0.55;
+  config.self_interference_load = 1.1;
+  config.self_interference_gamma = 1.25;  // near-linear disk/CPU contention
+  config.external_lra = 0.10;
+  config.external_task = 0.04;
+  config.same_role_collocation = 0.14;
+  config.cross_node_cost = 0.03;
+  config.cross_rack_cost = 0.05;
+  config.network_load_scale = 0.5;
+  // cgroups cap CPU shares, but caches/memory bandwidth/disk queues stay
+  // shared — region servers recover less than generic workers.
+  config.cgroups_isolation = 0.30;
+  return config;
+}
+
+PerfModelConfig TensorFlowTrainingPerfConfig() {
+  PerfModelConfig config;
+  config.self_interference_base = 0.45;
+  config.self_interference_load = 1.9;
+  config.self_interference_gamma = 3.0;  // benign until a node saturates
+  config.external_lra = 0.04;
+  config.external_task = 0.02;
+  config.same_role_collocation = 0.03;
+  config.cross_node_cost = 0.35;
+  config.cross_rack_cost = 0.45;
+  config.network_load_scale = 1.2;
+  return config;
+}
+
+PlacementShape ComputePlacementShape(const ClusterState& state, ApplicationId app,
+                                     TagId worker_tag) {
+  PlacementShape shape;
+  // node -> worker count for this app.
+  std::map<uint32_t, int> per_node;
+  for (ContainerId c : state.ContainersOf(app)) {
+    const ContainerInfo* info = state.FindContainer(c);
+    MEDEA_CHECK(info != nullptr);
+    if (std::find(info->tags.begin(), info->tags.end(), worker_tag) == info->tags.end()) {
+      continue;
+    }
+    ++per_node[info->node.value];
+    ++shape.workers;
+  }
+  if (shape.workers == 0) {
+    return shape;
+  }
+  shape.distinct_nodes = static_cast<int>(per_node.size());
+
+  std::map<int, int> per_rack;
+  for (const auto& [node_raw, count] : per_node) {
+    shape.max_per_node = std::max(shape.max_per_node, count);
+    const auto& racks = state.groups().SetsContaining(kNodeGroupRack, NodeId(node_raw));
+    const int rack = racks.empty() ? -1 : racks[0];
+    per_rack[rack] += count;
+    // External containers on this worker node.
+    double lra = 0.0;
+    double task = 0.0;
+    double same_role = 0.0;
+    for (ContainerId c : state.node(NodeId(node_raw)).containers()) {
+      const ContainerInfo* info = state.FindContainer(c);
+      MEDEA_CHECK(info != nullptr);
+      if (info->app == app) {
+        continue;
+      }
+      if (info->long_running) {
+        lra += 1.0;
+        if (std::find(info->tags.begin(), info->tags.end(), worker_tag) != info->tags.end()) {
+          same_role += 1.0;
+        }
+      } else {
+        task += 1.0;
+      }
+    }
+    shape.max_external_lra = std::max(shape.max_external_lra, lra);
+    shape.max_external_task = std::max(shape.max_external_task, task);
+    shape.max_same_role_foreign = std::max(shape.max_same_role_foreign, same_role);
+  }
+  shape.distinct_racks = static_cast<int>(per_rack.size());
+
+  const double total_pairs = 0.5 * shape.workers * (shape.workers - 1);
+  if (total_pairs > 0) {
+    double same_node_pairs = 0.0;
+    for (const auto& [node_raw, count] : per_node) {
+      same_node_pairs += 0.5 * count * (count - 1);
+    }
+    double same_rack_pairs = 0.0;
+    for (const auto& [rack, count] : per_rack) {
+      same_rack_pairs += 0.5 * count * (count - 1);
+    }
+    shape.cross_node_pair_share = 1.0 - same_node_pairs / total_pairs;
+    shape.cross_rack_pair_share = 1.0 - same_rack_pairs / total_pairs;
+  }
+  return shape;
+}
+
+double PerfModel::Multiplier(const PlacementShape& shape, double cluster_load,
+                             bool cgroups) const {
+  if (shape.workers == 0) {
+    return 1.0;
+  }
+  const double load = std::clamp(cluster_load, 0.0, 1.0);
+
+  // Self interference, driven by the worst (most collocated) node — the
+  // straggler gates the application.
+  double self = 0.0;
+  if (shape.workers > 1) {
+    const double collocated_fraction =
+        static_cast<double>(shape.max_per_node - 1) / static_cast<double>(shape.workers - 1);
+    self = (config_.self_interference_base + config_.self_interference_load * load) *
+           std::pow(collocated_fraction, config_.self_interference_gamma);
+  }
+  // External interference on the worst worker node. Same-role foreign
+  // containers contend for identical resources and count extra.
+  double external = config_.external_lra * shape.max_external_lra +
+                    config_.external_task * shape.max_external_task +
+                    config_.same_role_collocation * shape.max_same_role_foreign *
+                        (0.5 + load);
+  if (cgroups) {
+    self *= 1.0 - config_.cgroups_isolation;
+    external *= 1.0 - config_.cgroups_isolation;
+  }
+
+  // Network communication cost.
+  const double net = (config_.cross_node_cost +
+                      config_.cross_rack_cost * shape.cross_rack_pair_share) *
+                     shape.cross_node_pair_share * (1.0 + config_.network_load_scale * load);
+
+  return (1.0 + self + external) * (1.0 + net);
+}
+
+double PerfModel::SampleRuntime(double ideal_runtime, const PlacementShape& shape,
+                                double cluster_load, bool cgroups) {
+  const double noise = std::exp(rng_.NextGaussian(0.0, config_.noise_sigma));
+  return ideal_runtime * Multiplier(shape, cluster_load, cgroups) * noise;
+}
+
+double PerfModel::SampleThroughput(double ideal_throughput, const PlacementShape& shape,
+                                   double cluster_load, bool cgroups) {
+  const double noise = std::exp(rng_.NextGaussian(0.0, config_.noise_sigma));
+  return ideal_throughput / Multiplier(shape, cluster_load, cgroups) * noise;
+}
+
+double PerfModel::SampleLookupLatencyMs(const ClusterState& state, NodeId client,
+                                        NodeId server) {
+  double base = 0.0;
+  if (client == server) {
+    base = 25.0;  // loopback / local socket
+  } else {
+    const auto& client_racks = state.groups().SetsContaining(kNodeGroupRack, client);
+    const auto& server_racks = state.groups().SetsContaining(kNodeGroupRack, server);
+    const bool same_rack = !client_racks.empty() && !server_racks.empty() &&
+                           client_racks[0] == server_racks[0];
+    base = same_rack ? 120.0 : 210.0;
+  }
+  // Queueing noise: exponential tail on top of the base.
+  return base + rng_.NextExponential(1.0 / (0.25 * base));
+}
+
+}  // namespace medea

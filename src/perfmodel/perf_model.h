@@ -1,0 +1,122 @@
+// Copyright (c) Medea reproduction authors.
+// Placement-to-performance model.
+//
+// The paper measures real HBase/TensorFlow/Storm deployments; this repo
+// replaces the 400-node testbed with an analytical model whose terms are
+// the mechanisms §2.2 identifies, with coefficients calibrated so the §2.2
+// sensitivity experiments (Figs. 2a-2d) have the paper's shape:
+//
+//  * self interference — collocated same-role workers contend for cores,
+//    cache and memory bandwidth; grows superlinearly with the collocation
+//    count and with background cluster load;
+//  * external interference — other applications' containers on the node;
+//    cgroups remove a configurable fraction of it (but not cache/membw,
+//    hence the residual, §2.2 "Anti-affinity");
+//  * network cost — the fraction of peer pairs communicating cross-node and
+//    cross-rack, scaled up with cluster load (shared network);
+//  * stragglers — iterative/partitioned jobs run at the pace of their
+//    slowest worker, so the per-worker slowdown aggregates by max.
+//
+// RuntimeMultiplier(placement) >= 1 multiplies an application's ideal
+// runtime; throughput models divide by it.
+
+#ifndef SRC_PERFMODEL_PERF_MODEL_H_
+#define SRC_PERFMODEL_PERF_MODEL_H_
+
+#include "src/cluster/cluster_state.h"
+#include "src/common/rng.h"
+#include "src/core/tags.h"
+
+namespace medea {
+
+struct PerfModelConfig {
+  // Self interference: (a + b*load) * (collocated_fraction)^gamma.
+  double self_interference_base = 0.45;
+  double self_interference_load = 1.9;
+  double self_interference_gamma = 2.1;
+  // External interference per co-located foreign LRA container and per
+  // co-located short-task container.
+  double external_lra = 0.06;
+  double external_task = 0.03;
+  // Same-role containers of *other* applications on a worker's node (e.g.
+  // region servers of different HBase instances): they contend for exactly
+  // the same resources, so they hurt far more than generic neighbours —
+  // this is what the §7.1 inter-application cardinality constraints guard
+  // against. Applied per collocated same-role foreign container on the
+  // worst node, scaled by (0.5 + load).
+  double same_role_collocation = 0.10;
+  // Fraction of external+self interference removed by cgroups isolation
+  // (CPU shares work; CPU caches and memory bandwidth remain shared).
+  double cgroups_isolation = 0.55;
+  // Network: cost = (node_cost + rack_cost * cross_rack_share) *
+  //                 cross_node_share * (1 + net_load * load).
+  double cross_node_cost = 0.22;
+  double cross_rack_cost = 0.35;
+  double network_load_scale = 1.2;
+  // Log-normal noise sigma applied to the final multiplier.
+  double noise_sigma = 0.05;
+};
+
+// Workload-specific calibrations (§2.2's applications stress different
+// resources):
+//
+// HBase region servers are storage/serving workers — collocation contention
+// (CPU, disk queues, cache) dominates, same-role neighbours are the worst
+// offenders, and spreading costs little network (clients contact region
+// servers directly).
+PerfModelConfig HBaseServingPerfConfig();
+
+// TensorFlow workers all-reduce every iteration — the network term
+// dominates (and grows with cluster load, Fig. 2d's shifting optimum),
+// while same-role collocation is comparatively benign for compute-bound
+// workers until a node is saturated.
+PerfModelConfig TensorFlowTrainingPerfConfig();
+
+// Spatial summary of one application's worker placement.
+struct PlacementShape {
+  int workers = 0;
+  int distinct_nodes = 0;
+  int distinct_racks = 0;
+  int max_per_node = 0;
+  double cross_node_pair_share = 0.0;  // fraction of worker pairs on different nodes
+  double cross_rack_pair_share = 0.0;  // fraction of worker pairs on different racks
+  double max_external_lra = 0.0;       // worst-node count of foreign LRA containers
+  double max_external_task = 0.0;      // worst-node count of short-task containers
+  // Worst-node count of *foreign* containers carrying the same worker tag.
+  double max_same_role_foreign = 0.0;
+};
+
+// Computes the placement shape of app's containers carrying `worker_tag`.
+PlacementShape ComputePlacementShape(const ClusterState& state, ApplicationId app,
+                                     TagId worker_tag);
+
+class PerfModel {
+ public:
+  PerfModel(PerfModelConfig config, uint64_t seed) : config_(config), rng_(seed) {}
+
+  // Deterministic multiplier (no noise) from a placement shape.
+  double Multiplier(const PlacementShape& shape, double cluster_load, bool cgroups = false) const;
+
+  // Noisy runtime sample: ideal_runtime * Multiplier * lognormal noise.
+  double SampleRuntime(double ideal_runtime, const PlacementShape& shape, double cluster_load,
+                       bool cgroups = false);
+
+  // Throughput sample (ops/s style): ideal / multiplier, with noise.
+  double SampleThroughput(double ideal_throughput, const PlacementShape& shape,
+                          double cluster_load, bool cgroups = false);
+
+  // Memcached-style lookup latency (ms) between a client and a server
+  // container, by network distance (same node / same rack / cross rack),
+  // with exponential queueing noise.
+  double SampleLookupLatencyMs(const ClusterState& state, NodeId client, NodeId server);
+
+  const PerfModelConfig& config() const { return config_; }
+
+ private:
+  PerfModelConfig config_;
+  Rng rng_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_PERFMODEL_PERF_MODEL_H_

@@ -1,0 +1,77 @@
+// Copyright (c) Medea reproduction authors.
+// Candidate-node pruning and constraint-relevance analysis for a scheduling
+// cycle (DESIGN.md decision 3).
+//
+// The full Fig. 5 model has |containers| x |nodes| binaries; production MIP
+// use restricts each container to a pruned candidate pool chosen to keep
+// every constraint satisfiable:
+//   1. affinity anchors — nodes already holding tags that the relevant
+//      constraints target;
+//   2. spread representatives — the least-loaded nodes of every node set of
+//      each group kind a relevant constraint quantifies over (so
+//      anti-affinity across racks / service units stays satisfiable);
+//   3. globally least-loaded fill, up to the configured pool size.
+
+#ifndef SRC_SCHEDULERS_CANDIDATES_H_
+#define SRC_SCHEDULERS_CANDIDATES_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/schedulers/placement.h"
+
+namespace medea {
+
+// Constraints split by how this cycle interacts with them.
+struct RelevantConstraints {
+  // Constraints with at least one subject among the *new* containers.
+  std::vector<std::pair<ConstraintId, const PlacementConstraint*>> with_new_subjects;
+  // Constraints of deployed LRAs / the operator whose targets match new
+  // container tags: new placements can violate them even though their
+  // subjects are already placed.
+  std::vector<std::pair<ConstraintId, const PlacementConstraint*>> affected_existing;
+
+  // Concatenation of both groups.
+  std::vector<std::pair<ConstraintId, const PlacementConstraint*>> All() const;
+};
+
+// Classifies the manager's effective constraints against the problem's new
+// container tags.
+RelevantConstraints FindRelevantConstraints(const PlacementProblem& problem);
+
+// The cycle's candidate pool. Affinity-anchor nodes (tier 1) come first and
+// are included in *every* container's candidate list — a rotated window
+// that misses the one node holding the affinity target would make the
+// constraint silently unsatisfiable.
+struct CandidatePool {
+  std::vector<NodeId> nodes;
+  size_t num_anchors = 0;
+};
+
+class CandidateSelector {
+ public:
+  explicit CandidateSelector(const SchedulerConfig& config) : config_(config) {}
+
+  // Builds the cycle's node pool (deterministic; available nodes only),
+  // ordered least-loaded first within each selection tier.
+  CandidatePool BuildPool(const PlacementProblem& problem,
+                          const RelevantConstraints& relevant) const;
+
+  // Candidates for container `flat_index` (containers counted across LRAs in
+  // order): all anchor nodes that fit `demand`, plus a window of non-anchor
+  // pool nodes. The window size is the whole pool when the batch fits the
+  // cycle's X-variable budget; otherwise it shrinks toward the configured
+  // per-container floor and rotates slowly, so concurrent containers spread
+  // over the pool while neighbours still share most candidates (joint
+  // constraints need common nodes). `total_containers` is the batch size.
+  std::vector<NodeId> ForContainer(const PlacementProblem& problem, const CandidatePool& pool,
+                                   int flat_index, int total_containers,
+                                   const Resource& demand) const;
+
+ private:
+  const SchedulerConfig& config_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_SCHEDULERS_CANDIDATES_H_

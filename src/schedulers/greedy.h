@@ -1,0 +1,63 @@
+// Copyright (c) Medea reproduction authors.
+// Heuristic LRA schedulers (§5.3): Medea-TP (tag popularity), Medea-NC
+// (node candidates), and Serial.
+//
+// All three share the greedy core: build the cycle's candidate pool, order
+// the batch's containers by the heuristic, then place each container on the
+// candidate node with the lowest violation-extent delta (load as the
+// tiebreak). They differ only in ordering:
+//  * Serial — submission order (no ordering; the paper's baseline heuristic);
+//  * Tag popularity — containers whose tags appear in the most constraints
+//    first (they are the hardest to place);
+//  * Node candidates — containers with the fewest constraint-satisfying
+//    candidate nodes (Nc) first; Nc is recomputed lazily, once per placed
+//    LRA, mirroring the paper's "recalculate only for containers whose
+//    placement opportunities were affected".
+
+#ifndef SRC_SCHEDULERS_GREEDY_H_
+#define SRC_SCHEDULERS_GREEDY_H_
+
+#include <string>
+
+#include "src/schedulers/candidates.h"
+#include "src/schedulers/placement.h"
+
+namespace medea {
+
+enum class GreedyOrdering { kSerial, kTagPopularity, kNodeCandidates };
+
+class GreedyScheduler : public LraScheduler {
+ public:
+  // `impact_aware` selects the node-scoring depth: true (default) prices
+  // both the placed container's own constraints and the violation-extent
+  // impact on other subjects — Medea's heuristics run inside the LRA
+  // scheduler with the constraint manager's full view. false scores only
+  // the container's own constraints (Kubernetes-style pod-local scoring,
+  // see scoring.h; kept for the scoring-depth ablation).
+  GreedyScheduler(GreedyOrdering ordering, SchedulerConfig config, bool impact_aware = true)
+      : ordering_(ordering), config_(std::move(config)), impact_aware_(impact_aware) {}
+
+  PlacementPlan Place(const PlacementProblem& problem) override;
+
+  std::string name() const override;
+
+ private:
+  GreedyOrdering ordering_;
+  SchedulerConfig config_;
+  bool impact_aware_;
+};
+
+// Convenience factories matching the paper's names.
+inline GreedyScheduler MakeMedeaTp(SchedulerConfig config = {}) {
+  return GreedyScheduler(GreedyOrdering::kTagPopularity, std::move(config));
+}
+inline GreedyScheduler MakeMedeaNc(SchedulerConfig config = {}) {
+  return GreedyScheduler(GreedyOrdering::kNodeCandidates, std::move(config));
+}
+inline GreedyScheduler MakeSerial(SchedulerConfig config = {}) {
+  return GreedyScheduler(GreedyOrdering::kSerial, std::move(config));
+}
+
+}  // namespace medea
+
+#endif  // SRC_SCHEDULERS_GREEDY_H_

@@ -1,0 +1,210 @@
+#include "src/schedulers/jkube.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "src/core/violation.h"
+#include "src/schedulers/candidates.h"
+
+namespace medea {
+namespace {
+
+// True iff every tag constraint of the atomic is an affinity or
+// anti-affinity (no general cardinality window).
+bool AtomicIsAffinityOnly(const AtomicConstraint& atomic) {
+  for (const TagConstraint& tc : atomic.targets) {
+    if (!tc.IsAffinity() && !tc.IsAntiAffinity()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConstraintIsAffinityOnly(const PlacementConstraint& constraint) {
+  for (const auto* atomic : constraint.AllAtomics()) {
+    if (!AtomicIsAffinityOnly(*atomic)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Precomputed satisfaction table for one constraint in one scoring round:
+// per-set cardinalities of every (atomic, target), so that checking a node
+// is a handful of lookups. This is the "smart caching of node scores" the
+// paper suggests for the Kubernetes algorithm (§7.5).
+class SatisfactionTable {
+ public:
+  SatisfactionTable(const ClusterState& state, const PlacementConstraint& constraint)
+      : state_(state), constraint_(constraint) {
+    for (const auto* atomic : constraint.AllAtomics()) {
+      auto& per_target = gammas_[atomic];
+      per_target.resize(atomic->targets.size());
+      const auto& sets = state.groups().HasKind(atomic->node_group)
+                             ? state.groups().SetsOf(atomic->node_group)
+                             : kNoSets;
+      for (size_t t = 0; t < atomic->targets.size(); ++t) {
+        per_target[t].reserve(sets.size());
+        for (const auto& node_set : sets) {
+          per_target[t].push_back(
+              state.SetTagCardinality(node_set, atomic->targets[t].c_tags.tags()));
+        }
+      }
+    }
+  }
+
+  // Would the constraint hold for a subject placed on `node`? (The
+  // hypothetical container itself is excluded from cardinalities per §4.2,
+  // so the current counts answer this directly.)
+  bool SatisfiedAt(NodeId node) const {
+    for (const auto& clause : constraint_.clauses) {
+      bool clause_ok = true;
+      for (const AtomicConstraint& atomic : clause) {
+        if (!AtomicSatisfiedAt(atomic, node)) {
+          clause_ok = false;
+          break;
+        }
+      }
+      if (clause_ok) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool AtomicSatisfiedAt(const AtomicConstraint& atomic, NodeId node) const {
+    const auto& containing = state_.groups().SetsContaining(atomic.node_group, node);
+    const auto it = gammas_.find(&atomic);
+    if (it == gammas_.end() || containing.empty()) {
+      // No such set: satisfiable only if every target allows zero.
+      for (const TagConstraint& tc : atomic.targets) {
+        if (tc.cmin > 0) {
+          return false;
+        }
+      }
+      return true;
+    }
+    for (int set_index : containing) {
+      bool all_ok = true;
+      for (size_t t = 0; t < atomic.targets.size(); ++t) {
+        const TagConstraint& tc = atomic.targets[t];
+        const int gamma = it->second[t][static_cast<size_t>(set_index)];
+        if (gamma < tc.cmin || (tc.cmax != kCardinalityInfinity && gamma > tc.cmax)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static const std::vector<std::vector<NodeId>> kNoSets;
+
+  const ClusterState& state_;
+  const PlacementConstraint& constraint_;
+  std::unordered_map<const AtomicConstraint*, std::vector<std::vector<int>>> gammas_;
+};
+
+const std::vector<std::vector<NodeId>> SatisfactionTable::kNoSets = {};
+
+}  // namespace
+
+PlacementPlan JKubeScheduler::Place(const PlacementProblem& problem) {
+  const auto start = std::chrono::steady_clock::now();
+  PlacementPlan plan;
+  plan.lra_placed.assign(problem.lras.size(), false);
+  MEDEA_CHECK(problem.state != nullptr && problem.manager != nullptr);
+
+  const RelevantConstraints relevant = FindRelevantConstraints(problem);
+  // Kubernetes only sees the constraints whose subject is the pod being
+  // scheduled; constraints of other, already-placed applications are not
+  // re-examined (one-request-at-a-time).
+  std::vector<std::pair<ConstraintId, const PlacementConstraint*>> visible;
+  for (const auto& entry : relevant.with_new_subjects) {
+    if (support_cardinality_ || ConstraintIsAffinityOnly(*entry.second)) {
+      visible.push_back(entry);
+    }
+  }
+
+  ClusterState scratch = *problem.state;
+  std::vector<std::vector<ContainerId>> scratch_allocated(problem.lras.size());
+  std::vector<bool> lra_failed(problem.lras.size(), false);
+
+  for (size_t i = 0; i < problem.lras.size(); ++i) {
+    const LraRequest& lra = problem.lras[i];
+    for (size_t j = 0; j < lra.containers.size() && !lra_failed[i]; ++j) {
+      const ContainerRequest& req = lra.containers[j];
+      // Constraints whose subject this pod matches, with their satisfaction
+      // tables rebuilt against the current scratch state.
+      std::vector<std::pair<double, SatisfactionTable>> tables;
+      for (const auto& [id, constraint] : visible) {
+        bool is_subject = false;
+        for (const auto* atomic : constraint->AllAtomics()) {
+          if (atomic->subject.MatchedBy(req.tags)) {
+            is_subject = true;
+            break;
+          }
+        }
+        if (is_subject) {
+          tables.emplace_back(constraint->weight, SatisfactionTable(scratch, *constraint));
+        }
+      }
+
+      NodeId best = NodeId::Invalid();
+      double best_score = -1e300;
+      // Score every node in the cluster (filter + priority pass).
+      for (size_t raw = 0; raw < scratch.num_nodes(); ++raw) {
+        const NodeId n(static_cast<uint32_t>(raw));
+        const Node& node = scratch.node(n);
+        if (!node.available() || !node.CanFit(req.demand)) {
+          continue;
+        }
+        // LeastRequestedPriority: 10 * free fraction.
+        const double load = node.used().DominantShareOf(node.capacity());
+        double score = 10.0 * (1.0 - load);
+        for (const auto& [weight, table] : tables) {
+          if (table.SatisfiedAt(n)) {
+            score += 10.0 * weight;
+          }
+        }
+        if (score > best_score + 1e-12) {
+          best_score = score;
+          best = n;
+        }
+      }
+      if (!best.IsValid()) {
+        lra_failed[i] = true;
+        break;
+      }
+      auto allocated = scratch.Allocate(lra.app, best, req.demand, req.tags, true);
+      MEDEA_CHECK(allocated.ok());
+      scratch_allocated[i].push_back(*allocated);
+      plan.assignments.push_back({static_cast<int>(i), static_cast<int>(j), best});
+    }
+    if (lra_failed[i]) {
+      for (ContainerId c : scratch_allocated[i]) {
+        MEDEA_CHECK(scratch.Release(c).ok());
+      }
+      plan.assignments.erase(
+          std::remove_if(plan.assignments.begin(), plan.assignments.end(),
+                         [&](const Assignment& a) {
+                           return a.lra_index == static_cast<int>(i);
+                         }),
+          plan.assignments.end());
+    } else {
+      plan.lra_placed[i] = true;
+    }
+  }
+
+  plan.latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace medea

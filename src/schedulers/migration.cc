@@ -1,0 +1,174 @@
+#include "src/schedulers/migration.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/core/violation.h"
+
+namespace medea {
+namespace {
+
+// Weighted extent of every constraint whose subject or target tags touch
+// the given container's tags — the neighbourhood a move can change.
+double TotalWeightedExtent(
+    const ClusterState& state,
+    const std::vector<std::pair<ConstraintId, const PlacementConstraint*>>& constraints) {
+  const auto report = ConstraintEvaluator::EvaluateAll(state, constraints);
+  return report.weighted_extent;
+}
+
+}  // namespace
+
+MigrationPlan MigrationPlanner::Plan(const ClusterState& state,
+                                     const ConstraintManager& manager) const {
+  MigrationPlan plan;
+  const auto constraints = manager.Effective();
+  if (constraints.empty()) {
+    return plan;
+  }
+
+  ClusterState scratch = state;
+  plan.extent_before = TotalWeightedExtent(scratch, constraints);
+  plan.extent_after = plan.extent_before;
+  if (plan.extent_before <= 0.0) {
+    return plan;
+  }
+
+  // Scratch re-allocations mint fresh container ids; track them back to the
+  // live state's ids so recorded moves stay applicable.
+  std::unordered_map<ContainerId, ContainerId, std::hash<ContainerId>> live_id;
+  const auto live_of = [&](ContainerId id) {
+    const auto it = live_id.find(id);
+    return it == live_id.end() ? id : it->second;
+  };
+
+  for (int move = 0; move < config_.max_moves; ++move) {
+    // Worst violated subject on the scratch state.
+    const auto report = ConstraintEvaluator::EvaluateAll(scratch, constraints, true);
+    std::vector<SubjectEvaluation> violated;
+    for (const auto& eval : report.details) {
+      if (!eval.satisfied) {
+        violated.push_back(eval);
+      }
+    }
+    if (violated.empty()) {
+      break;
+    }
+    std::stable_sort(violated.begin(), violated.end(),
+                     [](const SubjectEvaluation& a, const SubjectEvaluation& b) {
+                       return a.extent > b.extent;
+                     });
+
+    bool moved = false;
+    for (const auto& eval : violated) {
+      // The same container can appear once per constraint; skip ones we
+      // already moved this cycle.
+      bool already = false;
+      for (const MigrationMove& m : plan.moves) {
+        if (m.container == live_of(eval.subject)) {
+          already = true;
+          break;
+        }
+      }
+      if (already) {
+        continue;
+      }
+      const ContainerInfo* info = scratch.FindContainer(eval.subject);
+      if (info == nullptr) {
+        continue;
+      }
+      const ContainerInfo snapshot = *info;
+
+      // Lift the container out and search for the best landing spot.
+      MEDEA_CHECK(scratch.Release(snapshot.id).ok());
+
+      // Candidate nodes: least-loaded first.
+      std::vector<NodeId> candidates;
+      for (const Node& node : scratch.nodes()) {
+        if (node.available() && node.CanFit(snapshot.resource)) {
+          candidates.push_back(node.id());
+        }
+      }
+      std::stable_sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+        return scratch.node(a).used().DominantShareOf(scratch.node(a).capacity()) <
+               scratch.node(b).used().DominantShareOf(scratch.node(b).capacity());
+      });
+      if (candidates.size() > static_cast<size_t>(config_.candidates_per_container)) {
+        candidates.resize(static_cast<size_t>(config_.candidates_per_container));
+      }
+      // Always consider the original node (so "stay" is the baseline).
+      if (std::find(candidates.begin(), candidates.end(), snapshot.node) ==
+          candidates.end()) {
+        candidates.push_back(snapshot.node);
+      }
+
+      NodeId best = snapshot.node;
+      double best_extent = plan.extent_after;  // staying put
+      for (NodeId n : candidates) {
+        auto placed = scratch.Allocate(snapshot.app, n, snapshot.resource, snapshot.tags,
+                                       /*long_running=*/true);
+        if (!placed.ok()) {
+          continue;
+        }
+        const double extent = TotalWeightedExtent(scratch, constraints);
+        MEDEA_CHECK(scratch.Release(*placed).ok());
+        if (extent < best_extent - 1e-12) {
+          best_extent = extent;
+          best = n;
+        }
+      }
+      // Put the container at the chosen node (possibly back where it was).
+      auto placed = scratch.Allocate(snapshot.app, best, snapshot.resource, snapshot.tags,
+                                     /*long_running=*/true);
+      MEDEA_CHECK(placed.ok());
+      live_id[*placed] = live_of(snapshot.id);
+      if (best != snapshot.node &&
+          plan.extent_after - best_extent >= config_.migration_cost) {
+        plan.moves.push_back(MigrationMove{live_of(snapshot.id), snapshot.node, best,
+                                           plan.extent_after - best_extent});
+        plan.extent_after = best_extent;
+        moved = true;
+        break;  // re-evaluate violations after each accepted move
+      }
+      // Not worth moving: restore at the original node and try the next
+      // violated subject.
+      if (best != snapshot.node) {
+        MEDEA_CHECK(scratch.Release(*placed).ok());
+        auto restored = scratch.Allocate(snapshot.app, snapshot.node, snapshot.resource,
+                                         snapshot.tags, true);
+        MEDEA_CHECK(restored.ok());
+        live_id[*restored] = live_of(snapshot.id);
+      }
+    }
+    if (!moved) {
+      break;
+    }
+  }
+  return plan;
+}
+
+int MigrationPlanner::Apply(const MigrationPlan& plan, ClusterState& state) {
+  int applied = 0;
+  for (const MigrationMove& move : plan.moves) {
+    const ContainerInfo* info = state.FindContainer(move.container);
+    if (info == nullptr || info->node != move.from) {
+      continue;  // container finished or already moved
+    }
+    const ContainerInfo snapshot = *info;
+    MEDEA_CHECK(state.Release(move.container).ok());
+    auto placed =
+        state.Allocate(snapshot.app, move.to, snapshot.resource, snapshot.tags, true);
+    if (!placed.ok()) {
+      // Target no longer fits: roll back.
+      MEDEA_CHECK(state
+                      .Allocate(snapshot.app, snapshot.node, snapshot.resource,
+                                snapshot.tags, true)
+                      .ok());
+      continue;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace medea

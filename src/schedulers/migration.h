@@ -1,0 +1,72 @@
+// Copyright (c) Medea reproduction authors.
+// Reactive container migration (§5.4 "Container migration").
+//
+// Medea's placement is proactive: once containers land, constraints of
+// long-lived applications can decay as neighbours arrive and leave. The
+// paper proposes combining it with a reactive mechanism that relocates
+// running containers, accounting for migration cost. This planner does
+// exactly that, greedily:
+//
+//   1. evaluate all constraints and collect the violated subjects, worst
+//      extent first;
+//   2. for each (up to max_moves), search feasible nodes for the relocation
+//      with the largest weighted-extent improvement;
+//   3. accept the move only if the improvement exceeds migration_cost —
+//      moving a running container is not free (state transfer, restart,
+//      cache warmup), so marginal wins are declined.
+//
+// Plan() is read-only; Apply() performs the relocations container by
+// container (each move is atomic: release + allocate, rolled back on
+// failure).
+
+#ifndef SRC_SCHEDULERS_MIGRATION_H_
+#define SRC_SCHEDULERS_MIGRATION_H_
+
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/core/constraint_manager.h"
+
+namespace medea {
+
+struct MigrationConfig {
+  // Minimum weighted violation-extent improvement to justify one move.
+  double migration_cost = 0.25;
+  // Moves per planning cycle.
+  int max_moves = 8;
+  // Candidate nodes examined per container (least-loaded first).
+  int candidates_per_container = 32;
+};
+
+struct MigrationMove {
+  ContainerId container;
+  NodeId from;
+  NodeId to;
+  double improvement = 0.0;  // weighted extent reduction this move buys
+};
+
+struct MigrationPlan {
+  std::vector<MigrationMove> moves;
+  // Violation extent before/after (on the planner's scratch state).
+  double extent_before = 0.0;
+  double extent_after = 0.0;
+};
+
+class MigrationPlanner {
+ public:
+  explicit MigrationPlanner(MigrationConfig config) : config_(config) {}
+
+  // Plans relocations against the current state; does not mutate it.
+  MigrationPlan Plan(const ClusterState& state, const ConstraintManager& manager) const;
+
+  // Applies the moves. Returns the number actually performed (a move is
+  // skipped if its target can no longer fit the container).
+  static int Apply(const MigrationPlan& plan, ClusterState& state);
+
+ private:
+  MigrationConfig config_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_SCHEDULERS_MIGRATION_H_

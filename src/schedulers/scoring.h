@@ -1,0 +1,82 @@
+// Copyright (c) Medea reproduction authors.
+// Shared placement scoring used by the greedy heuristic schedulers.
+//
+// The score of a candidate node is the *delta* in local weighted violation
+// extent caused by hypothetically placing the container there: the sum of
+// Eq. 8 extents over every subject container residing in node sets (of the
+// constraints' group kinds) that contain the candidate node, after minus
+// before. Deltas keep comparisons across candidate nodes consistent while
+// staying local — only the sets containing the candidate can change.
+
+#ifndef SRC_SCHEDULERS_SCORING_H_
+#define SRC_SCHEDULERS_SCORING_H_
+
+#include "src/schedulers/candidates.h"
+#include "src/schedulers/placement.h"
+
+namespace medea {
+
+// Sum of weighted violation extents of `relevant` constraints, restricted to
+// subject containers placed in node sets containing `node`.
+double LocalViolationExtent(
+    const ClusterState& state,
+    std::span<const std::pair<ConstraintId, const PlacementConstraint*>> relevant, NodeId node);
+
+// Violation-extent delta of placing (app, req) on `node`. `scratch` is
+// mutated transiently but restored before returning. The node must be able
+// to fit the demand. This is the *impact-aware* score (it also prices the
+// damage done to other subjects' constraints); the ILP warm start uses it.
+double PlacementScoreDelta(
+    ClusterState& scratch,
+    std::span<const std::pair<ConstraintId, const PlacementConstraint*>> relevant,
+    ApplicationId app, const ContainerRequest& req, NodeId node);
+
+// Index of the subject containers of each relevant constraint. Scoring a
+// candidate node only needs the subjects sharing a node set with it, and
+// those are few (constrained LRA containers) compared to everything placed
+// on large racks — the index avoids rescanning the cluster per candidate.
+// Build it once per scheduling cycle and Add()/Remove() batch containers as
+// the greedy pass places or rolls them back.
+class SubjectIndex {
+ public:
+  SubjectIndex(const ClusterState& state,
+               std::vector<std::pair<ConstraintId, const PlacementConstraint*>> relevant);
+
+  // Registers a just-placed batch container as a subject where it matches.
+  void Add(const ClusterState& state, ContainerId id);
+  // Unregisters a rolled-back container.
+  void Remove(ContainerId id);
+
+  struct SubjectEntry {
+    ContainerId id;
+    NodeId node;
+    std::vector<TagId> tags;
+  };
+
+  size_t num_constraints() const { return relevant_.size(); }
+  const PlacementConstraint& constraint(size_t i) const { return *relevant_[i].second; }
+  const std::vector<SubjectEntry>& subjects(size_t i) const { return subjects_[i]; }
+
+ private:
+  std::vector<std::pair<ConstraintId, const PlacementConstraint*>> relevant_;
+  std::vector<std::vector<SubjectEntry>> subjects_;
+};
+
+// Index-accelerated equivalents of the functions below.
+double LocalViolationExtent(const ClusterState& state, const SubjectIndex& index, NodeId node);
+double PlacementScoreDelta(ClusterState& scratch, const SubjectIndex& index, ApplicationId app,
+                           const ContainerRequest& req, NodeId node);
+
+// Subject-only score: the weighted violation extent of the container's OWN
+// constraints (those whose subject it matches) when hypothetically placed on
+// `node`. This mirrors what the paper's heuristics (and Kubernetes) see —
+// placements that hurt *other* subjects go unnoticed, which is where their
+// residual 10-20% violations come from (§7.4).
+double SubjectOnlyScore(
+    ClusterState& scratch,
+    std::span<const std::pair<ConstraintId, const PlacementConstraint*>> relevant,
+    ApplicationId app, const ContainerRequest& req, NodeId node);
+
+}  // namespace medea
+
+#endif  // SRC_SCHEDULERS_SCORING_H_

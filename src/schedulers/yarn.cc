@@ -1,0 +1,67 @@
+#include "src/schedulers/yarn.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace medea {
+
+PlacementPlan YarnScheduler::Place(const PlacementProblem& problem) {
+  const auto start = std::chrono::steady_clock::now();
+  PlacementPlan plan;
+  plan.lra_placed.assign(problem.lras.size(), false);
+  MEDEA_CHECK(problem.state != nullptr);
+
+  ClusterState scratch = *problem.state;
+  for (size_t i = 0; i < problem.lras.size(); ++i) {
+    const LraRequest& lra = problem.lras[i];
+    std::vector<ContainerId> allocated;
+    bool failed = false;
+    std::vector<Assignment> lra_assignments;
+    for (size_t j = 0; j < lra.containers.size(); ++j) {
+      const ContainerRequest& req = lra.containers[j];
+      std::vector<NodeId> feasible;
+      for (size_t raw = 0; raw < scratch.num_nodes(); ++raw) {
+        const NodeId n(static_cast<uint32_t>(raw));
+        if (scratch.node(n).available() && scratch.node(n).CanFit(req.demand)) {
+          feasible.push_back(n);
+        }
+      }
+      if (feasible.empty()) {
+        failed = true;
+        break;
+      }
+      NodeId pick = feasible[rng_.NextBounded(feasible.size())];
+      if (policy_ == YarnPolicy::kPack) {
+        double best_load = -1.0;
+        for (NodeId n : feasible) {
+          const double load =
+              scratch.node(n).used().DominantShareOf(scratch.node(n).capacity());
+          if (load > best_load) {
+            best_load = load;
+            pick = n;
+          }
+        }
+      }
+      auto result = scratch.Allocate(lra.app, pick, req.demand, req.tags, true);
+      MEDEA_CHECK(result.ok());
+      allocated.push_back(*result);
+      lra_assignments.push_back({static_cast<int>(i), static_cast<int>(j), pick});
+    }
+    if (failed) {
+      for (ContainerId c : allocated) {
+        MEDEA_CHECK(scratch.Release(c).ok());
+      }
+      continue;
+    }
+    plan.lra_placed[i] = true;
+    plan.assignments.insert(plan.assignments.end(), lra_assignments.begin(),
+                            lra_assignments.end());
+  }
+
+  plan.latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace medea

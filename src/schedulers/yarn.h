@@ -1,0 +1,43 @@
+// Copyright (c) Medea reproduction authors.
+// The constraint-unaware YARN baseline (§7.1): production YARN at the time
+// of the paper supported no inter-container constraints, so LRA containers
+// land on arbitrary feasible nodes and "some constraints are randomly
+// satisfied" (§7.2). The placement draws uniformly from the feasible nodes
+// using a seeded generator, so runs are reproducible.
+
+#ifndef SRC_SCHEDULERS_YARN_H_
+#define SRC_SCHEDULERS_YARN_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/schedulers/placement.h"
+
+namespace medea {
+
+// How the baseline picks among feasible nodes.
+//  kRandom — an arbitrary feasible node (heartbeat order is effectively
+//            random in a busy cluster);
+//  kPack   — the most-loaded feasible node, mimicking YARN's tendency to
+//            fill the currently-heartbeating nodes before moving on, which
+//            is what collocates region servers in §2.2.
+enum class YarnPolicy { kRandom, kPack };
+
+class YarnScheduler : public LraScheduler {
+ public:
+  explicit YarnScheduler(SchedulerConfig config, YarnPolicy policy = YarnPolicy::kRandom)
+      : config_(std::move(config)), policy_(policy), rng_(config_.seed) {}
+
+  PlacementPlan Place(const PlacementProblem& problem) override;
+
+  std::string name() const override { return "YARN"; }
+
+ private:
+  SchedulerConfig config_;
+  YarnPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_SCHEDULERS_YARN_H_

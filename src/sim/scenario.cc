@@ -1,0 +1,344 @@
+#include "src/sim/scenario.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/schedulers/greedy.h"
+#include "src/schedulers/ilp_scheduler.h"
+#include "src/schedulers/jkube.h"
+#include "src/schedulers/yarn.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea {
+namespace {
+
+// key=value options on a scenario line.
+using Options = std::map<std::string, std::string>;
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument(StrFormat("scenario line %d: %s", line, message.c_str()));
+}
+
+// Parses "30s" / "500ms" / "1234" into milliseconds.
+bool ParseTime(const std::string& text, SimTimeMs* out) {
+  std::string digits = text;
+  SimTimeMs scale = 1;
+  if (digits.size() > 2 && digits.substr(digits.size() - 2) == "ms") {
+    digits = digits.substr(0, digits.size() - 2);
+  } else if (digits.size() > 1 && digits.back() == 's') {
+    digits = digits.substr(0, digits.size() - 1);
+    scale = 1000;
+  }
+  const long long value = ParseNonNegativeInt(digits);
+  if (value < 0) {
+    return false;
+  }
+  *out = static_cast<SimTimeMs>(value) * scale;
+  return true;
+}
+
+// Splits a line's trailing words into key=value options; bare words are
+// returned in `positional`.
+Options ParseOptions(const std::vector<std::string>& words, size_t start,
+                     std::vector<std::string>* positional) {
+  Options options;
+  for (size_t i = start; i < words.size(); ++i) {
+    const size_t eq = words[i].find('=');
+    if (eq == std::string::npos) {
+      positional->push_back(words[i]);
+    } else {
+      options[words[i].substr(0, eq)] = words[i].substr(eq + 1);
+    }
+  }
+  return options;
+}
+
+long long IntOption(const Options& options, const std::string& key, long long fallback) {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return fallback;
+  }
+  const long long value = ParseNonNegativeInt(it->second);
+  return value < 0 ? fallback : value;
+}
+
+double DoubleOption(const Options& options, const std::string& key, double fallback) {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : value;
+}
+
+std::unique_ptr<LraScheduler> MakeScheduler(const std::string& name,
+                                            const SchedulerConfig& config) {
+  if (name == "medea-ilp") {
+    return std::make_unique<MedeaIlpScheduler>(config);
+  }
+  if (name == "medea-nc") {
+    return std::make_unique<GreedyScheduler>(GreedyOrdering::kNodeCandidates, config);
+  }
+  if (name == "medea-tp") {
+    return std::make_unique<GreedyScheduler>(GreedyOrdering::kTagPopularity, config);
+  }
+  if (name == "serial") {
+    return std::make_unique<GreedyScheduler>(GreedyOrdering::kSerial, config);
+  }
+  if (name == "j-kube") {
+    return std::make_unique<JKubeScheduler>(false, config);
+  }
+  if (name == "j-kube++") {
+    return std::make_unique<JKubeScheduler>(true, config);
+  }
+  if (name == "yarn") {
+    return std::make_unique<YarnScheduler>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string ScenarioOutcome::Summary() const {
+  std::string out;
+  out += StrFormat("simulated time:        %.1f s\n",
+                   static_cast<double>(end_time_ms) / 1000.0);
+  out += StrFormat("LRAs placed/rejected:  %d / %d (resubmissions %d, conflicts %d)\n",
+                   metrics.lras_placed, metrics.lras_rejected, metrics.lra_resubmissions,
+                   metrics.commit_conflicts);
+  if (metrics.tasks_killed > 0) {
+    out += StrFormat("tasks killed:          %d\n", metrics.tasks_killed);
+  }
+  if (metrics.migrations > 0) {
+    out += StrFormat("containers migrated:   %d\n", metrics.migrations);
+  }
+  out += StrFormat("violations:            %d / %d subjects\n", violated_subjects,
+                   total_subjects);
+  out += StrFormat("memory utilization:    %.0f%%\n", 100.0 * memory_utilization);
+  out += StrFormat("fragmented nodes:      %.1f%%\n", 100.0 * fragmented_fraction);
+  return out;
+}
+
+Result<ScenarioOutcome> RunScenario(std::string_view text) {
+  // First pass: configuration lines.
+  SimConfig sim_config;
+  SchedulerConfig scheduler_config;
+  std::string scheduler_name;
+  SimTimeMs run_until = -1;
+  bool have_cluster = false;
+
+  struct PendingLine {
+    int line_number;
+    std::vector<std::string> words;
+  };
+  std::vector<PendingLine> event_lines;
+
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string line(Trim(raw_line));
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<std::string> words;
+    for (const std::string& w : Split(line, ' ')) {
+      if (!std::string(Trim(w)).empty()) {
+        words.emplace_back(Trim(w));
+      }
+    }
+    if (words.empty()) {
+      continue;
+    }
+    const std::string& keyword = words[0];
+    std::vector<std::string> positional;
+    if (keyword == "cluster") {
+      const Options options = ParseOptions(words, 1, &positional);
+      sim_config.num_nodes = static_cast<size_t>(IntOption(options, "nodes", 100));
+      sim_config.num_racks = static_cast<size_t>(IntOption(options, "racks", 10));
+      sim_config.num_upgrade_domains =
+          static_cast<size_t>(IntOption(options, "upgrade_domains",
+                                        static_cast<long long>(sim_config.num_racks)));
+      sim_config.num_service_units =
+          static_cast<size_t>(IntOption(options, "service_units", 10));
+      sim_config.node_capacity =
+          Resource(IntOption(options, "capacity_mb", 16 * 1024),
+                   static_cast<int32_t>(IntOption(options, "capacity_cores", 8)));
+      have_cluster = true;
+    } else if (keyword == "scheduler") {
+      if (words.size() < 2) {
+        return LineError(line_number, "scheduler needs a name");
+      }
+      scheduler_name = words[1];
+      const Options options = ParseOptions(words, 2, &positional);
+      sim_config.lra_interval_ms = IntOption(options, "interval_ms", 10000);
+      scheduler_config.node_pool_size = static_cast<int>(IntOption(options, "pool", 64));
+      scheduler_config.ilp_time_limit_seconds = DoubleOption(options, "budget_s", 1.0);
+      scheduler_config.seed = static_cast<uint64_t>(IntOption(options, "seed", 42));
+    } else if (keyword == "conflict") {
+      if (words.size() < 2) {
+        return LineError(line_number, "conflict needs a policy");
+      }
+      if (words[1] == "resubmit") {
+        sim_config.conflict_policy = ConflictPolicy::kResubmit;
+      } else if (words[1] == "kill") {
+        sim_config.conflict_policy = ConflictPolicy::kKillTasks;
+      } else if (words[1] == "reserve") {
+        sim_config.conflict_policy = ConflictPolicy::kReserve;
+      } else {
+        return LineError(line_number, "unknown conflict policy '" + words[1] + "'");
+      }
+    } else if (keyword == "migration") {
+      const Options options = ParseOptions(words, 1, &positional);
+      sim_config.migration_interval_ms = IntOption(options, "every_ms", 20000);
+      sim_config.migration.migration_cost = DoubleOption(options, "cost", 0.25);
+    } else if (keyword == "run") {
+      const Options options = ParseOptions(words, 1, &positional);
+      const auto it = options.find("until");
+      if (it == options.end() || !ParseTime(it->second, &run_until)) {
+        return LineError(line_number, "run needs until=<time>");
+      }
+    } else if (keyword == "at") {
+      event_lines.push_back(PendingLine{line_number, words});
+    } else {
+      return LineError(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!have_cluster) {
+    return Status::InvalidArgument("scenario needs a 'cluster' line");
+  }
+  if (scheduler_name.empty()) {
+    return Status::InvalidArgument("scenario needs a 'scheduler' line");
+  }
+  if (run_until < 0) {
+    return Status::InvalidArgument("scenario needs a 'run until=' line");
+  }
+  auto scheduler = MakeScheduler(scheduler_name, scheduler_config);
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("unknown scheduler '" + scheduler_name + "'");
+  }
+
+  Simulation sim(sim_config, std::move(scheduler));
+
+  // Second pass: events.
+  for (const PendingLine& pending : event_lines) {
+    const auto& words = pending.words;
+    const int line = pending.line_number;
+    SimTimeMs when = 0;
+    if (words.size() < 3 || !ParseTime(words[1], &when)) {
+      return LineError(line, "'at' needs a time and an action");
+    }
+    const std::string& action = words[2];
+    std::vector<std::string> positional;
+    if (action == "lra") {
+      if (words.size() < 4) {
+        return LineError(line, "lra needs a template");
+      }
+      const std::string& kind = words[3];
+      const Options options = ParseOptions(words, 4, &positional);
+      const ApplicationId app(static_cast<uint32_t>(IntOption(options, "app", 0)));
+      if (!app.IsValid() || app.value == 0) {
+        return LineError(line, "lra needs app=<id>");
+      }
+      if (kind == "hbase") {
+        sim.SubmitLraAt(when,
+                        MakeHBaseInstance(app, sim.manager().tags(),
+                                          static_cast<int>(IntOption(options, "workers", 10))));
+      } else if (kind == "tensorflow") {
+        sim.SubmitLraAt(when, MakeTensorFlowInstance(
+                                  app, sim.manager().tags(),
+                                  static_cast<int>(IntOption(options, "workers", 8)),
+                                  static_cast<int>(IntOption(options, "ps", 2))));
+      } else if (kind == "generic") {
+        const auto tag_it = options.find("tag");
+        if (tag_it == options.end()) {
+          return LineError(line, "generic lra needs tag=<name>");
+        }
+        sim.SubmitLraAt(
+            when, MakeGenericLra(app, sim.manager().tags(),
+                                 static_cast<int>(IntOption(options, "count", 1)),
+                                 tag_it->second,
+                                 Resource(IntOption(options, "mem", 1024),
+                                          static_cast<int32_t>(IntOption(options, "cores", 1)))));
+      } else {
+        return LineError(line, "unknown lra template '" + kind + "'");
+      }
+    } else if (action == "constraint") {
+      // "at T constraint app=N {<text>}" — the constraint text is the rest
+      // of the line after the app option.
+      if (words.size() < 5) {
+        return LineError(line, "constraint needs app=<id> and text");
+      }
+      const Options options = ParseOptions(words, 3, &positional);
+      const ApplicationId app(static_cast<uint32_t>(IntOption(options, "app", 0)));
+      std::string constraint_text;
+      for (const std::string& w : positional) {
+        constraint_text += w + " ";
+      }
+      auto added = sim.manager().AddFromText(constraint_text, ConstraintOrigin::kApplication,
+                                             app);
+      if (!added.ok()) {
+        return LineError(line, added.status().ToString());
+      }
+    } else if (action == "tasks") {
+      const Options options = ParseOptions(words, 3, &positional);
+      std::vector<TaskRequest> tasks(
+          static_cast<size_t>(IntOption(options, "count", 1)),
+          TaskRequest(Resource(IntOption(options, "mem", 1024),
+                               static_cast<int32_t>(IntOption(options, "cores", 1))),
+                      IntOption(options, "duration_ms", 30000)));
+      sim.SubmitTaskJobAt(when, std::move(tasks));
+    } else if (action == "node-down" || action == "node-up") {
+      if (words.size() < 4) {
+        return LineError(line, action + " needs a node index");
+      }
+      const long long node = ParseNonNegativeInt(words[3]);
+      if (node < 0 || node >= static_cast<long long>(sim_config.num_nodes)) {
+        return LineError(line, "node index out of range");
+      }
+      if (action == "node-down") {
+        sim.NodeDownAt(when, NodeId(static_cast<uint32_t>(node)));
+      } else {
+        sim.NodeUpAt(when, NodeId(static_cast<uint32_t>(node)));
+      }
+    } else if (action == "remove") {
+      const Options options = ParseOptions(words, 3, &positional);
+      sim.RemoveLraAt(when, ApplicationId(static_cast<uint32_t>(IntOption(options, "app", 0))));
+    } else {
+      return LineError(line, "unknown action '" + action + "'");
+    }
+  }
+
+  sim.RunUntil(run_until);
+
+  ScenarioOutcome outcome;
+  outcome.metrics = sim.metrics();
+  const auto report = sim.EvaluateViolations();
+  outcome.violated_subjects = report.violated_subjects;
+  outcome.total_subjects = report.total_subjects;
+  outcome.memory_utilization = sim.MemoryUtilization();
+  outcome.fragmented_fraction = sim.state().FragmentedNodeFraction(Resource(2048, 1));
+  outcome.end_time_ms = sim.now();
+  return outcome;
+}
+
+Result<ScenarioOutcome> RunScenarioFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return RunScenario(text);
+}
+
+}  // namespace medea

@@ -1,0 +1,55 @@
+// Copyright (c) Medea reproduction authors.
+// A line-based scenario format driving the simulator, so experiments can be
+// written as small text files and replayed deterministically:
+//
+//   # shared cluster with churn
+//   cluster nodes=60 racks=6 service_units=6 capacity_mb=16384 capacity_cores=8
+//   scheduler medea-ilp interval_ms=10000 pool=48
+//   conflict kill
+//   migration every_ms=20000 cost=0.1
+//   at 0s lra hbase app=1 workers=10
+//   at 5s lra tensorflow app=2 workers=8 ps=2
+//   at 10s lra generic app=3 tag=svc count=4 mem=2048 cores=1
+//   at 10s constraint app=3 {svc, {svc, 0, 0}, node}
+//   at 30s tasks count=20 mem=1024 cores=1 duration_ms=60000
+//   at 60s node-down 5
+//   at 90s node-up 5
+//   at 120s remove app=2
+//   run until=300s
+//
+// Times accept an `s` or `ms` suffix (`30s`, `500ms`) or raw milliseconds.
+// Lines starting with '#' are comments. Exactly one `cluster`, `scheduler`
+// and `run` line are required.
+
+#ifndef SRC_SIM_SCENARIO_H_
+#define SRC_SIM_SCENARIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/sim/simulation.h"
+
+namespace medea {
+
+// Everything a scenario run reports.
+struct ScenarioOutcome {
+  SimMetrics metrics;
+  int violated_subjects = 0;
+  int total_subjects = 0;
+  double memory_utilization = 0.0;
+  double fragmented_fraction = 0.0;
+  SimTimeMs end_time_ms = 0;
+
+  // A human-readable multi-line summary.
+  std::string Summary() const;
+};
+
+// Parses and executes a scenario. Returns INVALID_ARGUMENT with a line
+// number on malformed input.
+Result<ScenarioOutcome> RunScenario(std::string_view text);
+Result<ScenarioOutcome> RunScenarioFile(const std::string& path);
+
+}  // namespace medea
+
+#endif  // SRC_SIM_SCENARIO_H_

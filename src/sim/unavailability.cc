@@ -1,0 +1,73 @@
+#include "src/sim/unavailability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/result.h"
+
+namespace medea {
+
+UnavailabilityTrace UnavailabilityTrace::Generate(const UnavailabilityConfig& config,
+                                                  uint64_t seed) {
+  MEDEA_CHECK(config.num_service_units > 0 && config.hours > 0);
+  UnavailabilityTrace trace(config.hours, config.num_service_units);
+  trace.down_.assign(static_cast<size_t>(config.hours) * config.num_service_units, 0.0);
+  Rng rng(seed);
+
+  for (int su = 0; su < config.num_service_units; ++su) {
+    // Active correlated events: (remaining_hours, severity).
+    std::vector<std::pair<int, double>> active;
+    for (int hour = 0; hour < config.hours; ++hour) {
+      // Baseline noise.
+      double fraction =
+          std::max(0.0, rng.NextGaussian(config.baseline_mean, config.baseline_sigma));
+      // New correlated event?
+      if (rng.NextBool(config.event_rate)) {
+        const double severity = rng.NextBool(config.full_outage_prob)
+                                    ? 1.0
+                                    : rng.NextDouble(config.partial_min, config.partial_max);
+        // Geometric duration with the configured mean (>= 1 hour).
+        const int duration = 1 + static_cast<int>(
+                                     rng.NextExponential(1.0 / config.mean_duration_hours));
+        active.emplace_back(duration, severity);
+      }
+      for (auto& [remaining, severity] : active) {
+        fraction += severity;
+        --remaining;
+      }
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [](const auto& e) { return e.first <= 0; }),
+                   active.end());
+      trace.down_[static_cast<size_t>(hour) * config.num_service_units + su] =
+          std::min(1.0, fraction);
+    }
+  }
+  return trace;
+}
+
+double UnavailabilityTrace::FractionDown(int hour, int su) const {
+  MEDEA_CHECK(hour >= 0 && hour < hours_ && su >= 0 && su < sus_);
+  return down_[static_cast<size_t>(hour) * sus_ + su];
+}
+
+double UnavailabilityTrace::TotalFractionDown(int hour) const {
+  double total = 0.0;
+  for (int su = 0; su < sus_; ++su) {
+    total += FractionDown(hour, su);
+  }
+  return total / sus_;
+}
+
+double LraUnavailableFraction(const UnavailabilityTrace& trace, int hour,
+                              const std::vector<int>& containers_per_su) {
+  MEDEA_CHECK(static_cast<int>(containers_per_su.size()) <= trace.service_units());
+  double down = 0.0;
+  double total = 0.0;
+  for (size_t su = 0; su < containers_per_su.size(); ++su) {
+    down += containers_per_su[su] * trace.FractionDown(hour, static_cast<int>(su));
+    total += containers_per_su[su];
+  }
+  return total == 0.0 ? 0.0 : down / total;
+}
+
+}  // namespace medea

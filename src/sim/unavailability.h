@@ -1,0 +1,71 @@
+// Copyright (c) Medea reproduction authors.
+// Synthetic machine-unavailability traces with the statistical structure of
+// Fig. 3 (a Microsoft production cluster over 15 days, 25 service units):
+//
+//  (i)   per-service-unit unavailability is usually below ~3%;
+//  (ii)  unavailability is strongly correlated *within* a service unit —
+//        correlated events (upgrades, maintenance, failures) take down a
+//        large fraction, occasionally 25% or even 100%, of one SU;
+//  (iii) service units fail asynchronously: events start independently per
+//        SU, so the cluster-wide total stays low even when one SU is fully
+//        out.
+//
+// The trace is hour-granular: FractionDown(hour, su) in [0,1]. The
+// resilience pipeline (Fig. 8) replays container placements against it.
+
+#ifndef SRC_SIM_UNAVAILABILITY_H_
+#define SRC_SIM_UNAVAILABILITY_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace medea {
+
+struct UnavailabilityConfig {
+  int num_service_units = 25;
+  int hours = 15 * 24;  // 15 days (§7.3)
+  // Baseline per-SU unavailable fraction (random per hour, small).
+  double baseline_mean = 0.010;
+  double baseline_sigma = 0.006;
+  // Correlated events: start probability per SU-hour.
+  double event_rate = 0.006;
+  // Event severity: with `full_outage_prob`, the whole SU goes down;
+  // otherwise the fraction is uniform in [partial_min, partial_max].
+  double full_outage_prob = 0.08;
+  double partial_min = 0.05;
+  double partial_max = 0.35;
+  // Event duration in hours: geometric with this mean.
+  double mean_duration_hours = 6.0;
+};
+
+class UnavailabilityTrace {
+ public:
+  static UnavailabilityTrace Generate(const UnavailabilityConfig& config, uint64_t seed);
+
+  int hours() const { return hours_; }
+  int service_units() const { return sus_; }
+
+  // Fraction of the service unit's machines down during this hour, in [0,1].
+  double FractionDown(int hour, int su) const;
+
+  // Cluster-wide unavailable fraction (unweighted mean over equal SUs).
+  double TotalFractionDown(int hour) const;
+
+ private:
+  UnavailabilityTrace(int hours, int sus) : hours_(hours), sus_(sus) {}
+
+  int hours_;
+  int sus_;
+  std::vector<double> down_;  // hours_ x sus_, row-major
+};
+
+// Replays a placement against a trace: `containers_per_su[s]` holds the
+// number of one LRA's containers living in service unit s. Returns, for the
+// given hour, the expected fraction of the LRA's containers unavailable.
+double LraUnavailableFraction(const UnavailabilityTrace& trace, int hour,
+                              const std::vector<int>& containers_per_su);
+
+}  // namespace medea
+
+#endif  // SRC_SIM_UNAVAILABILITY_H_

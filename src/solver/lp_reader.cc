@@ -1,0 +1,491 @@
+#include "src/solver/lp_reader.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace medea::solver {
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+// Splits into whitespace-separated tokens; ':' and the sense operators are
+// their own tokens even when glued to neighbours.
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::string current;
+  const auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(Token{current, line});
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      flush();
+      ++line;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      flush();
+      continue;
+    }
+    if (c == '\\') {  // LP comment until end of line
+      flush();
+      while (i < text.size() && text[i] != '\n') {
+        ++i;
+      }
+      --i;
+      continue;
+    }
+    if (c == ':') {
+      flush();
+      tokens.push_back(Token{":", line});
+      continue;
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      flush();
+      std::string op(1, c);
+      if ((c == '<' || c == '>') && i + 1 < text.size() && text[i + 1] == '=') {
+        op += '=';
+        ++i;
+      }
+      tokens.push_back(Token{op, line});
+      continue;
+    }
+    if (c == '+' || c == '-') {
+      // A sign is attached to a following number ("-2.5") only when it
+      // starts a numeric token; otherwise it stands alone.
+      const bool numeric_next =
+          i + 1 < text.size() &&
+          (std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0 || text[i + 1] == '.' ||
+           // "-inf" / "+inf"
+           text.compare(i + 1, 3, "inf") == 0);
+      flush();
+      if (numeric_next) {
+        current += c;
+      } else {
+        tokens.push_back(Token{std::string(1, c), line});
+      }
+      continue;
+    }
+    current += c;
+  }
+  flush();
+  return tokens;
+}
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+bool IsNumber(const std::string& token, double* value) {
+  if (EqualsIgnoreCase(token, "inf") || EqualsIgnoreCase(token, "+inf")) {
+    *value = kInfinity;
+    return true;
+  }
+  if (EqualsIgnoreCase(token, "-inf")) {
+    *value = -kInfinity;
+    return true;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool IsSense(const std::string& token) {
+  return token == "<=" || token == ">=" || token == "=" || token == "<" || token == ">";
+}
+
+// Section keywords (the parser treats "subject" "to" / "such" "that" / "st"
+// uniformly).
+enum class Section { kNone, kObjective, kConstraints, kBounds, kGeneral, kBinary, kEnd };
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Model> Run();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    static const Token kEof{"", -1};
+    return pos_ + ahead < tokens_.size() ? tokens_[pos_ + ahead] : kEof;
+  }
+  bool Done() const { return pos_ >= tokens_.size(); }
+  Token Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("LP parse error (line %d, near '%s'): %s",
+                  Peek().line, Peek().text.c_str(), message.c_str()));
+  }
+
+  // Detects a section header at the cursor; advances past it when found.
+  bool TrySection(Section* section);
+
+  int VarIndexOf(const std::string& name) {
+    const auto it = var_index_.find(name);
+    if (it != var_index_.end()) {
+      return it->second;
+    }
+    const int index = static_cast<int>(var_names_.size());
+    var_index_.emplace(name, index);
+    var_names_.push_back(name);
+    var_lower_.push_back(0.0);
+    var_upper_.push_back(kInfinity);
+    var_type_.push_back(VarType::kContinuous);
+    var_objective_.push_back(0.0);
+    return index;
+  }
+
+  // Parses a linear expression (terms until a sense token or section header)
+  // into (var, coeff) pairs.
+  Status ParseExpression(std::vector<std::pair<int, double>>* terms);
+
+  Status ParseObjective();
+  Status ParseConstraints();
+  Status ParseBounds();
+  Status ParseVarList(VarType type);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+
+  bool maximize_ = true;
+  std::unordered_map<std::string, int> var_index_;
+  std::vector<std::string> var_names_;
+  std::vector<double> var_lower_, var_upper_, var_objective_;
+  std::vector<VarType> var_type_;
+  struct RawRow {
+    std::string name;
+    std::vector<std::pair<int, double>> terms;
+    RowSense sense;
+    double rhs;
+  };
+  std::vector<RawRow> rows_;
+};
+
+bool Parser::TrySection(Section* section) {
+  const std::string& t = Peek().text;
+  if (EqualsIgnoreCase(t, "maximize") || EqualsIgnoreCase(t, "max")) {
+    maximize_ = true;
+    ++pos_;
+    *section = Section::kObjective;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "minimize") || EqualsIgnoreCase(t, "min")) {
+    maximize_ = false;
+    ++pos_;
+    *section = Section::kObjective;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "subject") && EqualsIgnoreCase(Peek(1).text, "to")) {
+    pos_ += 2;
+    *section = Section::kConstraints;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "st") || EqualsIgnoreCase(t, "s.t.")) {
+    ++pos_;
+    *section = Section::kConstraints;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "bounds")) {
+    ++pos_;
+    *section = Section::kBounds;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "general") || EqualsIgnoreCase(t, "generals") ||
+      EqualsIgnoreCase(t, "integer") || EqualsIgnoreCase(t, "integers")) {
+    ++pos_;
+    *section = Section::kGeneral;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "binary") || EqualsIgnoreCase(t, "binaries") ||
+      EqualsIgnoreCase(t, "bin")) {
+    ++pos_;
+    *section = Section::kBinary;
+    return true;
+  }
+  if (EqualsIgnoreCase(t, "end")) {
+    ++pos_;
+    *section = Section::kEnd;
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ParseExpression(std::vector<std::pair<int, double>>* terms) {
+  double sign = 1.0;
+  bool have_pending_coeff = false;
+  double pending_coeff = 1.0;
+  while (!Done()) {
+    Section section;
+    const size_t saved = pos_;
+    if (TrySection(&section)) {
+      pos_ = saved;  // let the caller handle it
+      break;
+    }
+    const std::string& t = Peek().text;
+    if (IsSense(t) || t == ":") {
+      break;
+    }
+    if (t == "+") {
+      ++pos_;
+      sign = 1.0;
+      continue;
+    }
+    if (t == "-") {
+      ++pos_;
+      sign = -sign;
+      continue;
+    }
+    double value = 0.0;
+    if (IsNumber(t, &value)) {
+      if (have_pending_coeff) {
+        return Error("two consecutive numbers in expression");
+      }
+      have_pending_coeff = true;
+      pending_coeff = value;
+      ++pos_;
+      continue;
+    }
+    // Identifier: a variable.
+    const int var = VarIndexOf(t);
+    ++pos_;
+    terms->emplace_back(var, sign * (have_pending_coeff ? pending_coeff : 1.0));
+    sign = 1.0;
+    have_pending_coeff = false;
+    pending_coeff = 1.0;
+  }
+  if (have_pending_coeff) {
+    return Error("dangling coefficient without a variable");
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseObjective() {
+  // Optional "name :".
+  if (!Done() && Peek(1).text == ":") {
+    pos_ += 2;
+  }
+  std::vector<std::pair<int, double>> terms;
+  const Status status = ParseExpression(&terms);
+  if (!status.ok()) {
+    return status;
+  }
+  for (const auto& [var, coeff] : terms) {
+    var_objective_[static_cast<size_t>(var)] += coeff;
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseConstraints() {
+  while (!Done()) {
+    Section section;
+    const size_t saved = pos_;
+    if (TrySection(&section)) {
+      pos_ = saved;
+      return Status::Ok();
+    }
+    RawRow row;
+    if (Peek(1).text == ":") {
+      row.name = Peek().text;
+      pos_ += 2;
+    }
+    const Status status = ParseExpression(&row.terms);
+    if (!status.ok()) {
+      return status;
+    }
+    if (Done() || !IsSense(Peek().text)) {
+      return Error("expected constraint sense");
+    }
+    const std::string sense = Next().text;
+    row.sense = (sense == "<=" || sense == "<")   ? RowSense::kLessEqual
+                : (sense == ">=" || sense == ">") ? RowSense::kGreaterEqual
+                                                  : RowSense::kEqual;
+    double rhs = 0.0;
+    if (Done() || !IsNumber(Peek().text, &rhs)) {
+      return Error("expected constraint right-hand side");
+    }
+    ++pos_;
+    row.rhs = rhs;
+    rows_.push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseBounds() {
+  while (!Done()) {
+    Section section;
+    const size_t saved = pos_;
+    if (TrySection(&section)) {
+      pos_ = saved;
+      return Status::Ok();
+    }
+    double first_number = 0.0;
+    if (IsNumber(Peek().text, &first_number)) {
+      // lo <= var <= hi
+      ++pos_;
+      if (Peek().text != "<=" && Peek().text != "<") {
+        return Error("expected '<=' after lower bound");
+      }
+      ++pos_;
+      const int var = VarIndexOf(Next().text);
+      var_lower_[static_cast<size_t>(var)] = first_number;
+      if (Peek().text == "<=" || Peek().text == "<") {
+        ++pos_;
+        double upper = 0.0;
+        if (!IsNumber(Peek().text, &upper)) {
+          return Error("expected upper bound");
+        }
+        ++pos_;
+        var_upper_[static_cast<size_t>(var)] = upper;
+      }
+      continue;
+    }
+    // var <= n | var >= n | var = n | var free
+    const int var = VarIndexOf(Next().text);
+    const std::string& op = Peek().text;
+    if (EqualsIgnoreCase(op, "free")) {
+      ++pos_;
+      var_lower_[static_cast<size_t>(var)] = -kInfinity;
+      var_upper_[static_cast<size_t>(var)] = kInfinity;
+      continue;
+    }
+    if (!IsSense(op)) {
+      return Error("expected bound operator or 'free'");
+    }
+    const std::string sense = Next().text;
+    double value = 0.0;
+    if (!IsNumber(Peek().text, &value)) {
+      return Error("expected bound value");
+    }
+    ++pos_;
+    if (sense == "<=" || sense == "<") {
+      var_upper_[static_cast<size_t>(var)] = value;
+    } else if (sense == ">=" || sense == ">") {
+      var_lower_[static_cast<size_t>(var)] = value;
+    } else {
+      var_lower_[static_cast<size_t>(var)] = value;
+      var_upper_[static_cast<size_t>(var)] = value;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseVarList(VarType type) {
+  while (!Done()) {
+    Section section;
+    const size_t saved = pos_;
+    if (TrySection(&section)) {
+      pos_ = saved;
+      return Status::Ok();
+    }
+    const int var = VarIndexOf(Next().text);
+    var_type_[static_cast<size_t>(var)] = type;
+    if (type == VarType::kBinary) {
+      var_lower_[static_cast<size_t>(var)] = std::max(var_lower_[static_cast<size_t>(var)], 0.0);
+      var_upper_[static_cast<size_t>(var)] = std::min(var_upper_[static_cast<size_t>(var)], 1.0);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Model> Parser::Run() {
+  Section section = Section::kNone;
+  if (!TrySection(&section) || section != Section::kObjective) {
+    return Error("LP file must start with Maximize/Minimize");
+  }
+  Status status = ParseObjective();
+  if (!status.ok()) {
+    return status;
+  }
+  bool ended = false;
+  while (!Done() && !ended) {
+    if (!TrySection(&section)) {
+      return Error("expected a section header");
+    }
+    switch (section) {
+      case Section::kConstraints:
+        status = ParseConstraints();
+        break;
+      case Section::kBounds:
+        status = ParseBounds();
+        break;
+      case Section::kGeneral:
+        status = ParseVarList(VarType::kInteger);
+        break;
+      case Section::kBinary:
+        status = ParseVarList(VarType::kBinary);
+        break;
+      case Section::kEnd:
+        ended = true;
+        break;
+      case Section::kObjective:
+      case Section::kNone:
+        return Error("unexpected section");
+    }
+    if (!status.ok()) {
+      return status;
+    }
+  }
+
+  Model model;
+  model.SetMaximize(maximize_);
+  for (size_t j = 0; j < var_names_.size(); ++j) {
+    if (var_lower_[j] > var_upper_[j]) {
+      return Status::InvalidArgument("inconsistent bounds for variable " + var_names_[j]);
+    }
+    model.AddVariable(var_lower_[j], var_upper_[j], var_objective_[j], var_type_[j],
+                      var_names_[j]);
+  }
+  for (const RawRow& row : rows_) {
+    model.AddRow(row.terms, row.sense, row.rhs, row.name);
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<Model> ParseLpFormat(std::string_view text) {
+  Parser parser(Tokenize(text));
+  return parser.Run();
+}
+
+Result<Model> ReadLpFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return ParseLpFormat(text);
+}
+
+}  // namespace medea::solver

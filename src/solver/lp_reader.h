@@ -1,0 +1,28 @@
+// Copyright (c) Medea reproduction authors.
+// Parser for the CPLEX LP file format (the subset WriteLpFormat emits plus
+// the common variations: optional objective name, free-format whitespace,
+// `<`/`>` as `<=`/`>=`). Together with lp_writer.h this gives lossless
+// round-trips of solver models, lets tests feed hand-written models in, and
+// lets externally generated instances exercise the solver.
+
+#ifndef SRC_SOLVER_LP_READER_H_
+#define SRC_SOLVER_LP_READER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/solver/model.h"
+
+namespace medea::solver {
+
+// Parses LP-format text into a Model. Returns INVALID_ARGUMENT with a
+// description (including a line number) on malformed input.
+Result<Model> ParseLpFormat(std::string_view text);
+
+// Reads and parses an .lp file.
+Result<Model> ReadLpFile(const std::string& path);
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_LP_READER_H_

@@ -1,0 +1,155 @@
+#include "src/solver/lp_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace medea::solver {
+namespace {
+
+// LP-format identifiers: alphanumerics plus a few symbols; must not start
+// with a digit or 'e'/'E' (to avoid being read as a number).
+std::string Sanitize(const std::string& name, const char* prefix, int index) {
+  if (name.empty()) {
+    return StrFormat("%s%d", prefix, index);
+  }
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    out += ok ? c : '_';
+  }
+  if (out[0] == 'e' || out[0] == 'E' || (out[0] >= '0' && out[0] <= '9')) {
+    out = std::string(prefix) + out;
+  }
+  return out;
+}
+
+void AppendTerm(std::ostringstream& os, double coeff, const std::string& var, bool first) {
+  if (first) {
+    if (coeff < 0) {
+      os << "- ";
+    }
+  } else {
+    os << (coeff < 0 ? " - " : " + ");
+  }
+  const double mag = std::fabs(coeff);
+  if (mag != 1.0) {
+    os << StrFormat("%.12g ", mag);
+  }
+  os << var;
+}
+
+std::string BoundString(double value) {
+  if (value == kInfinity) {
+    return "+inf";
+  }
+  if (value == -kInfinity) {
+    return "-inf";
+  }
+  return StrFormat("%.12g", value);
+}
+
+}  // namespace
+
+std::string WriteLpFormat(const Model& model) {
+  std::ostringstream os;
+  // Variable names, uniquified by index suffix when needed.
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    names.push_back(Sanitize(model.column(j).name, "x", j));
+  }
+
+  os << (model.maximize() ? "Maximize\n" : "Minimize\n") << " obj:";
+  bool first = true;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double c = model.column(j).objective;
+    if (c == 0.0) {
+      continue;
+    }
+    os << " ";
+    AppendTerm(os, c, names[static_cast<size_t>(j)], first);
+    first = false;
+  }
+  if (first) {
+    os << " 0 " << (model.num_variables() > 0 ? names[0] : "x0");
+  }
+  os << "\nSubject To\n";
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const auto& row = model.row(r);
+    os << " " << Sanitize(row.name, "c", r) << "_" << r << ":";
+    bool row_first = true;
+    for (const auto& [var, coeff] : row.terms) {
+      os << " ";
+      AppendTerm(os, coeff, names[static_cast<size_t>(var)], row_first);
+      row_first = false;
+    }
+    if (row_first) {
+      os << " 0 " << (model.num_variables() > 0 ? names[0] : "x0");
+    }
+    const char* sense = row.sense == RowSense::kLessEqual      ? "<="
+                        : row.sense == RowSense::kGreaterEqual ? ">="
+                                                               : "=";
+    os << " " << sense << " " << StrFormat("%.12g", row.rhs) << "\n";
+  }
+
+  os << "Bounds\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto& col = model.column(j);
+    // Binary variables are declared in their own section; default bounds
+    // (0, +inf) need no line.
+    if (col.type == VarType::kBinary) {
+      continue;
+    }
+    if (col.lower == 0.0 && col.upper == kInfinity) {
+      continue;
+    }
+    os << " " << BoundString(col.lower) << " <= " << names[static_cast<size_t>(j)]
+       << " <= " << BoundString(col.upper) << "\n";
+  }
+
+  bool have_general = false;
+  bool have_binary = false;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    have_general |= model.column(j).type == VarType::kInteger;
+    have_binary |= model.column(j).type == VarType::kBinary;
+  }
+  if (have_general) {
+    os << "General\n";
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.column(j).type == VarType::kInteger) {
+        os << " " << names[static_cast<size_t>(j)] << "\n";
+      }
+    }
+  }
+  if (have_binary) {
+    os << "Binary\n";
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.column(j).type == VarType::kBinary) {
+        os << " " << names[static_cast<size_t>(j)] << "\n";
+      }
+    }
+  }
+  os << "End\n";
+  return os.str();
+}
+
+Status WriteLpFile(const Model& model, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open " + path);
+  }
+  const std::string text = WriteLpFormat(model);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace medea::solver

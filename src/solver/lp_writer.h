@@ -1,0 +1,26 @@
+// Copyright (c) Medea reproduction authors.
+// Export of solver models in the CPLEX LP file format, so that Medea's
+// placement ILPs can be inspected, archived, or cross-checked against an
+// external solver (the original system used CPLEX; `cplex < model.lp` or
+// `cbc model.lp` consume these files directly).
+
+#ifndef SRC_SOLVER_LP_WRITER_H_
+#define SRC_SOLVER_LP_WRITER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/solver/model.h"
+
+namespace medea::solver {
+
+// Renders `model` in LP format. Unnamed variables/rows get generated names
+// (x<i> / c<i>); names are sanitized to the LP charset.
+std::string WriteLpFormat(const Model& model);
+
+// Writes WriteLpFormat(model) to `path`.
+Status WriteLpFile(const Model& model, const std::string& path);
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_LP_WRITER_H_

@@ -1,0 +1,264 @@
+#include "src/solver/mip.h"
+
+#include "src/solver/presolve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace medea::solver {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const MipOptions& options, MipStats* stats)
+      : model_(model), opts_(options), stats_(stats), deadline_set_(options.time_limit_seconds > 0) {
+    if (deadline_set_) {
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(options.time_limit_seconds));
+    }
+  }
+
+  Solution Run();
+
+ private:
+  bool TimeUp() const { return deadline_set_ && Clock::now() >= deadline_; }
+
+  // LP options with the time budget clipped to the remaining MIP budget, so
+  // a single degenerate LP cannot blow through the solver deadline.
+  LpOptions BudgetedLpOptions() const {
+    LpOptions lp = opts_.lp;
+    if (deadline_set_) {
+      const double remaining =
+          std::chrono::duration<double>(deadline_ - Clock::now()).count();
+      const double capped = std::max(0.01, remaining);
+      lp.time_limit_seconds =
+          lp.time_limit_seconds > 0 ? std::min(lp.time_limit_seconds, capped) : capped;
+    }
+    return lp;
+  }
+
+  // Direction-normalized score: larger is better.
+  double Score(double objective) const { return model_.maximize() ? objective : -objective; }
+
+  // Finds the integer variable whose LP value is farthest from integral.
+  // Returns -1 if the point is integral.
+  int MostFractional(const std::vector<double>& x) const;
+
+  // Tries rounding `x` to the nearest integers; installs as incumbent if
+  // feasible.
+  void TryRounding(const std::vector<double>& x);
+
+  void MaybeUpdateIncumbent(const std::vector<double>& x, double objective);
+
+  void Dfs(int depth);
+
+  Model model_;  // mutable copy: bounds change during the search
+  const MipOptions& opts_;
+  MipStats* stats_;
+  bool deadline_set_ = false;
+  Clock::time_point deadline_;
+
+  bool have_incumbent_ = false;
+  std::vector<double> best_x_;
+  double best_score_ = -kInfinity;
+  bool search_complete_ = true;  // false once pruned by budget
+  int nodes_ = 0;
+};
+
+int BranchAndBound::MostFractional(const std::vector<double>& x) const {
+  int best = -1;
+  double best_frac = opts_.integrality_tol;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (model_.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = x[static_cast<size_t>(j)];
+    const double frac = std::fabs(v - std::round(v));
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void BranchAndBound::TryRounding(const std::vector<double>& x) {
+  // Round-and-repair: fix every integer variable at its rounded LP value and
+  // re-solve the continuous part, so slack/penalty variables become
+  // consistent with the rounded integers. Any feasible result is a valid
+  // incumbent.
+  std::vector<double> rounded = x;
+  std::vector<std::pair<double, double>> saved;
+  saved.reserve(static_cast<size_t>(model_.num_variables()));
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    const auto& col = model_.column(j);
+    saved.emplace_back(col.lower, col.upper);
+    if (col.type == VarType::kContinuous) {
+      continue;
+    }
+    const double v =
+        std::clamp(std::round(rounded[static_cast<size_t>(j)]), col.lower, col.upper);
+    model_.SetBounds(j, v, v);
+  }
+  const Solution repaired = SolveLp(model_, BudgetedLpOptions());
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    model_.SetBounds(j, saved[static_cast<size_t>(j)].first,
+                     saved[static_cast<size_t>(j)].second);
+  }
+  if (stats_ != nullptr) {
+    ++stats_->lp_solves;
+  }
+  if (repaired.status == SolveStatus::kOptimal &&
+      model_.IsFeasible(repaired.values, 1e-5)) {
+    MaybeUpdateIncumbent(repaired.values, model_.Objective(repaired.values));
+  }
+}
+
+void BranchAndBound::MaybeUpdateIncumbent(const std::vector<double>& x, double objective) {
+  const double score = Score(objective);
+  if (!have_incumbent_ || score > best_score_) {
+    have_incumbent_ = true;
+    best_score_ = score;
+    best_x_ = x;
+  }
+}
+
+void BranchAndBound::Dfs(int depth) {
+  if (TimeUp()) {
+    search_complete_ = false;
+    if (stats_ != nullptr) {
+      stats_->hit_time_limit = true;
+    }
+    return;
+  }
+  if (opts_.max_nodes > 0 && nodes_ >= opts_.max_nodes) {
+    search_complete_ = false;
+    if (stats_ != nullptr) {
+      stats_->hit_node_limit = true;
+    }
+    return;
+  }
+  ++nodes_;
+  if (stats_ != nullptr) {
+    ++stats_->nodes_explored;
+    ++stats_->lp_solves;
+  }
+
+  const Solution lp = SolveLp(model_, BudgetedLpOptions());
+  if (lp.status == SolveStatus::kInfeasible) {
+    return;
+  }
+  if (lp.status == SolveStatus::kUnbounded || lp.status == SolveStatus::kIterationLimit) {
+    // Treat as unexplorable; keep the search sound by marking incomplete.
+    search_complete_ = false;
+    if (stats_ != nullptr) {
+      ++stats_->lp_failures;
+    }
+    return;
+  }
+  const double bound = Score(lp.objective);
+  const double gap =
+      std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
+  if (have_incumbent_ && bound <= best_score_ + gap) {
+    return;  // cannot improve (within tolerance)
+  }
+
+  const int branch_var = MostFractional(lp.values);
+  if (branch_var < 0) {
+    MaybeUpdateIncumbent(lp.values, lp.objective);
+    return;
+  }
+  // Round-and-repair heuristic: at the root and periodically during the
+  // dive, so good incumbents appear long before the tree bottoms out.
+  if (depth == 0 || nodes_ % 16 == 0) {
+    TryRounding(lp.values);
+    const double new_gap =
+        std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
+    if (have_incumbent_ && bound <= best_score_ + new_gap) {
+      return;  // the repaired incumbent already matches this node's bound
+    }
+  }
+
+  const double v = lp.values[static_cast<size_t>(branch_var)];
+  const double floor_v = std::floor(v);
+  const double ceil_v = std::ceil(v);
+  const auto& col = model_.column(branch_var);
+  const double old_lower = col.lower;
+  const double old_upper = col.upper;
+
+  // Explore the round-to-nearest side first (diving).
+  const bool down_first = (v - floor_v) <= (ceil_v - v);
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool down = (pass == 0) == down_first;
+    if (down) {
+      if (floor_v < old_lower - 1e-12) {
+        continue;
+      }
+      model_.SetBounds(branch_var, old_lower, std::min(floor_v, old_upper));
+    } else {
+      if (ceil_v > old_upper + 1e-12) {
+        continue;
+      }
+      model_.SetBounds(branch_var, std::max(ceil_v, old_lower), old_upper);
+    }
+    Dfs(depth + 1);
+    model_.SetBounds(branch_var, old_lower, old_upper);
+    if (TimeUp()) {
+      search_complete_ = false;
+      return;
+    }
+  }
+}
+
+Solution BranchAndBound::Run() {
+  if (static_cast<int>(opts_.warm_start.size()) == model_.num_variables()) {
+    TryRounding(opts_.warm_start);
+  }
+  Dfs(0);
+  Solution solution;
+  if (have_incumbent_) {
+    solution.status = search_complete_ ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+    solution.values = best_x_;
+    solution.objective = model_.Objective(best_x_);
+  } else {
+    solution.status = search_complete_ ? SolveStatus::kInfeasible : SolveStatus::kTimeLimit;
+  }
+  return solution;
+}
+
+}  // namespace
+
+Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats) {
+  if (stats != nullptr) {
+    *stats = MipStats{};
+  }
+  if (options.presolve) {
+    PresolveStats presolve_stats;
+    const Model reduced = Presolved(model, &presolve_stats);
+    if (presolve_stats.proven_infeasible) {
+      Solution solution;
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    if (presolve_stats.singleton_rows > 0 || presolve_stats.redundant_rows > 0 ||
+        presolve_stats.bounds_tightened > 0) {
+      MipOptions reduced_options = options;
+      reduced_options.presolve = false;
+      return SolveMip(reduced, reduced_options, stats);
+    }
+  }
+  if (model.num_integer_variables() == 0) {
+    if (stats != nullptr) {
+      stats->lp_solves = 1;
+      stats->nodes_explored = 1;
+    }
+    return SolveLp(model, options.lp);
+  }
+  BranchAndBound bnb(model, options, stats);
+  return bnb.Run();
+}
+
+}  // namespace medea::solver

@@ -1,0 +1,64 @@
+// Copyright (c) Medea reproduction authors.
+// Branch-and-bound solver for mixed-integer linear programs.
+//
+// Depth-first diving: at each node the LP relaxation is solved; the most
+// fractional integer variable is branched on, exploring the round-to-nearest
+// child first so that feasible incumbents appear early. A root rounding
+// heuristic seeds the incumbent. The solver is *anytime*: with a time or
+// node budget it returns the best incumbent with status kFeasible, which is
+// exactly how the Medea LRA scheduler uses it (a scheduling cycle has a
+// latency budget, not an optimality requirement).
+
+#ifndef SRC_SOLVER_MIP_H_
+#define SRC_SOLVER_MIP_H_
+
+#include <vector>
+
+#include "src/solver/model.h"
+#include "src/solver/simplex.h"
+
+namespace medea::solver {
+
+struct MipOptions {
+  // Wall-clock budget; <= 0 means unlimited.
+  double time_limit_seconds = 10.0;
+  // Branch-and-bound node cap; <= 0 means unlimited.
+  int max_nodes = 200000;
+  // Run the presolve reductions (src/solver/presolve.h) before branch and
+  // bound. Variables are preserved, so solutions need no back-mapping.
+  bool presolve = true;
+  // A value within this distance of an integer counts as integral.
+  double integrality_tol = 1e-6;
+  // Prune nodes whose LP bound is within this of the incumbent.
+  double absolute_gap = 1e-6;
+  // Also prune when the bound is within relative_gap * |incumbent| — the
+  // standard MIP gap tolerance. Placement models are highly symmetric, so
+  // proving exact optimality can take arbitrarily long even when the
+  // incumbent is optimal; a small relative gap terminates those searches.
+  double relative_gap = 0.01;
+  // Optional warm start: integer variables are fixed at these (rounded)
+  // values and the continuous part is repaired by one LP solve; if feasible,
+  // the result seeds the incumbent. Size must equal the model's variable
+  // count (or be empty).
+  std::vector<double> warm_start;
+  LpOptions lp;
+};
+
+struct MipStats {
+  int nodes_explored = 0;
+  int lp_solves = 0;
+  // LP relaxations that ended without a usable verdict (iteration limit /
+  // unbounded); any such node leaves the search incomplete.
+  int lp_failures = 0;
+  bool hit_time_limit = false;
+  bool hit_node_limit = false;
+};
+
+// Solves `model` to (proven or budget-limited) optimality.
+// `stats`, when non-null, receives search statistics.
+Solution SolveMip(const Model& model, const MipOptions& options = MipOptions(),
+                  MipStats* stats = nullptr);
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_MIP_H_

@@ -1,0 +1,145 @@
+#include "src/solver/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace medea::solver {
+
+VarIndex Model::AddVariable(double lower, double upper, double objective, VarType type,
+                            std::string name) {
+  if (type == VarType::kBinary) {
+    lower = std::max(lower, 0.0);
+    upper = std::min(upper, 1.0);
+  }
+  MEDEA_CHECK(lower <= upper);
+  Column col;
+  col.lower = lower;
+  col.upper = upper;
+  col.objective = objective;
+  col.type = type;
+  col.name = std::move(name);
+  if (type != VarType::kContinuous) {
+    ++num_integer_;
+  }
+  columns_.push_back(std::move(col));
+  return static_cast<VarIndex>(columns_.size()) - 1;
+}
+
+VarIndex Model::AddBinary(double objective, std::string name) {
+  return AddVariable(0.0, 1.0, objective, VarType::kBinary, std::move(name));
+}
+
+VarIndex Model::AddContinuous(double lower, double upper, double objective, std::string name) {
+  return AddVariable(lower, upper, objective, VarType::kContinuous, std::move(name));
+}
+
+RowIndex Model::AddRow(std::vector<std::pair<VarIndex, double>> terms, RowSense sense, double rhs,
+                       std::string name) {
+  std::sort(terms.begin(), terms.end());
+  // Merge duplicates and drop zero coefficients.
+  std::vector<std::pair<VarIndex, double>> merged;
+  merged.reserve(terms.size());
+  for (const auto& [var, coeff] : terms) {
+    MEDEA_CHECK(var >= 0 && var < num_variables());
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coeff;
+    } else {
+      merged.emplace_back(var, coeff);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& t) { return t.second == 0.0; }),
+               merged.end());
+  Row row;
+  row.terms = std::move(merged);
+  row.sense = sense;
+  row.rhs = rhs;
+  row.name = std::move(name);
+  rows_.push_back(std::move(row));
+  return static_cast<RowIndex>(rows_.size()) - 1;
+}
+
+void Model::SetObjectiveCoefficient(VarIndex var, double coefficient) {
+  MEDEA_CHECK(var >= 0 && var < num_variables());
+  columns_[static_cast<size_t>(var)].objective = coefficient;
+}
+
+void Model::SetBounds(VarIndex var, double lower, double upper) {
+  MEDEA_CHECK(var >= 0 && var < num_variables());
+  MEDEA_CHECK(lower <= upper);
+  columns_[static_cast<size_t>(var)].lower = lower;
+  columns_[static_cast<size_t>(var)].upper = upper;
+}
+
+double Model::Objective(const std::vector<double>& x) const {
+  MEDEA_CHECK(x.size() == columns_.size());
+  double obj = 0.0;
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    obj += columns_[j].objective * x[j];
+  }
+  return obj;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol, std::string* violation) const {
+  if (x.size() != columns_.size()) {
+    if (violation != nullptr) {
+      *violation = "dimension mismatch";
+    }
+    return false;
+  }
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    const Column& col = columns_[j];
+    if (x[j] < col.lower - tol || x[j] > col.upper + tol) {
+      if (violation != nullptr) {
+        *violation = StrFormat("variable %zu (%s) out of bounds", j, col.name.c_str());
+      }
+      return false;
+    }
+    if (col.type != VarType::kContinuous && std::fabs(x[j] - std::round(x[j])) > tol) {
+      if (violation != nullptr) {
+        *violation = StrFormat("variable %zu (%s) not integral", j, col.name.c_str());
+      }
+      return false;
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : row.terms) {
+      lhs += coeff * x[static_cast<size_t>(var)];
+    }
+    const bool ok = row.sense == RowSense::kLessEqual      ? lhs <= row.rhs + tol
+                    : row.sense == RowSense::kGreaterEqual ? lhs >= row.rhs - tol
+                                                           : std::fabs(lhs - row.rhs) <= tol;
+    if (!ok) {
+      if (violation != nullptr) {
+        *violation = StrFormat("row %zu (%s) violated: lhs=%f rhs=%f", r, row.name.c_str(), lhs,
+                               row.rhs);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* SolveStatusName(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "OPTIMAL";
+    case SolveStatus::kFeasible:
+      return "FEASIBLE";
+    case SolveStatus::kInfeasible:
+      return "INFEASIBLE";
+    case SolveStatus::kUnbounded:
+      return "UNBOUNDED";
+    case SolveStatus::kIterationLimit:
+      return "ITERATION_LIMIT";
+    case SolveStatus::kTimeLimit:
+      return "TIME_LIMIT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace medea::solver

@@ -1,0 +1,119 @@
+// Copyright (c) Medea reproduction authors.
+// A generic mixed-integer linear programming model.
+//
+// The original Medea delegates its ILP (Fig. 5) to CPLEX; this repository
+// ships its own solver stack. `Model` is the solver-agnostic problem
+// description: variables with bounds and types, linear rows with a sense,
+// and a linear objective. It is consumed by LpSolver (continuous
+// relaxation) and MipSolver (branch and bound).
+
+#ifndef SRC_SOLVER_MODEL_H_
+#define SRC_SOLVER_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace medea::solver {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class VarType { kContinuous, kBinary, kInteger };
+
+enum class RowSense { kLessEqual, kGreaterEqual, kEqual };
+
+// Index of a variable within a Model.
+using VarIndex = int;
+// Index of a row within a Model.
+using RowIndex = int;
+
+class Model {
+ public:
+  // Adds a variable with the given bounds, objective coefficient and type.
+  // Binary variables get their bounds clamped to [0,1]. Returns its index.
+  VarIndex AddVariable(double lower, double upper, double objective, VarType type,
+                       std::string name = "");
+
+  // Shorthand for AddVariable(0, 1, objective, kBinary).
+  VarIndex AddBinary(double objective, std::string name = "");
+
+  // Shorthand for a non-negative continuous variable.
+  VarIndex AddContinuous(double lower, double upper, double objective, std::string name = "");
+
+  // Adds a linear row sum(coeff * var) `sense` rhs. Terms with duplicate
+  // variable indices are merged. Returns the row index.
+  RowIndex AddRow(std::vector<std::pair<VarIndex, double>> terms, RowSense sense, double rhs,
+                  std::string name = "");
+
+  // Objective direction. Default is maximize (Eq. 1 maximizes).
+  void SetMaximize(bool maximize) { maximize_ = maximize; }
+  bool maximize() const { return maximize_; }
+
+  void SetObjectiveCoefficient(VarIndex var, double coefficient);
+
+  int num_variables() const { return static_cast<int>(columns_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_integer_variables() const { return num_integer_; }
+
+  struct Column {
+    double lower = 0.0;
+    double upper = kInfinity;
+    double objective = 0.0;
+    VarType type = VarType::kContinuous;
+    std::string name;
+  };
+  struct Row {
+    std::vector<std::pair<VarIndex, double>> terms;  // sorted by variable
+    RowSense sense = RowSense::kLessEqual;
+    double rhs = 0.0;
+    std::string name;
+  };
+
+  const Column& column(VarIndex v) const { return columns_[static_cast<size_t>(v)]; }
+  const Row& row(RowIndex r) const { return rows_[static_cast<size_t>(r)]; }
+
+  // Tightens a variable's bounds (used by branch and bound). The new bounds
+  // need not be contained in the old ones.
+  void SetBounds(VarIndex var, double lower, double upper);
+
+  // Evaluates the objective at a point.
+  double Objective(const std::vector<double>& x) const;
+
+  // Verifies that `x` satisfies all rows/bounds within `tol`; returns the
+  // first violated row description for diagnostics.
+  bool IsFeasible(const std::vector<double>& x, double tol, std::string* violation = nullptr) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  bool maximize_ = true;
+  int num_integer_ = 0;
+};
+
+enum class SolveStatus {
+  kOptimal,        // proven optimal (within tolerances)
+  kFeasible,       // a feasible (incumbent) solution; optimality not proven
+  kInfeasible,     // proven infeasible
+  kUnbounded,      // objective unbounded
+  kIterationLimit, // simplex iteration cap hit without a verdict
+  kTimeLimit,      // wall-clock budget exhausted without an incumbent
+};
+
+const char* SolveStatusName(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+
+  bool HasSolution() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
+  }
+};
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_MODEL_H_

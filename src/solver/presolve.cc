@@ -1,0 +1,179 @@
+#include "src/solver/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace medea::solver {
+namespace {
+
+struct Bounds {
+  double lower;
+  double upper;
+};
+
+// Minimum and maximum possible activity of a row under the given bounds.
+std::pair<double, double> ActivityRange(const Model::Row& row,
+                                        const std::vector<Bounds>& bounds) {
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const auto& [var, coeff] : row.terms) {
+    const Bounds& b = bounds[static_cast<size_t>(var)];
+    if (coeff >= 0) {
+      lo += coeff * b.lower;
+      hi += coeff * b.upper;
+    } else {
+      lo += coeff * b.upper;
+      hi += coeff * b.lower;
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+Model Presolved(const Model& model, PresolveStats* stats) {
+  PresolveStats local;
+  PresolveStats& out = stats != nullptr ? *stats : local;
+  out = PresolveStats{};
+
+  // Working copies of the bounds.
+  std::vector<Bounds> bounds;
+  bounds.reserve(static_cast<size_t>(model.num_variables()));
+  for (int j = 0; j < model.num_variables(); ++j) {
+    bounds.push_back(Bounds{model.column(j).lower, model.column(j).upper});
+  }
+
+  const auto tighten = [&](int var, double lower, double upper) {
+    Bounds& b = bounds[static_cast<size_t>(var)];
+    if (model.column(var).type != VarType::kContinuous) {
+      // Integral variables: round inward.
+      if (std::isfinite(lower)) {
+        lower = std::ceil(lower - 1e-9);
+      }
+      if (std::isfinite(upper)) {
+        upper = std::floor(upper + 1e-9);
+      }
+    }
+    bool changed = false;
+    if (lower > b.lower + 1e-12) {
+      b.lower = lower;
+      changed = true;
+    }
+    if (upper < b.upper - 1e-12) {
+      b.upper = upper;
+      changed = true;
+    }
+    if (changed) {
+      ++out.bounds_tightened;
+    }
+    if (b.lower > b.upper + 1e-9) {
+      out.proven_infeasible = true;
+    }
+  };
+
+  // Pass 1: singleton rows become bounds.
+  std::vector<bool> drop(static_cast<size_t>(model.num_rows()), false);
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const auto& row = model.row(r);
+    if (row.terms.size() != 1) {
+      continue;
+    }
+    const auto [var, coeff] = row.terms[0];
+    MEDEA_CHECK(coeff != 0.0);
+    const double value = row.rhs / coeff;
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        if (coeff > 0) {
+          tighten(var, -kInfinity, value);
+        } else {
+          tighten(var, value, kInfinity);
+        }
+        break;
+      case RowSense::kGreaterEqual:
+        if (coeff > 0) {
+          tighten(var, value, kInfinity);
+        } else {
+          tighten(var, -kInfinity, value);
+        }
+        break;
+      case RowSense::kEqual:
+        tighten(var, value, value);
+        break;
+    }
+    drop[static_cast<size_t>(r)] = true;
+    ++out.singleton_rows;
+  }
+
+  // Pass 2: redundancy / infeasibility from activity bounds.
+  for (int r = 0; r < model.num_rows(); ++r) {
+    if (drop[static_cast<size_t>(r)]) {
+      continue;
+    }
+    const auto& row = model.row(r);
+    if (row.terms.empty()) {
+      // Constant row: redundant or infeasible outright.
+      const bool ok = row.sense == RowSense::kLessEqual      ? 0.0 <= row.rhs + 1e-9
+                      : row.sense == RowSense::kGreaterEqual ? 0.0 >= row.rhs - 1e-9
+                                                             : std::fabs(row.rhs) <= 1e-9;
+      if (ok) {
+        drop[static_cast<size_t>(r)] = true;
+        ++out.redundant_rows;
+      } else {
+        out.proven_infeasible = true;
+      }
+      continue;
+    }
+    const auto [lo, hi] = ActivityRange(row, bounds);
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        if (hi <= row.rhs + 1e-9) {
+          drop[static_cast<size_t>(r)] = true;
+          ++out.redundant_rows;
+        } else if (lo > row.rhs + 1e-9) {
+          out.proven_infeasible = true;
+        }
+        break;
+      case RowSense::kGreaterEqual:
+        if (lo >= row.rhs - 1e-9) {
+          drop[static_cast<size_t>(r)] = true;
+          ++out.redundant_rows;
+        } else if (hi < row.rhs - 1e-9) {
+          out.proven_infeasible = true;
+        }
+        break;
+      case RowSense::kEqual:
+        if (lo > row.rhs + 1e-9 || hi < row.rhs - 1e-9) {
+          out.proven_infeasible = true;
+        }
+        break;
+    }
+  }
+
+  // Rebuild: same variables (with tightened bounds), surviving rows.
+  Model reduced;
+  reduced.SetMaximize(model.maximize());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto& col = model.column(j);
+    const Bounds& b = bounds[static_cast<size_t>(j)];
+    const double lower = out.proven_infeasible ? col.lower : b.lower;
+    const double upper = out.proven_infeasible ? col.upper : std::max(b.upper, lower);
+    reduced.AddVariable(lower, upper, col.objective, col.type, col.name);
+  }
+  for (int r = 0; r < model.num_rows(); ++r) {
+    if (drop[static_cast<size_t>(r)] && !out.proven_infeasible) {
+      continue;
+    }
+    const auto& row = model.row(r);
+    reduced.AddRow(row.terms, row.sense, row.rhs, row.name);
+  }
+  if (out.proven_infeasible) {
+    // Make the infeasibility explicit for downstream solvers.
+    reduced.AddRow({}, RowSense::kGreaterEqual, 1.0, "presolve_infeasible");
+  }
+  return reduced;
+}
+
+}  // namespace medea::solver

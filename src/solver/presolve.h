@@ -1,0 +1,37 @@
+// Copyright (c) Medea reproduction authors.
+// MIP presolve: cheap model reductions applied before the simplex ever
+// runs. Production solvers spend significant effort here; this pass covers
+// the reductions that matter for Medea's placement models:
+//
+//  * singleton rows (one variable) become bounds and disappear;
+//  * bounds of integer variables are rounded inward;
+//  * rows that can never be violated given the variable bounds (redundant)
+//    are dropped;
+//  * rows whose bound activity proves infeasibility are detected up front.
+//
+// The variable set is preserved (fixed variables are handled by the
+// simplex's fixed-column elimination), so solutions of the presolved model
+// are solutions of the original, index for index.
+
+#ifndef SRC_SOLVER_PRESOLVE_H_
+#define SRC_SOLVER_PRESOLVE_H_
+
+#include "src/solver/model.h"
+
+namespace medea::solver {
+
+struct PresolveStats {
+  int singleton_rows = 0;    // converted to bounds
+  int redundant_rows = 0;    // dropped
+  int bounds_tightened = 0;  // variable bounds strengthened
+  bool proven_infeasible = false;
+};
+
+// Returns a reduced copy of `model` with the same variables. When
+// `stats->proven_infeasible` is set, the returned model contains a trivially
+// infeasible row so that downstream solvers report infeasibility.
+Model Presolved(const Model& model, PresolveStats* stats = nullptr);
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_PRESOLVE_H_

@@ -1,0 +1,536 @@
+#include "src/solver/simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "src/common/result.h"
+
+namespace medea::solver {
+namespace {
+
+enum class VarStatus : uint8_t { kBasic, kAtLower, kAtUpper, kFreeAtZero };
+
+// Internal solver state over the extended variable space
+// [structurals | slacks | artificials].
+class SimplexSolver {
+ public:
+  SimplexSolver(const Model& model, const LpOptions& options)
+      : model_(model), opts_(options), n_(model.num_variables()), m_(model.num_rows()) {}
+
+  Solution Solve();
+
+ private:
+  // Extended-column bound accessors.
+  double Lower(int j) const { return lower_[static_cast<size_t>(j)]; }
+  double Upper(int j) const { return upper_[static_cast<size_t>(j)]; }
+
+  // Current value of a nonbasic column.
+  double NonbasicValue(int j) const {
+    switch (status_[static_cast<size_t>(j)]) {
+      case VarStatus::kAtLower:
+        return Lower(j);
+      case VarStatus::kAtUpper:
+        return Upper(j);
+      case VarStatus::kFreeAtZero:
+        return 0.0;
+      case VarStatus::kBasic:
+        break;
+    }
+    MEDEA_CHECK(false);
+    return 0.0;
+  }
+
+  void BuildTableau();
+  void InstallCosts(const std::vector<double>& costs);
+  // One simplex phase; returns status for that phase.
+  SolveStatus Iterate();
+
+  int ChooseEntering(bool bland) const;
+  // Returns false on unboundedness.
+  bool RatioTestAndUpdate(int entering, bool* made_progress);
+
+  void Pivot(int pivot_row, int entering);
+
+  const Model& model_;
+  const LpOptions& opts_;
+  int n_;   // structural count in the model
+  int m_;   // row count
+  int na_ = 0;   // *active* structural columns (lower < upper)
+  int ncol_ = 0;
+
+  // Fixed columns (lower == upper) are substituted into the row right-hand
+  // sides and never enter the tableau — branch-and-bound fixes many bounds
+  // and warm-start repair LPs fix all integers, so this keeps those solves
+  // small.
+  std::vector<int> col_of_;    // model var -> tableau column (-1 if fixed)
+  std::vector<int> orig_of_;   // tableau structural column -> model var
+  std::vector<double> adjusted_rhs_;
+
+  // Dense tableau: row-major m_ x ncol_ (= B^-1 * A_extended).
+  std::vector<double> tab_;
+  std::vector<double> beta_;   // basic variable values per row
+  std::vector<int> basis_;     // column index basic in each row
+  std::vector<VarStatus> status_;
+  std::vector<double> lower_, upper_;
+  std::vector<double> cost_;   // current phase cost over extended columns
+  std::vector<double> dj_;     // reduced costs
+  double objective_ = 0.0;
+  int iterations_ = 0;
+  int stall_ = 0;
+  double last_objective_ = -kInfinity;
+
+  double& Tab(int i, int j) { return tab_[static_cast<size_t>(i) * ncol_ + j]; }
+  double TabAt(int i, int j) const { return tab_[static_cast<size_t>(i) * ncol_ + j]; }
+};
+
+void SimplexSolver::BuildTableau() {
+  // Partition structural columns into active vs fixed.
+  col_of_.assign(static_cast<size_t>(n_), -1);
+  orig_of_.clear();
+  for (int j = 0; j < n_; ++j) {
+    const auto& col = model_.column(j);
+    if (col.lower < col.upper) {
+      col_of_[static_cast<size_t>(j)] = static_cast<int>(orig_of_.size());
+      orig_of_.push_back(j);
+    }
+  }
+  na_ = static_cast<int>(orig_of_.size());
+
+  // Columns: active structurals, m slacks, up to m artificials (allocated
+  // for all rows for simplicity; unused ones stay fixed at 0 and never
+  // price in).
+  ncol_ = na_ + 2 * m_;
+  tab_.assign(static_cast<size_t>(m_) * ncol_, 0.0);
+  beta_.assign(static_cast<size_t>(m_), 0.0);
+  basis_.assign(static_cast<size_t>(m_), -1);
+  status_.assign(static_cast<size_t>(ncol_), VarStatus::kAtLower);
+  lower_.assign(static_cast<size_t>(ncol_), 0.0);
+  upper_.assign(static_cast<size_t>(ncol_), 0.0);
+  adjusted_rhs_.assign(static_cast<size_t>(m_), 0.0);
+
+  for (int t = 0; t < na_; ++t) {
+    const auto& col = model_.column(orig_of_[static_cast<size_t>(t)]);
+    lower_[static_cast<size_t>(t)] = col.lower;
+    upper_[static_cast<size_t>(t)] = col.upper;
+    if (std::isfinite(col.lower)) {
+      status_[static_cast<size_t>(t)] = VarStatus::kAtLower;
+    } else if (std::isfinite(col.upper)) {
+      status_[static_cast<size_t>(t)] = VarStatus::kAtUpper;
+    } else {
+      status_[static_cast<size_t>(t)] = VarStatus::kFreeAtZero;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const auto& row = model_.row(i);
+    const int slack = na_ + i;
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        lower_[static_cast<size_t>(slack)] = 0.0;
+        upper_[static_cast<size_t>(slack)] = kInfinity;
+        break;
+      case RowSense::kGreaterEqual:
+        lower_[static_cast<size_t>(slack)] = -kInfinity;
+        upper_[static_cast<size_t>(slack)] = 0.0;
+        break;
+      case RowSense::kEqual:
+        lower_[static_cast<size_t>(slack)] = 0.0;
+        upper_[static_cast<size_t>(slack)] = 0.0;
+        break;
+    }
+    adjusted_rhs_[static_cast<size_t>(i)] = row.rhs;
+    for (const auto& [var, coeff] : row.terms) {
+      const int t = col_of_[static_cast<size_t>(var)];
+      if (t >= 0) {
+        Tab(i, t) = coeff;
+      } else {
+        // Fixed column: substitute its value into the right-hand side.
+        adjusted_rhs_[static_cast<size_t>(i)] -= coeff * model_.column(var).lower;
+      }
+    }
+    Tab(i, slack) = 1.0;
+  }
+
+  // Initial basis: slack where feasible at the nonbasic point, artificial
+  // otherwise. Residual r_i = rhs' - sum(structural nonbasic values).
+  for (int i = 0; i < m_; ++i) {
+    const auto& row = model_.row(i);
+    double residual = adjusted_rhs_[static_cast<size_t>(i)];
+    for (const auto& [var, coeff] : row.terms) {
+      const int t = col_of_[static_cast<size_t>(var)];
+      if (t >= 0) {
+        residual -= coeff * NonbasicValue(t);
+      }
+    }
+    const int slack = na_ + i;
+    const int artificial = na_ + m_ + i;
+    if (residual >= Lower(slack) - opts_.feasibility_tol &&
+        residual <= Upper(slack) + opts_.feasibility_tol) {
+      basis_[static_cast<size_t>(i)] = slack;
+      status_[static_cast<size_t>(slack)] = VarStatus::kBasic;
+      beta_[static_cast<size_t>(i)] =
+          std::clamp(residual, Lower(slack), Upper(slack));
+      // Artificial unused: keep fixed at zero.
+      lower_[static_cast<size_t>(artificial)] = 0.0;
+      upper_[static_cast<size_t>(artificial)] = 0.0;
+      status_[static_cast<size_t>(artificial)] = VarStatus::kAtLower;
+    } else {
+      // Park the slack at its nearest finite bound and absorb the rest in
+      // the artificial, signed so its value is non-negative.
+      double slack_value = 0.0;
+      if (residual < Lower(slack)) {
+        slack_value = Lower(slack);
+        status_[static_cast<size_t>(slack)] = VarStatus::kAtLower;
+      } else {
+        slack_value = Upper(slack);
+        status_[static_cast<size_t>(slack)] = VarStatus::kAtUpper;
+      }
+      const double remainder = residual - slack_value;
+      const double sigma = remainder >= 0.0 ? 1.0 : -1.0;
+      Tab(i, artificial) = sigma;
+      lower_[static_cast<size_t>(artificial)] = 0.0;
+      upper_[static_cast<size_t>(artificial)] = kInfinity;
+      basis_[static_cast<size_t>(i)] = artificial;
+      status_[static_cast<size_t>(artificial)] = VarStatus::kBasic;
+      // Normalize the row so the basic (artificial) column is +1.
+      if (sigma < 0.0) {
+        for (int j = 0; j < ncol_; ++j) {
+          Tab(i, j) = -Tab(i, j);
+        }
+      }
+      beta_[static_cast<size_t>(i)] = std::fabs(remainder);
+    }
+  }
+}
+
+void SimplexSolver::InstallCosts(const std::vector<double>& costs) {
+  cost_ = costs;
+  dj_.assign(static_cast<size_t>(ncol_), 0.0);
+  objective_ = 0.0;
+  // d = c - c_B^T * T; objective = c_B^T beta + sum over nonbasic c_j x_j.
+  for (int j = 0; j < ncol_; ++j) {
+    dj_[static_cast<size_t>(j)] = cost_[static_cast<size_t>(j)];
+  }
+  for (int i = 0; i < m_; ++i) {
+    const double cb = cost_[static_cast<size_t>(basis_[static_cast<size_t>(i)])];
+    if (cb == 0.0) {
+      continue;
+    }
+    const double* row = &tab_[static_cast<size_t>(i) * ncol_];
+    for (int j = 0; j < ncol_; ++j) {
+      dj_[static_cast<size_t>(j)] -= cb * row[j];
+    }
+    objective_ += cb * beta_[static_cast<size_t>(i)];
+  }
+  for (int j = 0; j < ncol_; ++j) {
+    if (status_[static_cast<size_t>(j)] == VarStatus::kBasic) {
+      dj_[static_cast<size_t>(j)] = 0.0;
+    } else if (cost_[static_cast<size_t>(j)] != 0.0) {
+      objective_ += cost_[static_cast<size_t>(j)] * NonbasicValue(j);
+    }
+  }
+  stall_ = 0;
+  last_objective_ = -kInfinity;
+}
+
+int SimplexSolver::ChooseEntering(bool bland) const {
+  int best = -1;
+  double best_score = opts_.optimality_tol;
+  for (int j = 0; j < ncol_; ++j) {
+    const VarStatus st = status_[static_cast<size_t>(j)];
+    if (st == VarStatus::kBasic) {
+      continue;
+    }
+    if (Lower(j) == Upper(j)) {
+      continue;  // fixed column can never improve
+    }
+    const double d = dj_[static_cast<size_t>(j)];
+    double score = 0.0;
+    if ((st == VarStatus::kAtLower || st == VarStatus::kFreeAtZero) &&
+        d > opts_.optimality_tol) {
+      score = d;
+    } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFreeAtZero) &&
+               d < -opts_.optimality_tol) {
+      score = -d;
+    } else {
+      continue;
+    }
+    if (bland) {
+      return j;  // first eligible index
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool SimplexSolver::RatioTestAndUpdate(int entering, bool* made_progress) {
+  const double d = dj_[static_cast<size_t>(entering)];
+  // Direction of movement for the entering variable.
+  const double dir = d > 0.0 ? 1.0 : -1.0;
+
+  // Own-bound limit (bound flip distance).
+  double limit = kInfinity;
+  int limit_row = -1;       // -1 means bound flip
+  VarStatus leave_to = VarStatus::kAtLower;
+  if (std::isfinite(Upper(entering)) && std::isfinite(Lower(entering))) {
+    limit = Upper(entering) - Lower(entering);
+  }
+
+  for (int i = 0; i < m_; ++i) {
+    const double y = TabAt(i, entering);
+    if (std::fabs(y) < opts_.pivot_tol) {
+      continue;
+    }
+    const int k = basis_[static_cast<size_t>(i)];
+    const double change = dir * y;  // beta_i moves by -change * t
+    double t = kInfinity;
+    VarStatus to = VarStatus::kAtLower;
+    if (change > 0.0) {
+      if (std::isfinite(Lower(k))) {
+        t = (beta_[static_cast<size_t>(i)] - Lower(k)) / change;
+        to = VarStatus::kAtLower;
+      }
+    } else {
+      if (std::isfinite(Upper(k))) {
+        t = (Upper(k) - beta_[static_cast<size_t>(i)]) / (-change);
+        to = VarStatus::kAtUpper;
+      }
+    }
+    if (t < limit - 1e-12) {
+      limit = t;
+      limit_row = i;
+      leave_to = to;
+    }
+  }
+
+  if (!std::isfinite(limit)) {
+    return false;  // unbounded
+  }
+  limit = std::max(limit, 0.0);
+  *made_progress = limit > opts_.feasibility_tol;
+
+  if (limit_row < 0) {
+    // Bound flip: entering jumps to its other bound.
+    const double span = dir * limit;
+    for (int i = 0; i < m_; ++i) {
+      const double y = TabAt(i, entering);
+      if (y != 0.0) {
+        beta_[static_cast<size_t>(i)] -= y * span;
+      }
+    }
+    status_[static_cast<size_t>(entering)] =
+        dir > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    objective_ += d * span;
+    return true;
+  }
+
+  // Pivot: entering becomes basic in limit_row; the old basic leaves to the
+  // bound it hit.
+  const double entering_value = NonbasicValue(entering) + dir * limit;
+  const int leaving = basis_[static_cast<size_t>(limit_row)];
+  for (int i = 0; i < m_; ++i) {
+    if (i == limit_row) {
+      continue;
+    }
+    const double y = TabAt(i, entering);
+    if (y != 0.0) {
+      beta_[static_cast<size_t>(i)] -= y * dir * limit;
+    }
+  }
+  objective_ += d * dir * limit;
+  status_[static_cast<size_t>(leaving)] = leave_to;
+  status_[static_cast<size_t>(entering)] = VarStatus::kBasic;
+  basis_[static_cast<size_t>(limit_row)] = entering;
+  beta_[static_cast<size_t>(limit_row)] = entering_value;
+  Pivot(limit_row, entering);
+  return true;
+}
+
+void SimplexSolver::Pivot(int pivot_row, int entering) {
+  double* prow = &tab_[static_cast<size_t>(pivot_row) * ncol_];
+  const double pivot = prow[entering];
+  MEDEA_CHECK(std::fabs(pivot) > opts_.pivot_tol);
+  const double inv = 1.0 / pivot;
+  for (int j = 0; j < ncol_; ++j) {
+    prow[j] *= inv;
+  }
+  prow[entering] = 1.0;
+  for (int i = 0; i < m_; ++i) {
+    if (i == pivot_row) {
+      continue;
+    }
+    double* row = &tab_[static_cast<size_t>(i) * ncol_];
+    const double factor = row[entering];
+    if (factor == 0.0) {
+      continue;
+    }
+    for (int j = 0; j < ncol_; ++j) {
+      row[j] -= factor * prow[j];
+    }
+    row[entering] = 0.0;
+  }
+  // Update the reduced-cost row.
+  const double dfactor = dj_[static_cast<size_t>(entering)];
+  if (dfactor != 0.0) {
+    for (int j = 0; j < ncol_; ++j) {
+      dj_[static_cast<size_t>(j)] -= dfactor * prow[j];
+    }
+  }
+  dj_[static_cast<size_t>(entering)] = 0.0;
+}
+
+SolveStatus SimplexSolver::Iterate() {
+  bool bland = false;
+  const bool timed = opts_.time_limit_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timed ? opts_.time_limit_seconds : 0.0));
+  while (true) {
+    if (iterations_ >= opts_.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+    if (timed && (iterations_ & 63) == 0 && std::chrono::steady_clock::now() >= deadline) {
+      return SolveStatus::kIterationLimit;
+    }
+    const int entering = ChooseEntering(bland);
+    if (entering < 0) {
+      return SolveStatus::kOptimal;
+    }
+    bool progress = false;
+    if (!RatioTestAndUpdate(entering, &progress)) {
+      return SolveStatus::kUnbounded;
+    }
+    ++iterations_;
+    if (objective_ > last_objective_ + 1e-12) {
+      last_objective_ = objective_;
+      stall_ = 0;
+      bland = false;
+    } else if (++stall_ > opts_.stall_threshold) {
+      bland = true;  // anti-cycling
+    }
+  }
+}
+
+Solution SimplexSolver::Solve() {
+  Solution solution;
+  if (m_ == 0) {
+    // Pure bound problem: put each variable at its best bound.
+    solution.values.resize(static_cast<size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      const auto& col = model_.column(j);
+      const double c = model_.maximize() ? col.objective : -col.objective;
+      double v = 0.0;
+      if (c > 0.0) {
+        v = col.upper;
+      } else if (c < 0.0) {
+        v = col.lower;
+      } else {
+        v = std::isfinite(col.lower) ? col.lower : (std::isfinite(col.upper) ? col.upper : 0.0);
+      }
+      if (!std::isfinite(v)) {
+        solution.status = SolveStatus::kUnbounded;
+        return solution;
+      }
+      solution.values[static_cast<size_t>(j)] = v;
+    }
+    solution.status = SolveStatus::kOptimal;
+    solution.objective = model_.Objective(solution.values);
+    return solution;
+  }
+
+  BuildTableau();
+
+  // Phase 1 if any artificial is basic.
+  bool need_phase1 = false;
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[static_cast<size_t>(i)] >= na_ + m_) {
+      need_phase1 = true;
+      break;
+    }
+  }
+  if (need_phase1) {
+    std::vector<double> phase1(static_cast<size_t>(ncol_), 0.0);
+    for (int j = na_ + m_; j < ncol_; ++j) {
+      if (Lower(j) != Upper(j) || status_[static_cast<size_t>(j)] == VarStatus::kBasic) {
+        phase1[static_cast<size_t>(j)] = -1.0;  // maximize -sum(artificials)
+      }
+    }
+    InstallCosts(phase1);
+    const SolveStatus p1 = Iterate();
+    if (p1 == SolveStatus::kIterationLimit) {
+      solution.status = p1;
+      return solution;
+    }
+    if (objective_ < -opts_.feasibility_tol * 10) {
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    // Fix artificials at zero so phase 2 cannot reuse them.
+    for (int j = na_ + m_; j < ncol_; ++j) {
+      lower_[static_cast<size_t>(j)] = 0.0;
+      upper_[static_cast<size_t>(j)] = 0.0;
+      if (status_[static_cast<size_t>(j)] != VarStatus::kBasic) {
+        status_[static_cast<size_t>(j)] = VarStatus::kAtLower;
+      }
+    }
+  }
+
+  // Phase 2 with the real costs (negated for minimization).
+  std::vector<double> phase2(static_cast<size_t>(ncol_), 0.0);
+  for (int t = 0; t < na_; ++t) {
+    const double c = model_.column(orig_of_[static_cast<size_t>(t)]).objective;
+    phase2[static_cast<size_t>(t)] = model_.maximize() ? c : -c;
+  }
+  InstallCosts(phase2);
+  const SolveStatus p2 = Iterate();
+  if (p2 == SolveStatus::kUnbounded) {
+    solution.status = SolveStatus::kUnbounded;
+    return solution;
+  }
+  if (p2 == SolveStatus::kIterationLimit) {
+    solution.status = p2;
+    return solution;
+  }
+
+  solution.values.assign(static_cast<size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const int t = col_of_[static_cast<size_t>(j)];
+    if (t < 0) {
+      solution.values[static_cast<size_t>(j)] = model_.column(j).lower;  // fixed
+    } else if (status_[static_cast<size_t>(t)] != VarStatus::kBasic) {
+      solution.values[static_cast<size_t>(j)] = NonbasicValue(t);
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int k = basis_[static_cast<size_t>(i)];
+    if (k < na_) {
+      solution.values[static_cast<size_t>(orig_of_[static_cast<size_t>(k)])] =
+          beta_[static_cast<size_t>(i)];
+    }
+  }
+  // Clamp tiny numerical noise back into bounds.
+  for (int j = 0; j < n_; ++j) {
+    const auto& col = model_.column(j);
+    solution.values[static_cast<size_t>(j)] =
+        std::clamp(solution.values[static_cast<size_t>(j)],
+                   std::isfinite(col.lower) ? col.lower : -kInfinity,
+                   std::isfinite(col.upper) ? col.upper : kInfinity);
+  }
+  solution.status = SolveStatus::kOptimal;
+  solution.objective = model_.Objective(solution.values);
+  return solution;
+}
+
+}  // namespace
+
+Solution SolveLp(const Model& model, const LpOptions& options) {
+  SimplexSolver solver(model, options);
+  return solver.Solve();
+}
+
+}  // namespace medea::solver

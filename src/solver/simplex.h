@@ -1,0 +1,46 @@
+// Copyright (c) Medea reproduction authors.
+// Bounded-variable primal simplex for linear programs.
+//
+// A dense two-phase tableau implementation:
+//  * every row gains a slack whose bounds encode the row sense;
+//  * rows whose slack cannot be made feasible at the initial point gain an
+//    artificial variable; phase 1 minimizes the artificial sum;
+//  * nonbasic variables rest at one of their (finite) bounds; bound flips
+//    are handled without pivoting;
+//  * Dantzig pricing with an automatic switch to Bland's rule when the
+//    objective stalls, guaranteeing termination.
+//
+// Dense tableaus are deliberate: Medea's pruned placement models have a few
+// hundred rows and ~1-2k columns, where a dense pivot is cache-friendly and
+// the implementation stays small enough to audit. This is the repository's
+// CPLEX substitute for the Fig. 5 ILP relaxations.
+
+#ifndef SRC_SOLVER_SIMPLEX_H_
+#define SRC_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "src/solver/model.h"
+
+namespace medea::solver {
+
+struct LpOptions {
+  int max_iterations = 50000;
+  // Iterations without objective improvement before switching to Bland's
+  // anti-cycling rule.
+  int stall_threshold = 500;
+  // Wall-clock budget for one solve; <= 0 means unlimited. Expiry returns
+  // kIterationLimit (no usable verdict). Checked every few dozen pivots.
+  double time_limit_seconds = 0.0;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-9;
+  double pivot_tol = 1e-9;
+};
+
+// Solves the continuous relaxation of `model` (integrality ignored).
+// The returned Solution's `values` has one entry per model variable.
+Solution SolveLp(const Model& model, const LpOptions& options = LpOptions());
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_SIMPLEX_H_

@@ -1,0 +1,42 @@
+#include "src/workload/google_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medea {
+
+std::vector<GoogleTraceGenerator::Arrival> GoogleTraceGenerator::Generate(SimTimeMs horizon_ms) {
+  std::vector<Arrival> arrivals;
+  // Trace-time bookkeeping in seconds; converted to sped-up sim ms.
+  double trace_s = 0.0;
+  bool burst = false;
+  double state_remaining_s = rng_.NextExponential(1.0 / config_.mean_normal_s);
+  const double horizon_trace_s =
+      static_cast<double>(horizon_ms) / 1000.0 * config_.speedup;
+
+  while (trace_s < horizon_trace_s) {
+    const double rate =
+        config_.base_arrival_rate_hz * (burst ? config_.burst_multiplier : 1.0);
+    const double gap = rng_.NextExponential(rate);
+    trace_s += gap;
+    state_remaining_s -= gap;
+    if (state_remaining_s <= 0.0) {
+      burst = !burst;
+      state_remaining_s =
+          rng_.NextExponential(1.0 / (burst ? config_.mean_burst_s : config_.mean_normal_s));
+    }
+    if (trace_s >= horizon_trace_s) {
+      break;
+    }
+    Arrival arrival;
+    arrival.time = static_cast<SimTimeMs>(trace_s / config_.speedup * 1000.0);
+    const double duration_s = rng_.NextLogNormal(config_.duration_mu, config_.duration_sigma);
+    arrival.task.demand = config_.task_demand;
+    arrival.task.duration_ms = std::max<SimTimeMs>(
+        100, static_cast<SimTimeMs>(duration_s / config_.speedup * 1000.0));
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
+}  // namespace medea

@@ -1,0 +1,40 @@
+#include "src/workload/gridmix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medea {
+
+std::vector<TaskRequest> GridMixGenerator::NextJob() {
+  const int num_tasks =
+      std::max(1, static_cast<int>(std::lround(rng_.NextLogNormal(config_.tasks_mu,
+                                                                  config_.tasks_sigma))));
+  std::vector<TaskRequest> tasks;
+  tasks.reserve(static_cast<size_t>(num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    const double duration = rng_.NextLogNormal(config_.duration_mu, config_.duration_sigma);
+    TaskRequest task;
+    task.demand = config_.task_demand;
+    task.duration_ms = std::clamp(static_cast<SimTimeMs>(duration), config_.min_duration_ms,
+                                  config_.max_duration_ms);
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+std::vector<std::vector<TaskRequest>> GridMixGenerator::JobsForMemoryFraction(
+    const Resource& total, double fraction) {
+  std::vector<std::vector<TaskRequest>> jobs;
+  const double target_mb = static_cast<double>(total.memory_mb) * std::max(0.0, fraction);
+  double used_mb = 0.0;
+  while (used_mb < target_mb) {
+    auto job = NextJob();
+    for (const TaskRequest& task : job) {
+      used_mb += static_cast<double>(task.demand.memory_mb);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace medea

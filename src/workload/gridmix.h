@@ -1,0 +1,49 @@
+// Copyright (c) Medea reproduction authors.
+// GridMix-like synthetic batch workload (the paper uses Hadoop GridMix [24]
+// to generate Tez jobs "resembling some of our production workloads").
+// Jobs have log-normally distributed task counts and task durations — the
+// canonical heavy-tailed shape of production MapReduce traces.
+
+#ifndef SRC_WORKLOAD_GRIDMIX_H_
+#define SRC_WORKLOAD_GRIDMIX_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tasksched/task_scheduler.h"
+
+namespace medea {
+
+struct GridMixConfig {
+  // Task-count distribution: round(lognormal(mu, sigma)), clamped >= 1.
+  double tasks_mu = 2.5;     // median ~12 tasks
+  double tasks_sigma = 0.8;
+  // Task duration distribution in ms.
+  double duration_mu = 10.2;  // median ~27s
+  double duration_sigma = 0.7;
+  SimTimeMs min_duration_ms = 2000;
+  SimTimeMs max_duration_ms = 600000;
+  Resource task_demand = Resource(1024, 1);
+};
+
+class GridMixGenerator {
+ public:
+  GridMixGenerator(GridMixConfig config, uint64_t seed) : config_(config), rng_(seed) {}
+
+  // Tasks of the next synthetic job.
+  std::vector<TaskRequest> NextJob();
+
+  // Enough jobs that their aggregate memory demand reaches
+  // `fraction` * `total` (the "GridMix jobs that use X% of the cluster's
+  // memory" knob used throughout §2 and §7).
+  std::vector<std::vector<TaskRequest>> JobsForMemoryFraction(const Resource& total,
+                                                              double fraction);
+
+ private:
+  GridMixConfig config_;
+  Rng rng_;
+};
+
+}  // namespace medea
+
+#endif  // SRC_WORKLOAD_GRIDMIX_H_

@@ -1,0 +1,212 @@
+// Tests for src/cluster: node accounting, node groups, cluster state
+// allocation/release, tag cardinality, and aggregate metrics.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_state.h"
+#include "src/cluster/node.h"
+#include "src/cluster/node_group.h"
+
+namespace medea {
+namespace {
+
+ClusterState SmallCluster(size_t nodes = 8, size_t racks = 2) {
+  return ClusterBuilder()
+      .NumNodes(nodes)
+      .NumRacks(racks)
+      .NumUpgradeDomains(2)
+      .NumServiceUnits(2)
+      .NodeCapacity(Resource(16 * 1024, 8))
+      .Build();
+}
+
+TEST(NodeGroupTest, ImplicitNodeKind) {
+  NodeGroupRegistry groups(4);
+  ASSERT_TRUE(groups.HasKind(kNodeGroupNode));
+  EXPECT_EQ(groups.NumSets(kNodeGroupNode), 4u);
+  const auto& sets = groups.SetsOf(kNodeGroupNode);
+  EXPECT_EQ(sets[2], std::vector<NodeId>{NodeId(2)});
+  EXPECT_EQ(groups.SetsContaining(kNodeGroupNode, NodeId(3)), std::vector<int>{3});
+}
+
+TEST(NodeGroupTest, RegisterPartition) {
+  NodeGroupRegistry groups(6);
+  ASSERT_TRUE(groups.RegisterPartition("rack", {0, 0, 0, 1, 1, 1}).ok());
+  EXPECT_EQ(groups.NumSets("rack"), 2u);
+  EXPECT_EQ(groups.SetsOf("rack")[1],
+            (std::vector<NodeId>{NodeId(3), NodeId(4), NodeId(5)}));
+  EXPECT_EQ(groups.SetsContaining("rack", NodeId(4)), std::vector<int>{1});
+}
+
+TEST(NodeGroupTest, OverlappingSetsAllowed) {
+  NodeGroupRegistry groups(4);
+  ASSERT_TRUE(groups
+                  .RegisterKind("zone", {{NodeId(0), NodeId(1), NodeId(2)},
+                                         {NodeId(2), NodeId(3)}})
+                  .ok());
+  EXPECT_EQ(groups.SetsContaining("zone", NodeId(2)), (std::vector<int>{0, 1}));
+}
+
+TEST(NodeGroupTest, DuplicateKindRejected) {
+  NodeGroupRegistry groups(2);
+  ASSERT_TRUE(groups.RegisterPartition("rack", {0, 1}).ok());
+  EXPECT_EQ(groups.RegisterPartition("rack", {0, 0}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(NodeGroupTest, OutOfRangeNodeRejected) {
+  NodeGroupRegistry groups(2);
+  EXPECT_EQ(groups.RegisterKind("bad", {{NodeId(5)}}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NodeGroupTest, UnknownKindQueries) {
+  NodeGroupRegistry groups(2);
+  EXPECT_FALSE(groups.HasKind("nope"));
+  EXPECT_EQ(groups.NumSets("nope"), 0u);
+  EXPECT_TRUE(groups.SetsContaining("nope", NodeId(0)).empty());
+}
+
+TEST(ClusterStateTest, AllocateAndRelease) {
+  ClusterState state = SmallCluster();
+  const Resource demand(2048, 1);
+  auto c = state.Allocate(ApplicationId(1), NodeId(0), demand, {TagId(0)}, /*long_running=*/true);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(state.node(NodeId(0)).used(), demand);
+  EXPECT_EQ(state.num_containers(), 1u);
+  EXPECT_EQ(state.num_long_running_containers(), 1u);
+  EXPECT_EQ(state.TagCardinality(NodeId(0), TagId(0)), 1);
+
+  ASSERT_TRUE(state.Release(*c).ok());
+  EXPECT_EQ(state.node(NodeId(0)).used(), Resource::Zero());
+  EXPECT_EQ(state.TagCardinality(NodeId(0), TagId(0)), 0);
+  EXPECT_EQ(state.num_containers(), 0u);
+}
+
+TEST(ClusterStateTest, AllocationRespectsCapacity) {
+  ClusterState state = SmallCluster();
+  const Resource big(16 * 1024, 8);
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), big, {}, false).ok());
+  auto overflow = state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 0), {}, false);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ClusterStateTest, UnavailableNodeRejectsAllocations) {
+  ClusterState state = SmallCluster();
+  state.SetNodeAvailable(NodeId(2), false);
+  auto result = state.Allocate(ApplicationId(1), NodeId(2), Resource(1, 1), {}, false);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  state.SetNodeAvailable(NodeId(2), true);
+  EXPECT_TRUE(state.Allocate(ApplicationId(1), NodeId(2), Resource(1, 1), {}, false).ok());
+}
+
+TEST(ClusterStateTest, ReleaseApplicationRemovesAll) {
+  ClusterState state = SmallCluster();
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        state.Allocate(ApplicationId(9), NodeId(i % 2), Resource(1024, 1), {TagId(1)}, true)
+            .ok());
+  }
+  ASSERT_TRUE(state.Allocate(ApplicationId(10), NodeId(0), Resource(1024, 1), {}, true).ok());
+  EXPECT_EQ(state.ReleaseApplication(ApplicationId(9)), 4);
+  EXPECT_EQ(state.num_containers(), 1u);
+  EXPECT_TRUE(state.ContainersOf(ApplicationId(9)).empty());
+  EXPECT_EQ(state.ContainersOf(ApplicationId(10)).size(), 1u);
+}
+
+TEST(ClusterStateTest, TagCardinalityMultiset) {
+  ClusterState state = SmallCluster();
+  const TagId hb(0);
+  const TagId hb_m(1);
+  const TagId hb_rs(2);
+  // One master {hb, hb_m} and one region server {hb, hb_rs} on n1 (§4.1).
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(1), Resource(1, 1), {hb, hb_m}, true).ok());
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(1), Resource(1, 1), {hb, hb_rs}, true).ok());
+  EXPECT_EQ(state.TagCardinality(NodeId(1), hb), 2);
+  EXPECT_EQ(state.TagCardinality(NodeId(1), hb_m), 1);
+  EXPECT_EQ(state.TagCardinality(NodeId(1), hb_rs), 1);
+  EXPECT_EQ(state.TagCardinality(NodeId(0), hb), 0);
+}
+
+TEST(ClusterStateTest, ConjunctionCardinality) {
+  ClusterState state = SmallCluster();
+  const TagId hb(0);
+  const TagId mem(1);
+  const TagId other(2);
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 1), {hb, mem}, true).ok());
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 1), {hb}, true).ok());
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 1), {other}, true).ok());
+  const TagId conj[] = {hb, mem};
+  EXPECT_EQ(state.TagCardinality(NodeId(0), std::span<const TagId>(conj)), 1);
+  const TagId single[] = {hb};
+  EXPECT_EQ(state.TagCardinality(NodeId(0), std::span<const TagId>(single)), 2);
+  EXPECT_EQ(state.TagCardinality(NodeId(0), std::span<const TagId>{}), 3);
+}
+
+TEST(ClusterStateTest, StaticTagsSatisfyConjunctions) {
+  ClusterState state = SmallCluster();
+  const TagId gpu(7);
+  const TagId tf(8);
+  state.AddStaticNodeTag(NodeId(3), gpu);
+  ASSERT_TRUE(state.Allocate(ApplicationId(2), NodeId(3), Resource(1, 1), {tf}, true).ok());
+  EXPECT_EQ(state.TagCardinality(NodeId(3), gpu), 1);
+  const TagId conj[] = {tf, gpu};
+  // The tf container counts because the node carries the static gpu tag.
+  EXPECT_EQ(state.TagCardinality(NodeId(3), std::span<const TagId>(conj)), 1);
+}
+
+TEST(ClusterStateTest, SetCardinalitySumsOverRack) {
+  ClusterState state = SmallCluster(8, 2);  // racks: nodes 0-3 and 4-7
+  const TagId hb(0);
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 1), {hb}, true).ok());
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(3), Resource(1, 1), {hb}, true).ok());
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(4), Resource(1, 1), {hb}, true).ok());
+  const auto& rack0 = state.groups().SetsOf(kNodeGroupRack)[0];
+  const TagId conj[] = {hb};
+  EXPECT_EQ(state.SetTagCardinality(rack0, std::span<const TagId>(conj)), 2);
+}
+
+TEST(ClusterStateTest, CopyIsIndependent) {
+  ClusterState state = SmallCluster();
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(1024, 1), {TagId(0)}, true)
+                  .ok());
+  ClusterState copy = state;
+  ASSERT_TRUE(copy.Allocate(ApplicationId(2), NodeId(0), Resource(1024, 1), {TagId(0)}, true)
+                  .ok());
+  EXPECT_EQ(state.num_containers(), 1u);
+  EXPECT_EQ(copy.num_containers(), 2u);
+  EXPECT_EQ(state.TagCardinality(NodeId(0), TagId(0)), 1);
+  EXPECT_EQ(copy.TagCardinality(NodeId(0), TagId(0)), 2);
+}
+
+TEST(ClusterStateTest, FragmentationMetric) {
+  ClusterState state = SmallCluster(4, 1);
+  // Node 0: fully used -> not fragmented. Node 1: nearly full -> fragmented.
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(16 * 1024, 8), {}, false).ok());
+  ASSERT_TRUE(
+      state.Allocate(ApplicationId(1), NodeId(1), Resource(15 * 1024, 7), {}, false).ok());
+  // Threshold from §7.4: < 2 GB or < 1 core free.
+  const double frac = state.FragmentedNodeFraction(Resource(2048, 1));
+  EXPECT_DOUBLE_EQ(frac, 0.25);
+}
+
+TEST(ClusterStateTest, UtilizationVector) {
+  ClusterState state = SmallCluster(2, 1);
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(8 * 1024, 4), {}, false).ok());
+  const auto util = state.NodeMemoryUtilization();
+  ASSERT_EQ(util.size(), 2u);
+  EXPECT_DOUBLE_EQ(util[0], 0.5);
+  EXPECT_DOUBLE_EQ(util[1], 0.0);
+}
+
+TEST(ClusterBuilderTest, PartitionsCoverAllNodes) {
+  ClusterState state = ClusterBuilder().NumNodes(10).NumRacks(3).Build();
+  size_t total = 0;
+  for (const auto& rack : state.groups().SetsOf(kNodeGroupRack)) {
+    total += rack.size();
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(state.groups().NumSets(kNodeGroupRack), 3u);
+}
+
+}  // namespace
+}  // namespace medea

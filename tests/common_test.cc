@@ -1,0 +1,258 @@
+// Tests for src/common: resources, results, RNG determinism and
+// distributional sanity, statistics, and string utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/resource.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/common/types.h"
+
+namespace medea {
+namespace {
+
+TEST(ResourceTest, ArithmeticAndComparison) {
+  const Resource a(1024, 2);
+  const Resource b(512, 1);
+  EXPECT_EQ(a + b, Resource(1536, 3));
+  EXPECT_EQ(a - b, Resource(512, 1));
+  EXPECT_EQ(b * 3, Resource(1536, 3));
+  EXPECT_TRUE(a.Fits(b));
+  EXPECT_FALSE(b.Fits(a));
+  EXPECT_TRUE(a.Fits(a));
+}
+
+TEST(ResourceTest, FitsRequiresEveryDimension) {
+  const Resource node(4096, 2);
+  EXPECT_FALSE(node.Fits(Resource(1024, 3)));  // enough memory, not enough cores
+  EXPECT_FALSE(node.Fits(Resource(8192, 1)));  // enough cores, not enough memory
+  EXPECT_TRUE(node.Fits(Resource(4096, 2)));
+}
+
+TEST(ResourceTest, NegativeDetection) {
+  Resource r(100, 1);
+  r -= Resource(200, 0);
+  EXPECT_TRUE(r.IsNegative());
+  EXPECT_FALSE(Resource(0, 0).IsNegative());
+  EXPECT_TRUE(Resource(0, 0).IsZero());
+}
+
+TEST(ResourceTest, DominantShare) {
+  const Resource cap(1000, 10);
+  EXPECT_DOUBLE_EQ(Resource(500, 1).DominantShareOf(cap), 0.5);
+  EXPECT_DOUBLE_EQ(Resource(100, 8).DominantShareOf(cap), 0.8);
+  EXPECT_DOUBLE_EQ(Resource(0, 0).DominantShareOf(cap), 0.0);
+  EXPECT_DOUBLE_EQ(Resource(10, 1).DominantShareOf(Resource(0, 0)), 0.0);
+}
+
+TEST(ResourceTest, MinMax) {
+  const Resource a(100, 5);
+  const Resource b(200, 2);
+  EXPECT_EQ(Resource::Min(a, b), Resource(100, 2));
+  EXPECT_EQ(Resource::Max(a, b), Resource(200, 5));
+}
+
+TEST(StrongIdTest, DistinctTypesAndValidity) {
+  const NodeId n(3);
+  EXPECT_TRUE(n.IsValid());
+  EXPECT_FALSE(NodeId::Invalid().IsValid());
+  EXPECT_EQ(NodeId(3), NodeId(3));
+  EXPECT_NE(NodeId(3), NodeId(4));
+  EXPECT_LT(NodeId(3), NodeId(4));
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::NotFound("missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::InvalidArgument("bad");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, WeightedSamplingRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent stream.
+  Rng parent2(31);
+  parent2.Fork();
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(DistributionTest, Percentiles) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) {
+    d.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 100.0);
+  EXPECT_NEAR(d.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(d.Percentile(25), 25.75, 1e-9);
+}
+
+TEST(DistributionTest, BoxPlotOrdering) {
+  Distribution d;
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    d.Add(rng.NextDouble(0, 100));
+  }
+  const auto box = d.Box();
+  EXPECT_LE(box.p5, box.p25);
+  EXPECT_LE(box.p25, box.p50);
+  EXPECT_LE(box.p50, box.p75);
+  EXPECT_LE(box.p75, box.p99);
+}
+
+TEST(DistributionTest, CdfMonotone) {
+  Distribution d;
+  d.AddAll({1, 2, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(d.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(2), 0.6);
+  EXPECT_DOUBLE_EQ(d.CdfAt(100), 1.0);
+  const auto points = d.CdfPoints(10);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].first, points[i].first);
+    EXPECT_LE(points[i - 1].second, points[i].second);
+  }
+}
+
+TEST(DistributionTest, CoefficientOfVariation) {
+  Distribution uniform;
+  uniform.AddAll({5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(uniform.CoefficientOfVariationPct(), 0.0);
+  Distribution spread;
+  spread.AddAll({0, 10});
+  EXPECT_NEAR(spread.CoefficientOfVariationPct(), 100.0, 1e-9);
+}
+
+TEST(RunningStatTest, TracksMeanMinMax) {
+  RunningStat s;
+  s.Add(1);
+  s.Add(3);
+  s.Add(5);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+}
+
+TEST(StringsTest, SplitTrimJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"a", "b"}, "-"), "a-b");
+  EXPECT_TRUE(StartsWith("appID:3", "appID:"));
+  EXPECT_FALSE(StartsWith("ap", "appID:"));
+}
+
+TEST(StringsTest, ParseNonNegativeInt) {
+  EXPECT_EQ(ParseNonNegativeInt("42"), 42);
+  EXPECT_EQ(ParseNonNegativeInt(" 7 "), 7);
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt("-1"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("x"), -1);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace medea

@@ -1,0 +1,255 @@
+// Tests for src/core: tags, constraint construction, the constraint DSL
+// parser, and the constraint manager (validation + conflict resolution).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/node_group.h"
+#include "src/core/constraint.h"
+#include "src/core/constraint_manager.h"
+#include "src/core/constraint_parser.h"
+#include "src/core/tags.h"
+
+namespace medea {
+namespace {
+
+std::shared_ptr<NodeGroupRegistry> TestGroups() {
+  auto groups = std::make_shared<NodeGroupRegistry>(8);
+  EXPECT_TRUE(groups->RegisterPartition(kNodeGroupRack, {0, 0, 0, 0, 1, 1, 1, 1}).ok());
+  EXPECT_TRUE(groups->RegisterPartition(kNodeGroupUpgradeDomain, {0, 1, 2, 3, 0, 1, 2, 3}).ok());
+  return groups;
+}
+
+TEST(TagPoolTest, InternIsIdempotent) {
+  TagPool pool;
+  const TagId a = pool.Intern("hb");
+  const TagId b = pool.Intern("hb");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Name(a), "hb");
+}
+
+TEST(TagPoolTest, FindUnknownReturnsInvalid) {
+  TagPool pool;
+  EXPECT_FALSE(pool.Find("nope").IsValid());
+}
+
+TEST(TagPoolTest, AppIdTagNamespaced) {
+  TagPool pool;
+  const TagId t = pool.AppIdTag(ApplicationId(23));
+  EXPECT_EQ(pool.Name(t), "appID:23");
+}
+
+TEST(TagExpressionTest, SortedDeduplicated) {
+  TagPool pool;
+  const TagId a = pool.Intern("a");
+  const TagId b = pool.Intern("b");
+  const TagExpression e({b, a, b});
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_TRUE(e.Contains(a));
+  EXPECT_TRUE(e.Contains(b));
+  EXPECT_EQ(e, TagExpression({a, b}));
+}
+
+TEST(TagExpressionTest, MatchedBySemantics) {
+  TagPool pool;
+  const TagId hb = pool.Intern("hb");
+  const TagId mem = pool.Intern("mem");
+  const TagExpression conj({hb, mem});
+  const std::vector<TagId> both = {hb, mem, pool.Intern("x")};
+  const std::vector<TagId> one = {hb};
+  EXPECT_TRUE(conj.MatchedBy(both));
+  EXPECT_FALSE(conj.MatchedBy(one));
+  // The empty expression matches nothing (constraints need a subject).
+  EXPECT_FALSE(TagExpression().MatchedBy(both));
+}
+
+TEST(ConstraintBuildersTest, AffinityShape) {
+  TagPool pool;
+  const auto c = MakeAffinity(TagExpression({pool.Intern("storm")}),
+                              TagExpression({pool.Intern("hb"), pool.Intern("mem")}),
+                              kNodeGroupNode);
+  ASSERT_TRUE(c.IsSimple());
+  const TagConstraint& tc = c.clauses[0][0].targets[0];
+  EXPECT_TRUE(tc.IsAffinity());
+  EXPECT_EQ(tc.cmin, 1);
+  EXPECT_EQ(tc.cmax, kCardinalityInfinity);
+}
+
+TEST(ConstraintBuildersTest, AntiAffinityShape) {
+  TagPool pool;
+  const auto c = MakeAntiAffinity(TagExpression({pool.Intern("storm")}),
+                                  TagExpression({pool.Intern("hb")}), kNodeGroupUpgradeDomain);
+  const TagConstraint& tc = c.clauses[0][0].targets[0];
+  EXPECT_TRUE(tc.IsAntiAffinity());
+  EXPECT_EQ(tc.cmin, 0);
+  EXPECT_EQ(tc.cmax, 0);
+}
+
+TEST(ParserTest, PaperExampleAffinity) {
+  TagPool pool;
+  auto c = ParseConstraint("{storm, {hb & mem, 1, inf}, node}", pool);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->IsSimple());
+  const AtomicConstraint& atomic = c->clauses[0][0];
+  EXPECT_EQ(atomic.node_group, "node");
+  EXPECT_EQ(atomic.subject.ToString(pool), "storm");
+  EXPECT_EQ(atomic.targets[0].c_tags.ToString(pool), "hb & mem");
+  EXPECT_TRUE(atomic.targets[0].IsAffinity());
+}
+
+TEST(ParserTest, PaperExampleCardinality) {
+  TagPool pool;
+  auto c = ParseConstraint("{storm, {spark, 0, 5}, rack}", pool);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->clauses[0][0].targets[0].cmin, 0);
+  EXPECT_EQ(c->clauses[0][0].targets[0].cmax, 5);
+}
+
+TEST(ParserTest, NamespacedTags) {
+  TagPool pool;
+  auto c = ParseConstraint("{appID:0023 & storm, {appID:0023 & hb & mem, 1, inf}, node}", pool);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->clauses[0][0].subject.size(), 2u);
+  EXPECT_EQ(c->clauses[0][0].targets[0].c_tags.size(), 3u);
+}
+
+TEST(ParserTest, ConjunctionOfTagConstraints) {
+  TagPool pool;
+  auto c = ParseConstraint("{storm, {hb, 1, inf} && {mem, 1, inf}, node}", pool);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->clauses[0][0].targets.size(), 2u);
+  EXPECT_TRUE(c->clauses[0][0].targets[0].IsAffinity());
+  EXPECT_TRUE(c->clauses[0][0].targets[1].IsAffinity());
+}
+
+TEST(ParserTest, ClauseConjunctionOfAtomics) {
+  TagPool pool;
+  auto c = ParseConstraint("{hb_m, {hb_sec, 0, 0}, node} && {hb_m, {thrift, 1, inf}, node}", pool);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->clauses.size(), 1u);
+  ASSERT_EQ(c->clauses[0].size(), 2u);
+}
+
+TEST(ParserTest, DnfDisjunction) {
+  TagPool pool;
+  auto c = ParseConstraint("{spark, {spark, 3, 10}, rack} || {spark, {spark, 0, 0}, node}", pool);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->clauses.size(), 2u);
+  EXPECT_FALSE(c->IsSimple());
+}
+
+TEST(ParserTest, WeightSuffix) {
+  TagPool pool;
+  auto c = ParseConstraint("{storm, {hb, 0, 0}, rack} #2.5", pool);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->weight, 2.5);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  TagPool pool;
+  const std::string text = "{storm, {hb & mem, 1, inf}, node}";
+  auto c = ParseConstraint(text, pool);
+  ASSERT_TRUE(c.ok());
+  auto again = ParseConstraint(c->ToString(pool), pool);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(pool), c->ToString(pool));
+}
+
+TEST(ParserTest, Malformed) {
+  TagPool pool;
+  EXPECT_FALSE(ParseConstraint("", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm}", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm, {hb, 1}, node}", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm, {hb, x, 2}, node}", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm, {hb, 5, 2}, node}", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm, {hb, 1, inf}, }", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm, {hb, 1, inf}, node", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{storm, {hb, 1, inf}, node} #-1", pool).ok());
+  EXPECT_FALSE(ParseConstraint("{st orm, {hb, 1, inf}, node}", pool).ok());
+}
+
+TEST(ConstraintManagerTest, AddValidatesGroupKind) {
+  ConstraintManager manager(TestGroups());
+  auto c = manager.AddFromText("{a, {b, 0, 0}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1));
+  EXPECT_TRUE(c.ok());
+  auto bad = manager.AddFromText("{a, {b, 0, 0}, nonexistent_group}",
+                                 ConstraintOrigin::kApplication, ApplicationId(1));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConstraintManagerTest, ApplicationConstraintNeedsOwner) {
+  ConstraintManager manager(TestGroups());
+  auto bad = manager.AddFromText("{a, {b, 0, 0}, rack}", ConstraintOrigin::kApplication);
+  EXPECT_FALSE(bad.ok());
+  auto op = manager.AddFromText("{a, {b, 0, 0}, rack}", ConstraintOrigin::kOperator);
+  EXPECT_TRUE(op.ok());
+}
+
+TEST(ConstraintManagerTest, RemoveAndFind) {
+  ConstraintManager manager(TestGroups());
+  auto id = manager.AddFromText("{a, {b, 0, 0}, rack}", ConstraintOrigin::kOperator);
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(manager.Find(*id), nullptr);
+  EXPECT_TRUE(manager.Remove(*id).ok());
+  EXPECT_EQ(manager.Find(*id), nullptr);
+  EXPECT_EQ(manager.Remove(*id).code(), StatusCode::kNotFound);
+}
+
+TEST(ConstraintManagerTest, RemoveApplicationConstraints) {
+  ConstraintManager manager(TestGroups());
+  ASSERT_TRUE(manager
+                  .AddFromText("{a, {b, 0, 0}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(manager
+                  .AddFromText("{c, {d, 1, inf}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(manager.AddFromText("{e, {f, 0, 3}, rack}", ConstraintOrigin::kOperator).ok());
+  EXPECT_EQ(manager.RemoveApplicationConstraints(ApplicationId(1)), 2);
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+TEST(ConstraintManagerTest, OperatorOverridesMoreRestrictive) {
+  ConstraintManager manager(TestGroups());
+  // Application: at most 8 spark containers per rack.
+  ASSERT_TRUE(manager
+                  .AddFromText("{spark, {spark, 0, 8}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  // Operator: at most 5 — more restrictive, same subject/target/group.
+  ASSERT_TRUE(
+      manager.AddFromText("{spark, {spark, 0, 5}, rack}", ConstraintOrigin::kOperator).ok());
+  const auto effective = manager.Effective();
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_EQ(effective[0].second->origin, ConstraintOrigin::kOperator);
+}
+
+TEST(ConstraintManagerTest, OperatorDoesNotOverrideLessRestrictive) {
+  ConstraintManager manager(TestGroups());
+  ASSERT_TRUE(manager
+                  .AddFromText("{spark, {spark, 0, 3}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(
+      manager.AddFromText("{spark, {spark, 0, 5}, rack}", ConstraintOrigin::kOperator).ok());
+  EXPECT_EQ(manager.Effective().size(), 2u);
+}
+
+TEST(ConstraintManagerTest, DifferentGroupNoOverride) {
+  ConstraintManager manager(TestGroups());
+  ASSERT_TRUE(manager
+                  .AddFromText("{spark, {spark, 0, 8}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(
+      manager.AddFromText("{spark, {spark, 0, 5}, node}", ConstraintOrigin::kOperator).ok());
+  EXPECT_EQ(manager.Effective().size(), 2u);
+}
+
+}  // namespace
+}  // namespace medea

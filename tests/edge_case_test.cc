@@ -1,0 +1,181 @@
+// Edge-case coverage across modules: empty/degenerate inputs, boundary
+// values, and defensive paths that the scenario-driven tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/core/constraint_manager.h"
+#include "src/core/violation.h"
+#include "src/schedulers/candidates.h"
+#include "src/schedulers/greedy.h"
+#include "src/schedulers/migration.h"
+#include "src/sim/unavailability.h"
+#include "src/workload/gridmix.h"
+
+namespace medea {
+namespace {
+
+// ---- Statistics edge cases ---------------------------------------------------
+
+TEST(StatsEdge, SingleSample) {
+  Distribution d;
+  d.Add(7.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 7.0);
+  EXPECT_DOUBLE_EQ(d.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(d.CoefficientOfVariationPct(), 0.0);
+}
+
+TEST(StatsEdge, EmptyDistribution) {
+  Distribution d;
+  EXPECT_TRUE(d.Empty());
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(5.0), 0.0);
+  EXPECT_TRUE(d.CdfPoints(10).empty());
+  const auto box = d.Box();
+  EXPECT_DOUBLE_EQ(box.p50, 0.0);
+}
+
+TEST(StatsEdge, NegativeSamples) {
+  Distribution d;
+  d.AddAll({-3, -1, -2});
+  EXPECT_DOUBLE_EQ(d.Min(), -3.0);
+  EXPECT_DOUBLE_EQ(d.Max(), -1.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), -2.0);
+  EXPECT_GT(d.CoefficientOfVariationPct(), 0.0);  // uses |mean|
+}
+
+// ---- Cluster / groups edge cases -----------------------------------------------
+
+TEST(ClusterEdge, SingleNodeClusterBuilds) {
+  ClusterState state = ClusterBuilder().NumNodes(1).NumRacks(5).NumUpgradeDomains(9).Build();
+  EXPECT_EQ(state.num_nodes(), 1u);
+  // Partition counts clamp to the node count.
+  EXPECT_EQ(state.groups().NumSets(kNodeGroupRack), 1u);
+}
+
+TEST(ClusterEdge, ZeroDemandContainer) {
+  ClusterState state = ClusterBuilder().NumNodes(2).Build();
+  auto c = state.Allocate(ApplicationId(1), NodeId(0), Resource(0, 0), {}, true);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(state.node(NodeId(0)).used(), Resource::Zero());
+  EXPECT_EQ(state.node(NodeId(0)).containers().size(), 1u);
+  EXPECT_TRUE(state.Release(*c).ok());
+}
+
+TEST(ClusterEdge, ReleaseUnknownContainerFails) {
+  ClusterState state = ClusterBuilder().NumNodes(2).Build();
+  EXPECT_EQ(state.Release(ContainerId(123)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(state.ReleaseApplication(ApplicationId(9)), 0);
+}
+
+// ---- Constraint evaluation edge cases --------------------------------------------
+
+TEST(ViolationEdge, ConstraintOnUnknownGroupKindTreatedAsUnsatisfiable) {
+  ClusterState state = ClusterBuilder().NumNodes(4).Build();
+  ConstraintManager manager(state.groups_ptr());
+  // Registered kinds only — the manager rejects unknown kinds up front.
+  auto bad = manager.AddFromText("{a, {b, 1, inf}, nonexistent}", ConstraintOrigin::kOperator);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ViolationEdge, ZeroConstraintsReport) {
+  ClusterState state = ClusterBuilder().NumNodes(4).Build();
+  ConstraintManager manager(state.groups_ptr());
+  ASSERT_TRUE(
+      state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 1), {TagId(0)}, true).ok());
+  const auto report = ConstraintEvaluator::EvaluateAll(state, manager);
+  EXPECT_EQ(report.total_subjects, 0);
+  EXPECT_DOUBLE_EQ(report.ViolationFraction(), 0.0);
+}
+
+TEST(ViolationEdge, CminGreaterThanPossibleAlwaysViolated) {
+  ClusterState state = ClusterBuilder().NumNodes(2).Build();
+  ConstraintManager manager(state.groups_ptr());
+  const TagId w = manager.tags().Intern("w");
+  ASSERT_TRUE(manager.AddFromText("{w, {w, 99, inf}, node}", ConstraintOrigin::kOperator).ok());
+  ASSERT_TRUE(state.Allocate(ApplicationId(1), NodeId(0), Resource(1, 1), {w}, true).ok());
+  const auto report = ConstraintEvaluator::EvaluateAll(state, manager);
+  EXPECT_EQ(report.violated_subjects, 1);
+  // Extent is the normalized shortfall: 99/99 = 1.
+  EXPECT_NEAR(report.total_extent, 1.0, 1e-9);
+}
+
+// ---- Scheduler framework edge cases ------------------------------------------------
+
+TEST(SchedulerEdge, EmptyPoolYieldsNoCandidates) {
+  ClusterState state = ClusterBuilder().NumNodes(2).Build();
+  ConstraintManager manager(state.groups_ptr());
+  // All nodes down.
+  state.SetNodeAvailable(NodeId(0), false);
+  state.SetNodeAvailable(NodeId(1), false);
+  PlacementProblem problem;
+  LraRequest lra;
+  lra.app = ApplicationId(1);
+  lra.containers.push_back(ContainerRequest{Resource(1, 1), {}});
+  problem.lras = {lra};
+  problem.state = &state;
+  problem.manager = &manager;
+  SchedulerConfig config;
+  const CandidateSelector selector(config);
+  const auto pool = selector.BuildPool(problem, FindRelevantConstraints(problem));
+  EXPECT_TRUE(pool.nodes.empty());
+  // The greedy scheduler copes: LRA simply not placed.
+  GreedyScheduler greedy(GreedyOrdering::kSerial, config);
+  const auto plan = greedy.Place(problem);
+  EXPECT_EQ(plan.NumPlaced(), 0);
+}
+
+TEST(SchedulerEdge, LraWithZeroContainersIsTriviallyPlaced) {
+  ClusterState state = ClusterBuilder().NumNodes(2).Build();
+  ConstraintManager manager(state.groups_ptr());
+  PlacementProblem problem;
+  LraRequest lra;
+  lra.app = ApplicationId(1);
+  problem.lras = {lra};
+  problem.state = &state;
+  problem.manager = &manager;
+  GreedyScheduler greedy(GreedyOrdering::kSerial, SchedulerConfig{});
+  const auto plan = greedy.Place(problem);
+  EXPECT_EQ(plan.NumPlaced(), 1);
+  EXPECT_TRUE(plan.assignments.empty());
+  EXPECT_TRUE(CommitPlan(problem, plan, state));
+}
+
+TEST(MigrationEdge, EmptyClusterPlansNothing) {
+  ClusterState state = ClusterBuilder().NumNodes(4).Build();
+  ConstraintManager manager(state.groups_ptr());
+  MigrationPlanner planner(MigrationConfig{});
+  const auto plan = planner.Plan(state, manager);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_DOUBLE_EQ(plan.extent_before, 0.0);
+}
+
+// ---- Workload generator edge cases ---------------------------------------------
+
+TEST(WorkloadEdge, GridMixZeroFraction) {
+  GridMixGenerator gen(GridMixConfig{}, 1);
+  EXPECT_TRUE(gen.JobsForMemoryFraction(Resource(1024, 1), 0.0).empty());
+}
+
+TEST(WorkloadEdge, UnavailabilityTinyTrace) {
+  UnavailabilityConfig config;
+  config.hours = 1;
+  config.num_service_units = 1;
+  const auto trace = UnavailabilityTrace::Generate(config, 3);
+  EXPECT_EQ(trace.hours(), 1);
+  const double f = trace.FractionDown(0, 0);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  EXPECT_DOUBLE_EQ(trace.TotalFractionDown(0), f);
+}
+
+TEST(WorkloadEdge, LraUnavailableFractionEmptyPlacement) {
+  const auto trace = UnavailabilityTrace::Generate(UnavailabilityConfig{}, 3);
+  EXPECT_DOUBLE_EQ(LraUnavailableFraction(trace, 0, {}), 0.0);
+  EXPECT_DOUBLE_EQ(LraUnavailableFraction(trace, 0, {0, 0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace medea

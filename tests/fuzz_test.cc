@@ -1,0 +1,226 @@
+// Randomized state-machine and round-trip tests ("fuzz-lite"): cluster
+// accounting under random allocate/release interleavings, constraint DSL
+// round-trips over generated constraints, and solver stress on degenerate
+// inputs. All deterministic via seeded RNGs; parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/cluster/cluster_state.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/core/constraint_parser.h"
+#include "src/solver/mip.h"
+
+namespace medea {
+namespace {
+
+// ---- ClusterState accounting fuzz ---------------------------------------------
+
+class ClusterFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterFuzz, AccountingInvariantsHold) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  ClusterState state = ClusterBuilder()
+                           .NumNodes(6)
+                           .NumRacks(2)
+                           .NumUpgradeDomains(2)
+                           .NumServiceUnits(2)
+                           .NodeCapacity(Resource(8 * 1024, 4))
+                           .Build();
+  std::vector<ContainerId> live;
+  std::map<uint32_t, Resource> expected_used;  // node -> demand sum
+
+  for (int step = 0; step < 400; ++step) {
+    const int action = static_cast<int>(rng.NextBounded(10));
+    if (action < 6) {  // allocate
+      const NodeId node(static_cast<uint32_t>(rng.NextBounded(6)));
+      const Resource demand(rng.NextInt(1, 3000), static_cast<int32_t>(rng.NextInt(0, 2)));
+      std::vector<TagId> tags;
+      if (rng.NextBool(0.6)) {
+        tags.push_back(TagId(static_cast<uint32_t>(rng.NextBounded(4))));
+      }
+      const bool fits = state.node(node).CanFit(demand);
+      auto result = state.Allocate(ApplicationId(static_cast<uint32_t>(rng.NextBounded(5))),
+                                   node, demand, tags, rng.NextBool(0.5));
+      ASSERT_EQ(result.ok(), fits) << "step " << step;
+      if (result.ok()) {
+        live.push_back(*result);
+        expected_used[node.value] += demand;
+      }
+    } else if (action < 9 && !live.empty()) {  // release
+      const size_t pick = rng.NextBounded(live.size());
+      const ContainerId id = live[pick];
+      const ContainerInfo* info = state.FindContainer(id);
+      ASSERT_NE(info, nullptr);
+      expected_used[info->node.value] -= info->resource;
+      ASSERT_TRUE(state.Release(id).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else if (!live.empty()) {  // release whole app
+      const ContainerInfo* info = state.FindContainer(live[rng.NextBounded(live.size())]);
+      const ApplicationId app = info->app;
+      for (ContainerId id : state.ContainersOf(app)) {
+        const ContainerInfo* i = state.FindContainer(id);
+        expected_used[i->node.value] -= i->resource;
+      }
+      state.ReleaseApplication(app);
+      std::erase_if(live, [&](ContainerId id) { return state.FindContainer(id) == nullptr; });
+    }
+
+    // Invariants after every step.
+    for (uint32_t n = 0; n < 6; ++n) {
+      const Resource used = state.node(NodeId(n)).used();
+      const Resource expected = expected_used.count(n) > 0 ? expected_used[n] : Resource();
+      ASSERT_EQ(used, expected) << "node " << n << " step " << step;
+      ASSERT_FALSE(used.IsNegative());
+      ASSERT_TRUE(state.node(NodeId(n)).capacity().Fits(used));
+      // Tag multiset matches containers exactly.
+      std::map<uint32_t, int> tag_count;
+      for (ContainerId c : state.node(NodeId(n)).containers()) {
+        for (TagId t : state.FindContainer(c)->tags) {
+          ++tag_count[t.value];
+        }
+      }
+      for (const auto& [tag, count] : tag_count) {
+        ASSERT_EQ(state.TagCardinality(NodeId(n), TagId(tag)), count);
+      }
+    }
+    ASSERT_EQ(state.num_containers(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterFuzz, ::testing::Range(0, 8));
+
+// ---- Constraint DSL round-trip fuzz ----------------------------------------------
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+std::string RandomTag(Rng& rng) {
+  static const char* base[] = {"hb", "storm", "spark", "mem", "tf_w", "appID:23", "x1"};
+  return base[rng.NextBounded(7)];
+}
+
+std::string RandomTagExpr(Rng& rng) {
+  std::string out = RandomTag(rng);
+  const int extra = static_cast<int>(rng.NextBounded(2));
+  for (int i = 0; i < extra; ++i) {
+    out += " & " + RandomTag(rng);
+  }
+  return out;
+}
+
+std::string RandomTriple(Rng& rng) {
+  const int cmin = static_cast<int>(rng.NextBounded(4));
+  const bool unbounded = rng.NextBool(0.4);
+  const int cmax = unbounded ? 0 : cmin + static_cast<int>(rng.NextBounded(6));
+  return StrFormat("{%s, %d, %s}", RandomTagExpr(rng).c_str(), cmin,
+                   unbounded ? "inf" : StrFormat("%d", cmax).c_str());
+}
+
+std::string RandomAtomic(Rng& rng) {
+  static const char* groups[] = {"node", "rack", "upgrade_domain"};
+  std::string targets = RandomTriple(rng);
+  if (rng.NextBool(0.25)) {
+    targets += " && " + RandomTriple(rng);
+  }
+  return StrFormat("{%s, %s, %s}", RandomTagExpr(rng).c_str(), targets.c_str(),
+                   groups[rng.NextBounded(3)]);
+}
+
+TEST_P(ParserFuzz, RoundTripIsStable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919u + 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text = RandomAtomic(rng);
+    if (rng.NextBool(0.3)) {
+      text += " && " + RandomAtomic(rng);
+    }
+    if (rng.NextBool(0.3)) {
+      text += " || " + RandomAtomic(rng);
+    }
+    TagPool pool;
+    auto first = ParseConstraint(text, pool);
+    ASSERT_TRUE(first.ok()) << text;
+    const std::string printed = first->ToString(pool);
+    auto second = ParseConstraint(printed, pool);
+    ASSERT_TRUE(second.ok()) << printed;
+    // Fixed point: printing the reparsed constraint yields the same text.
+    EXPECT_EQ(second->ToString(pool), printed) << text;
+    // Structure is preserved.
+    ASSERT_EQ(second->clauses.size(), first->clauses.size());
+    for (size_t cl = 0; cl < first->clauses.size(); ++cl) {
+      ASSERT_EQ(second->clauses[cl].size(), first->clauses[cl].size());
+      for (size_t a = 0; a < first->clauses[cl].size(); ++a) {
+        EXPECT_TRUE(second->clauses[cl][a].subject == first->clauses[cl][a].subject);
+        EXPECT_EQ(second->clauses[cl][a].node_group, first->clauses[cl][a].node_group);
+        ASSERT_EQ(second->clauses[cl][a].targets.size(), first->clauses[cl][a].targets.size());
+        for (size_t t = 0; t < first->clauses[cl][a].targets.size(); ++t) {
+          EXPECT_EQ(second->clauses[cl][a].targets[t].cmin,
+                    first->clauses[cl][a].targets[t].cmin);
+          EXPECT_EQ(second->clauses[cl][a].targets[t].cmax,
+                    first->clauses[cl][a].targets[t].cmax);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, GarbageNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337u + 11);
+  const std::string alphabet = "{}(),&|#0123456789abcinf _:";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const size_t len = rng.NextBounded(60);
+    for (size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.NextBounded(alphabet.size())];
+    }
+    TagPool pool;
+    // Must not crash; may succeed or fail.
+    (void)ParseConstraint(text, pool);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 6));
+
+// ---- Solver stress -----------------------------------------------------------------
+
+TEST(SolverStress, HighlyDegenerateAssignment) {
+  // Identical objective coefficients everywhere: maximal degeneracy.
+  solver::Model m;
+  const int n = 12;
+  std::vector<std::vector<int>> x(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[i][j] = m.AddBinary(1.0);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> row_terms, col_terms;
+    for (int j = 0; j < n; ++j) {
+      row_terms.emplace_back(x[i][j], 1.0);
+      col_terms.emplace_back(x[j][i], 1.0);
+    }
+    m.AddRow(row_terms, solver::RowSense::kLessEqual, 1.0);
+    m.AddRow(col_terms, solver::RowSense::kLessEqual, 1.0);
+  }
+  solver::MipOptions options;
+  options.time_limit_seconds = 5.0;
+  const auto s = SolveMip(m, options);
+  ASSERT_TRUE(s.HasSolution());
+  EXPECT_NEAR(s.objective, n, 1e-4);
+}
+
+TEST(SolverStress, TinyCoefficientSpread) {
+  // Mixed magnitudes stress the pivot tolerance.
+  solver::Model m;
+  const int a = m.AddContinuous(0, 1e6, 1.0, "a");
+  const int b = m.AddContinuous(0, 1e6, 1e-5, "b");
+  m.AddRow({{a, 1e-4}, {b, 1.0}}, solver::RowSense::kLessEqual, 10.0);
+  m.AddRow({{a, 1.0}, {b, 1e-4}}, solver::RowSense::kLessEqual, 1e5);
+  const auto s = SolveLp(m);
+  ASSERT_EQ(s.status, solver::SolveStatus::kOptimal);
+  EXPECT_TRUE(m.IsFeasible(s.values, 1e-4));
+}
+
+}  // namespace
+}  // namespace medea

@@ -1,0 +1,162 @@
+// Tests for the LP-format reader, including write->read->solve round-trip
+// properties against the writer and hand-written external-style files.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/lp_reader.h"
+#include "src/solver/lp_writer.h"
+#include "src/solver/mip.h"
+
+namespace medea::solver {
+namespace {
+
+TEST(LpReaderTest, HandWrittenModel) {
+  const char* text = R"(\ a comment line
+Minimize
+ cost: 2 x + 3 y - z
+Subject To
+ c1: x + y >= 10
+ c2: x + 2 z <= 4
+ c3: y = 3
+Bounds
+ 0 <= x <= 20
+ z free
+End
+)";
+  auto model = ParseLpFormat(text);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_FALSE(model->maximize());
+  EXPECT_EQ(model->num_variables(), 3);
+  EXPECT_EQ(model->num_rows(), 3);
+  // x: bounds [0,20], objective 2.
+  EXPECT_DOUBLE_EQ(model->column(0).lower, 0.0);
+  EXPECT_DOUBLE_EQ(model->column(0).upper, 20.0);
+  EXPECT_DOUBLE_EQ(model->column(0).objective, 2.0);
+  // z: free, objective -1.
+  EXPECT_DOUBLE_EQ(model->column(2).lower, -kInfinity);
+  EXPECT_DOUBLE_EQ(model->column(2).objective, -1.0);
+  // c2 terms.
+  EXPECT_EQ(model->row(1).sense, RowSense::kLessEqual);
+  EXPECT_DOUBLE_EQ(model->row(1).rhs, 4.0);
+
+  const Solution s = SolveLp(*model);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // y = 3 (c3); c1 forces x >= 7; c2 caps z <= (4 - x)/2, and -z in a
+  // minimization pushes z up, so x = 7, z = -1.5:
+  // objective = 2*7 + 3*3 - (-1.5) = 24.5.
+  EXPECT_NEAR(s.objective, 24.5, 1e-6);
+}
+
+TEST(LpReaderTest, DetectsUnboundedFromFreeVariable) {
+  const char* text = R"(Minimize
+ obj: - z
+Subject To
+ c: z >= 1
+End
+)";
+  auto model = ParseLpFormat(text);
+  ASSERT_TRUE(model.ok());
+  // z has default bounds [0, inf): minimizing -z is unbounded.
+  EXPECT_EQ(SolveLp(*model).status, SolveStatus::kUnbounded);
+}
+
+TEST(LpReaderTest, BinaryAndGeneralSections) {
+  const char* text = R"(Maximize
+ obj: 5 a + 3 b + c
+Subject To
+ cap: a + b + 0.5 c <= 2
+Bounds
+ 0 <= c <= 8
+General
+ c
+Binary
+ a
+ b
+End
+)";
+  auto model = ParseLpFormat(text);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->column(0).type, VarType::kBinary);
+  EXPECT_EQ(model->column(1).type, VarType::kBinary);
+  EXPECT_EQ(model->column(2).type, VarType::kInteger);
+  const Solution s = SolveMip(*model);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // a=1, b=1 fills the capacity; c=0. Objective 8.
+  EXPECT_NEAR(s.objective, 8.0, 1e-6);
+}
+
+TEST(LpReaderTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseLpFormat("").ok());
+  EXPECT_FALSE(ParseLpFormat("Subject To\n x <= 1\nEnd\n").ok());  // no objective
+  EXPECT_FALSE(ParseLpFormat("Maximize\n obj: x\nSubject To\n c: x + y\nEnd\n").ok());
+  EXPECT_FALSE(ParseLpFormat("Maximize\n obj: x\nSubject To\n c: x <= \nEnd\n").ok());
+  EXPECT_FALSE(ParseLpFormat("Maximize\n obj: 3 4 x\nEnd\n").ok());
+}
+
+TEST(LpReaderTest, ErrorsCarryLineNumbers) {
+  const auto result = ParseLpFormat("Maximize\n obj: x\nSubject To\n c: x <=\nEnd\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line"), std::string::npos);
+}
+
+// Round-trip property: write -> parse -> same optimum.
+class LpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpRoundTrip, PreservesOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6364136223846793005ULL + 1);
+  Model original;
+  const int n = static_cast<int>(rng.NextInt(2, 8));
+  for (int j = 0; j < n; ++j) {
+    const int type_pick = static_cast<int>(rng.NextBounded(3));
+    const VarType type = type_pick == 0   ? VarType::kContinuous
+                         : type_pick == 1 ? VarType::kBinary
+                                          : VarType::kInteger;
+    original.AddVariable(0, rng.NextDouble(1, 9), rng.NextDouble(-5, 5), type);
+  }
+  const int rows = static_cast<int>(rng.NextInt(1, 5));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBool(0.7)) {
+        terms.emplace_back(j, rng.NextDouble(0.1, 4.0));
+      }
+    }
+    original.AddRow(terms, rng.NextBool(0.5) ? RowSense::kLessEqual : RowSense::kGreaterEqual,
+                    rng.NextDouble(0, 10));
+  }
+  original.SetMaximize(rng.NextBool(0.5));
+
+  auto reparsed = ParseLpFormat(WriteLpFormat(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->num_variables(), original.num_variables());
+  ASSERT_EQ(reparsed->num_rows(), original.num_rows());
+  EXPECT_EQ(reparsed->maximize(), original.maximize());
+
+  const Solution a = SolveMip(original);
+  const Solution b = SolveMip(*reparsed);
+  ASSERT_EQ(a.HasSolution(), b.HasSolution()) << "case " << GetParam();
+  if (a.HasSolution()) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-5) << "case " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LpRoundTrip, ::testing::Range(0, 25));
+
+TEST(LpReaderTest, RoundTripsSchedulerDump) {
+  // An end-to-end check: a model written by the writer with generated names
+  // ("x_0_1_n5", "eq2_3") parses back.
+  Model m;
+  const int x = m.AddBinary(0.0, "x_0_1_n5");
+  const int s = m.AddBinary(1.0, "S_0");
+  m.AddRow({{x, 1.0}}, RowSense::kLessEqual, 1, "eq2");
+  m.AddRow({{x, 1.0}, {s, -1.0}}, RowSense::kEqual, 0, "eq4");
+  auto round = ParseLpFormat(WriteLpFormat(m));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const Solution a = SolveMip(m);
+  const Solution b = SolveMip(*round);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace medea::solver

@@ -1,0 +1,181 @@
+// Tests for the solver presolve pass and the LP-format writer, including a
+// randomized equivalence property (presolved model has the same optimum).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/solver/lp_writer.h"
+#include "src/solver/mip.h"
+#include "src/solver/presolve.h"
+
+namespace medea::solver {
+namespace {
+
+TEST(PresolveTest, SingletonRowBecomesBound) {
+  Model m;
+  const int x = m.AddContinuous(0, 100, 1, "x");
+  m.AddRow({{x, 2.0}}, RowSense::kLessEqual, 10.0);  // x <= 5
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_EQ(stats.singleton_rows, 1);
+  EXPECT_EQ(reduced.num_rows(), 0);
+  EXPECT_DOUBLE_EQ(reduced.column(x).upper, 5.0);
+}
+
+TEST(PresolveTest, NegativeCoefficientSingleton) {
+  Model m;
+  const int x = m.AddContinuous(0, 100, 1, "x");
+  m.AddRow({{x, -1.0}}, RowSense::kLessEqual, -3.0);  // -x <= -3  =>  x >= 3
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_DOUBLE_EQ(reduced.column(x).lower, 3.0);
+}
+
+TEST(PresolveTest, IntegerBoundsRoundInward) {
+  Model m;
+  const int x = m.AddVariable(0, 100, 1, VarType::kInteger, "x");
+  m.AddRow({{x, 2.0}}, RowSense::kLessEqual, 9.0);  // x <= 4.5 -> 4
+  const Model reduced = Presolved(m);
+  EXPECT_DOUBLE_EQ(reduced.column(x).upper, 4.0);
+}
+
+TEST(PresolveTest, RedundantRowDropped) {
+  Model m;
+  const int x = m.AddContinuous(0, 1, 1, "x");
+  const int y = m.AddContinuous(0, 1, 1, "y");
+  m.AddRow({{x, 1}, {y, 1}}, RowSense::kLessEqual, 5.0);  // max activity 2 <= 5
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_EQ(stats.redundant_rows, 1);
+  EXPECT_EQ(reduced.num_rows(), 0);
+}
+
+TEST(PresolveTest, BindingRowKept) {
+  Model m;
+  const int x = m.AddContinuous(0, 10, 1, "x");
+  const int y = m.AddContinuous(0, 10, 1, "y");
+  m.AddRow({{x, 1}, {y, 1}}, RowSense::kLessEqual, 5.0);
+  const Model reduced = Presolved(m);
+  EXPECT_EQ(reduced.num_rows(), 1);
+}
+
+TEST(PresolveTest, ActivityInfeasibilityDetected) {
+  Model m;
+  const int x = m.AddContinuous(0, 1, 1, "x");
+  const int y = m.AddContinuous(0, 1, 1, "y");
+  m.AddRow({{x, 1}, {y, 1}}, RowSense::kGreaterEqual, 5.0);  // max activity 2 < 5
+  PresolveStats stats;
+  Presolved(m, &stats);
+  EXPECT_TRUE(stats.proven_infeasible);
+  // And the MIP path reports it.
+  EXPECT_EQ(SolveMip(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(PresolveTest, ConflictingSingletonsInfeasible) {
+  Model m;
+  const int x = m.AddContinuous(0, 10, 1, "x");
+  m.AddRow({{x, 1}}, RowSense::kGreaterEqual, 8.0);
+  m.AddRow({{x, 1}}, RowSense::kLessEqual, 2.0);
+  PresolveStats stats;
+  Presolved(m, &stats);
+  EXPECT_TRUE(stats.proven_infeasible);
+}
+
+// Property: presolve preserves the optimum on random models.
+class PresolveEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalence, SameOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48271u + 5);
+  Model m;
+  const int n = static_cast<int>(rng.NextInt(3, 8));
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable(0, rng.NextDouble(1, 6), rng.NextDouble(-4, 8),
+                  rng.NextBool(0.5) ? VarType::kBinary : VarType::kContinuous);
+  }
+  const int rows = static_cast<int>(rng.NextInt(1, 6));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    const int width = static_cast<int>(rng.NextInt(1, n));
+    for (int t = 0; t < width; ++t) {
+      terms.emplace_back(static_cast<int>(rng.NextBounded(static_cast<uint64_t>(n))),
+                         rng.NextDouble(0.2, 3.0));
+    }
+    m.AddRow(terms, rng.NextBool(0.5) ? RowSense::kLessEqual : RowSense::kGreaterEqual,
+             rng.NextDouble(0, 8));
+  }
+
+  MipOptions raw;
+  raw.presolve = false;
+  MipOptions with;
+  with.presolve = true;
+  const Solution a = SolveMip(m, raw);
+  const Solution b = SolveMip(m, with);
+  ASSERT_EQ(a.HasSolution(), b.HasSolution()) << "case " << GetParam();
+  if (a.HasSolution()) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-5) << "case " << GetParam();
+    EXPECT_TRUE(m.IsFeasible(b.values, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PresolveEquivalence, ::testing::Range(0, 30));
+
+// ---- LP writer --------------------------------------------------------------------
+
+TEST(LpWriterTest, RendersAllSections) {
+  Model m;
+  const int x = m.AddBinary(3.0, "x_pick");
+  const int y = m.AddVariable(0, 7, -1.5, VarType::kInteger, "y");
+  const int z = m.AddContinuous(-2, 4, 0.0, "z");
+  m.AddRow({{x, 1}, {y, 2}}, RowSense::kLessEqual, 5, "cap");
+  m.AddRow({{y, 1}, {z, -1}}, RowSense::kEqual, 0, "link");
+  const std::string lp = WriteLpFormat(m);
+  EXPECT_NE(lp.find("Maximize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("x_pick"), std::string::npos);
+  EXPECT_NE(lp.find("cap_0:"), std::string::npos);
+  EXPECT_NE(lp.find("<= 5"), std::string::npos);
+  EXPECT_NE(lp.find("Bounds"), std::string::npos);
+  EXPECT_NE(lp.find("General"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+}
+
+TEST(LpWriterTest, MinimizeAndNegativeCoefficients) {
+  Model m;
+  m.SetMaximize(false);
+  const int x = m.AddContinuous(0, kInfinity, -2.5, "x");
+  m.AddRow({{x, -1}}, RowSense::kGreaterEqual, -4, "r");
+  const std::string lp = WriteLpFormat(m);
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("- 2.5 x"), std::string::npos);
+  EXPECT_NE(lp.find(">= -4"), std::string::npos);
+}
+
+TEST(LpWriterTest, SanitizesNames) {
+  Model m;
+  m.AddContinuous(0, 1, 1, "x 0:weird&name");
+  m.AddContinuous(0, 1, 1, "");       // unnamed
+  m.AddContinuous(0, 1, 1, "9starts_with_digit");
+  const std::string lp = WriteLpFormat(m);
+  EXPECT_EQ(lp.find("weird&"), std::string::npos);
+  EXPECT_NE(lp.find("x_0_weird_name"), std::string::npos);
+  EXPECT_NE(lp.find("x9starts_with_digit"), std::string::npos);
+}
+
+TEST(LpWriterTest, WritesFile) {
+  Model m;
+  m.AddBinary(1, "x");
+  const std::string path = ::testing::TempDir() + "/medea_model.lp";
+  ASSERT_TRUE(WriteLpFile(m, path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[16] = {};
+  ASSERT_GT(std::fread(buffer, 1, 8, file), 0u);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, 8), "Maximize");
+}
+
+}  // namespace
+}  // namespace medea::solver

@@ -1,0 +1,109 @@
+// Tests for the scenario-file format: a full mixed scenario, each action
+// kind, time-suffix parsing, and error reporting with line numbers.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/scenario.h"
+
+namespace medea {
+namespace {
+
+TEST(ScenarioTest, FullMixedScenario) {
+  const char* text = R"(# shared cluster demo
+cluster nodes=24 racks=4 service_units=4 capacity_mb=16384 capacity_cores=8
+scheduler medea-ilp interval_ms=10000 pool=24
+conflict kill
+
+at 0s lra hbase app=1 workers=4
+at 0s lra generic app=2 tag=svc count=3 mem=2048 cores=1
+at 0s constraint app=2 {svc, {svc, 0, 0}, node}
+at 15s tasks count=6 mem=1024 cores=1 duration_ms=20000
+at 40s remove app=1
+run until=60s
+)";
+  auto outcome = RunScenario(text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->metrics.lras_placed, 2);
+  EXPECT_EQ(outcome->violated_subjects, 0);
+  EXPECT_EQ(outcome->end_time_ms, 60000);
+  EXPECT_GT(outcome->memory_utilization, 0.0);
+  const std::string summary = outcome->Summary();
+  EXPECT_NE(summary.find("LRAs placed/rejected:  2 / 0"), std::string::npos);
+}
+
+TEST(ScenarioTest, NodeFailureActions) {
+  const char* text = R"(cluster nodes=8 racks=2 service_units=2
+scheduler medea-nc pool=8
+at 0s lra generic app=1 tag=a count=2 mem=1024 cores=1
+at 20s node-down 0
+at 20s node-down 1
+at 30s node-up 0
+run until=60s
+)";
+  auto outcome = RunScenario(text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->metrics.lras_placed, 1);
+}
+
+TEST(ScenarioTest, MillisecondTimes) {
+  const char* text = R"(cluster nodes=4 racks=2 service_units=2
+scheduler serial pool=4
+at 500ms tasks count=1 mem=512 cores=1 duration_ms=1000
+run until=5000
+)";
+  auto outcome = RunScenario(text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->end_time_ms, 5000);
+}
+
+TEST(ScenarioTest, MigrationLineAccepted) {
+  const char* text = R"(cluster nodes=8 racks=2 service_units=2
+scheduler medea-ilp pool=8
+migration every_ms=5000 cost=0.1
+at 0s lra generic app=1 tag=a count=2 mem=1024 cores=1
+run until=30s
+)";
+  EXPECT_TRUE(RunScenario(text).ok());
+}
+
+TEST(ScenarioTest, ErrorsNameTheLine) {
+  const char* text = "cluster nodes=4\nscheduler serial\nat 1s frobnicate 3\nrun until=2s\n";
+  const auto outcome = RunScenario(text);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ScenarioTest, MissingSectionsRejected) {
+  EXPECT_FALSE(RunScenario("scheduler serial\nrun until=1s\n").ok());   // no cluster
+  EXPECT_FALSE(RunScenario("cluster nodes=4\nrun until=1s\n").ok());    // no scheduler
+  EXPECT_FALSE(RunScenario("cluster nodes=4\nscheduler serial\n").ok());  // no run
+  EXPECT_FALSE(RunScenario("cluster nodes=4\nscheduler nope\nrun until=1s\n").ok());
+}
+
+TEST(ScenarioTest, BadConstraintReported) {
+  const char* text = R"(cluster nodes=4 racks=2 service_units=2
+scheduler serial
+at 0s constraint app=1 {broken
+run until=1s
+)";
+  const auto outcome = RunScenario(text);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ScenarioTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/medea_scenario.txt";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("cluster nodes=4 racks=2 service_units=2\nscheduler serial pool=4\n"
+             "at 0s lra generic app=1 tag=a count=1 mem=512 cores=1\nrun until=15s\n",
+             file);
+  std::fclose(file);
+  auto outcome = RunScenarioFile(path);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->metrics.lras_placed, 1);
+  EXPECT_FALSE(RunScenarioFile("/nonexistent/path.txt").ok());
+}
+
+}  // namespace
+}  // namespace medea

@@ -1,0 +1,161 @@
+// Tests for the scheduler scoring layer: SubjectIndex bookkeeping, the
+// equivalence of indexed and scan-based LocalViolationExtent (a property
+// checked over randomized states), and the subject-only scoring mode.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/schedulers/scoring.h"
+
+namespace medea {
+namespace {
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  ScoringTest()
+      : state_(ClusterBuilder()
+                   .NumNodes(16)
+                   .NumRacks(4)
+                   .NumUpgradeDomains(4)
+                   .NumServiceUnits(4)
+                   .NodeCapacity(Resource(16 * 1024, 8))
+                   .Build()),
+        manager_(state_.groups_ptr()) {}
+
+  ContainerId Place(NodeId node, const std::vector<std::string>& tags,
+                    ApplicationId app = ApplicationId(1)) {
+    auto c = state_.Allocate(app, node, Resource(1024, 1), manager_.tags().InternAll(tags),
+                             true);
+    EXPECT_TRUE(c.ok());
+    return *c;
+  }
+
+  std::vector<std::pair<ConstraintId, const PlacementConstraint*>> Relevant() {
+    return manager_.Effective();
+  }
+
+  ClusterState state_;
+  ConstraintManager manager_;
+};
+
+TEST_F(ScoringTest, SubjectIndexCollectsExistingSubjects) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{hb, {hb, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Place(NodeId(0), {"hb"});
+  Place(NodeId(1), {"hb"});
+  Place(NodeId(2), {"other"});
+  SubjectIndex index(state_, Relevant());
+  ASSERT_EQ(index.num_constraints(), 1u);
+  EXPECT_EQ(index.subjects(0).size(), 2u);
+}
+
+TEST_F(ScoringTest, SubjectIndexAddRemove) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{hb, {hb, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  SubjectIndex index(state_, Relevant());
+  EXPECT_TRUE(index.subjects(0).empty());
+  const ContainerId c = Place(NodeId(0), {"hb"});
+  index.Add(state_, c);
+  EXPECT_EQ(index.subjects(0).size(), 1u);
+  index.Remove(c);
+  EXPECT_TRUE(index.subjects(0).empty());
+}
+
+TEST_F(ScoringTest, IndexedExtentMatchesScanExtent) {
+  // Property: the indexed and scan-based local violation extents agree on
+  // randomized placements and constraint mixes.
+  ASSERT_TRUE(manager_
+                  .AddFromText("{a, {a, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(manager_
+                  .AddFromText("{b, {a, 1, inf}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(manager_
+                  .AddFromText("{a, {b, 0, 2}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const char* tag = rng.NextBool(0.5) ? "a" : "b";
+    Place(NodeId(static_cast<uint32_t>(rng.NextBounded(16))), {tag});
+  }
+  const auto relevant = Relevant();
+  SubjectIndex index(state_, relevant);
+  for (uint32_t n = 0; n < 16; ++n) {
+    const double scanned = LocalViolationExtent(state_, relevant, NodeId(n));
+    const double indexed = LocalViolationExtent(state_, index, NodeId(n));
+    EXPECT_NEAR(scanned, indexed, 1e-9) << "node " << n;
+  }
+}
+
+TEST_F(ScoringTest, IndexedDeltaMatchesScanDelta) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{a, {a, 0, 1}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  ASSERT_TRUE(manager_
+                  .AddFromText("{a, {b, 1, inf}, rack}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Place(NodeId(static_cast<uint32_t>(rng.NextBounded(16))),
+          {rng.NextBool(0.5) ? "a" : "b"});
+  }
+  const auto relevant = Relevant();
+  SubjectIndex index(state_, relevant);
+  ContainerRequest req{Resource(1024, 1), manager_.tags().InternAll({"a"})};
+  ClusterState scratch = state_;
+  for (uint32_t n = 0; n < 16; ++n) {
+    const double scanned =
+        PlacementScoreDelta(scratch, relevant, ApplicationId(2), req, NodeId(n));
+    const double indexed =
+        PlacementScoreDelta(scratch, index, ApplicationId(2), req, NodeId(n));
+    EXPECT_NEAR(scanned, indexed, 1e-9) << "node " << n;
+  }
+}
+
+TEST_F(ScoringTest, SubjectOnlyIgnoresDamageToOthers) {
+  // "old" containers demand no "noisy" neighbours. A noisy container scored
+  // subject-only sees nothing wrong with joining them; the impact-aware
+  // delta does.
+  ASSERT_TRUE(manager_
+                  .AddFromText("{old, {noisy, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Place(NodeId(3), {"old"});
+  const auto relevant = Relevant();
+  ContainerRequest req{Resource(1024, 1), manager_.tags().InternAll({"noisy"})};
+  ClusterState scratch = state_;
+  const double subject_only =
+      SubjectOnlyScore(scratch, relevant, ApplicationId(2), req, NodeId(3));
+  EXPECT_DOUBLE_EQ(subject_only, 0.0);  // blind to the harm
+  const double impact =
+      PlacementScoreDelta(scratch, relevant, ApplicationId(2), req, NodeId(3));
+  EXPECT_GT(impact, 0.0);  // prices the harm
+}
+
+TEST_F(ScoringTest, DeltaRestoresScratchState) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{a, {a, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Place(NodeId(0), {"a"});
+  ClusterState scratch = state_;
+  const size_t before = scratch.num_containers();
+  ContainerRequest req{Resource(1024, 1), manager_.tags().InternAll({"a"})};
+  const auto relevant = Relevant();
+  SubjectIndex index(scratch, relevant);
+  PlacementScoreDelta(scratch, index, ApplicationId(2), req, NodeId(0));
+  EXPECT_EQ(scratch.num_containers(), before);
+  EXPECT_EQ(scratch.node(NodeId(0)).used(), Resource(1024, 1));
+}
+
+}  // namespace
+}  // namespace medea

@@ -1,0 +1,215 @@
+// Tests for the shared constraint-violation evaluator (Eq. 8 semantics,
+// self-exclusion, DNF clause choice, node-set resolution).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/cluster_state.h"
+#include "src/core/constraint_manager.h"
+#include "src/core/violation.h"
+
+namespace medea {
+namespace {
+
+class ViolationTest : public ::testing::Test {
+ protected:
+  ViolationTest()
+      : state_(ClusterBuilder()
+                   .NumNodes(8)
+                   .NumRacks(2)
+                   .NumUpgradeDomains(4)
+                   .NumServiceUnits(2)
+                   .NodeCapacity(Resource(16 * 1024, 8))
+                   .Build()),
+        manager_(state_.groups_ptr()) {
+    hb_ = manager_.tags().Intern("hb");
+    storm_ = manager_.tags().Intern("storm");
+    spark_ = manager_.tags().Intern("spark");
+  }
+
+  ContainerId Place(NodeId node, std::vector<TagId> tags, ApplicationId app = ApplicationId(1)) {
+    auto c = state_.Allocate(app, node, Resource(1024, 1), std::move(tags), /*long_running=*/true);
+    EXPECT_TRUE(c.ok());
+    return *c;
+  }
+
+  ClusterState state_;
+  ConstraintManager manager_;
+  TagId hb_, storm_, spark_;
+};
+
+TEST_F(ViolationTest, TagConstraintExtentFollowsEq8) {
+  // Shortfall relative to cmin.
+  TagConstraint tc = TagConstraint::Cardinality(TagExpression({hb_}), 4, 10);
+  EXPECT_DOUBLE_EQ(ConstraintEvaluator::TagConstraintExtent(tc, 2), 0.5);
+  EXPECT_DOUBLE_EQ(ConstraintEvaluator::TagConstraintExtent(tc, 4), 0.0);
+  // Excess relative to cmax: 12 placed vs max 10 -> 2/10.
+  EXPECT_DOUBLE_EQ(ConstraintEvaluator::TagConstraintExtent(tc, 12), 0.2);
+  // Anti-affinity (cmax = 0): denominator clamps to 1, absolute excess.
+  TagConstraint anti = TagConstraint::AntiAffinity(TagExpression({hb_}));
+  EXPECT_DOUBLE_EQ(ConstraintEvaluator::TagConstraintExtent(anti, 3), 3.0);
+  // Unbounded max never has excess.
+  TagConstraint aff = TagConstraint::Affinity(TagExpression({hb_}));
+  EXPECT_DOUBLE_EQ(ConstraintEvaluator::TagConstraintExtent(aff, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(ConstraintEvaluator::TagConstraintExtent(aff, 0), 1.0);
+}
+
+TEST_F(ViolationTest, AffinitySatisfiedOnSameNode) {
+  Place(NodeId(0), {hb_});
+  const ContainerId subject = Place(NodeId(0), {storm_});
+  const auto c = MakeAffinity(TagExpression({storm_}), TagExpression({hb_}), kNodeGroupNode);
+  const std::vector<TagId> tags = {storm_};
+  const auto eval =
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(0), tags);
+  EXPECT_TRUE(eval.satisfied);
+  EXPECT_DOUBLE_EQ(eval.extent, 0.0);
+}
+
+TEST_F(ViolationTest, AffinityViolatedOnDifferentNode) {
+  Place(NodeId(0), {hb_});
+  const ContainerId subject = Place(NodeId(1), {storm_});
+  const auto c = MakeAffinity(TagExpression({storm_}), TagExpression({hb_}), kNodeGroupNode);
+  const std::vector<TagId> tags = {storm_};
+  const auto eval =
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(1), tags);
+  EXPECT_FALSE(eval.satisfied);
+  EXPECT_DOUBLE_EQ(eval.extent, 1.0);
+}
+
+TEST_F(ViolationTest, RackAffinityUsesRackSets) {
+  Place(NodeId(0), {hb_});
+  const ContainerId subject = Place(NodeId(3), {storm_});  // same rack (0-3)
+  const auto c = MakeAffinity(TagExpression({storm_}), TagExpression({hb_}), kNodeGroupRack);
+  const std::vector<TagId> tags = {storm_};
+  EXPECT_TRUE(
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(3), tags).satisfied);
+  const ContainerId far = Place(NodeId(4), {storm_});  // other rack
+  EXPECT_FALSE(
+      ConstraintEvaluator::EvaluateConstraint(state_, c, far, NodeId(4), tags).satisfied);
+}
+
+TEST_F(ViolationTest, SelfExclusionForSameTagConstraints) {
+  // A lone spark container with "spark anti-affine to spark" must NOT
+  // violate because of itself (Eqs. 6-7 exclude the subject).
+  const ContainerId subject = Place(NodeId(0), {spark_});
+  const auto c =
+      MakeAntiAffinity(TagExpression({spark_}), TagExpression({spark_}), kNodeGroupNode);
+  const std::vector<TagId> tags = {spark_};
+  const auto eval =
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(0), tags);
+  EXPECT_TRUE(eval.satisfied);
+  // A second spark container on the same node violates for both.
+  const ContainerId second = Place(NodeId(0), {spark_});
+  EXPECT_FALSE(
+      ConstraintEvaluator::EvaluateConstraint(state_, c, second, NodeId(0), tags).satisfied);
+  EXPECT_FALSE(
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(0), tags).satisfied);
+}
+
+TEST_F(ViolationTest, CardinalityWindow) {
+  // No fewer than 1 and no more than 2 spark per node.
+  const auto c = MakeCardinality(TagExpression({spark_}), TagExpression({spark_}), 1, 2,
+                                 kNodeGroupNode);
+  const std::vector<TagId> tags = {spark_};
+  const ContainerId c1 = Place(NodeId(0), {spark_});
+  // Alone: zero *other* spark -> cmin=1 violated.
+  EXPECT_FALSE(ConstraintEvaluator::EvaluateConstraint(state_, c, c1, NodeId(0), tags).satisfied);
+  Place(NodeId(0), {spark_});
+  EXPECT_TRUE(ConstraintEvaluator::EvaluateConstraint(state_, c, c1, NodeId(0), tags).satisfied);
+  Place(NodeId(0), {spark_});
+  EXPECT_TRUE(ConstraintEvaluator::EvaluateConstraint(state_, c, c1, NodeId(0), tags).satisfied);
+  Place(NodeId(0), {spark_});
+  // Now 3 others -> cmax=2 exceeded.
+  const auto eval = ConstraintEvaluator::EvaluateConstraint(state_, c, c1, NodeId(0), tags);
+  EXPECT_FALSE(eval.satisfied);
+  EXPECT_DOUBLE_EQ(eval.extent, 0.5);  // excess 1 relative to cmax 2
+}
+
+TEST_F(ViolationTest, DnfTakesBestClause) {
+  // Either >=3 spark per rack, or anti-affinity on node. Subject is alone on
+  // its node -> second clause satisfied even though first is not.
+  PlacementConstraint c;
+  c.clauses.push_back({AtomicConstraint{TagExpression({spark_}),
+                                        {TagConstraint::Cardinality(TagExpression({spark_}), 3,
+                                                                    kCardinalityInfinity)},
+                                        kNodeGroupRack}});
+  c.clauses.push_back({AtomicConstraint{TagExpression({spark_}),
+                                        {TagConstraint::AntiAffinity(TagExpression({spark_}))},
+                                        kNodeGroupNode}});
+  const ContainerId subject = Place(NodeId(0), {spark_});
+  const std::vector<TagId> tags = {spark_};
+  const auto eval =
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(0), tags);
+  EXPECT_TRUE(eval.satisfied);
+}
+
+TEST_F(ViolationTest, ConjunctionOfTargetsMustAllHold) {
+  const TagId mem = manager_.tags().Intern("mem");
+  AtomicConstraint atomic{TagExpression({storm_}),
+                          {TagConstraint::Affinity(TagExpression({hb_})),
+                           TagConstraint::Affinity(TagExpression({mem}))},
+                          kNodeGroupNode};
+  const auto c = PlacementConstraint::Simple(atomic);
+  Place(NodeId(0), {hb_});
+  const ContainerId subject = Place(NodeId(0), {storm_});
+  const std::vector<TagId> tags = {storm_};
+  EXPECT_FALSE(
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(0), tags).satisfied);
+  Place(NodeId(0), {mem});
+  EXPECT_TRUE(
+      ConstraintEvaluator::EvaluateConstraint(state_, c, subject, NodeId(0), tags).satisfied);
+}
+
+TEST_F(ViolationTest, EvaluateAllCountsSubjects) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{spark, {spark, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Place(NodeId(0), {spark_});
+  Place(NodeId(0), {spark_});
+  Place(NodeId(1), {spark_});
+  const auto report = ConstraintEvaluator::EvaluateAll(state_, manager_);
+  EXPECT_EQ(report.total_subjects, 3);
+  EXPECT_EQ(report.violated_subjects, 2);
+  EXPECT_NEAR(report.ViolationFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(ViolationTest, EvaluateAllIgnoresShortRunningContainers) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{spark, {spark, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  // Task-based containers carry tags but are not long-running.
+  ASSERT_TRUE(
+      state_.Allocate(ApplicationId(2), NodeId(0), Resource(1, 1), {spark_}, false).ok());
+  const auto report = ConstraintEvaluator::EvaluateAll(state_, manager_);
+  EXPECT_EQ(report.total_subjects, 0);
+}
+
+TEST_F(ViolationTest, WeightedExtentScalesByWeight) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{spark, {spark, 0, 0}, node} #4", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Place(NodeId(0), {spark_});
+  Place(NodeId(0), {spark_});
+  const auto report = ConstraintEvaluator::EvaluateAll(state_, manager_);
+  EXPECT_DOUBLE_EQ(report.total_extent, 2.0);     // each sees 1 other
+  EXPECT_DOUBLE_EQ(report.weighted_extent, 8.0);  // x4 weight
+}
+
+TEST_F(ViolationTest, DetailsCollectedOnRequest) {
+  ASSERT_TRUE(manager_
+                  .AddFromText("{spark, {spark, 0, 0}, node}", ConstraintOrigin::kApplication,
+                               ApplicationId(1))
+                  .ok());
+  Place(NodeId(0), {spark_});
+  const auto with = ConstraintEvaluator::EvaluateAll(state_, manager_, true);
+  EXPECT_EQ(with.details.size(), 1u);
+  const auto without = ConstraintEvaluator::EvaluateAll(state_, manager_, false);
+  EXPECT_TRUE(without.details.empty());
+}
+
+}  // namespace
+}  // namespace medea

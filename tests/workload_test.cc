@@ -1,0 +1,180 @@
+// Tests for the workload generators: LRA templates (§7.1 shapes and
+// constraints), the GridMix-like batch generator, and the Google-trace-like
+// short-task stream.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/node_group.h"
+#include "src/core/constraint_manager.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/gridmix.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea {
+namespace {
+
+TEST(LraTemplatesTest, HBaseShape) {
+  TagPool tags;
+  const auto spec = MakeHBaseInstance(ApplicationId(3), tags, 10);
+  // 10 workers + master + thrift + secondary.
+  EXPECT_EQ(spec.request.containers.size(), 13u);
+  int workers = 0;
+  const TagId hb_rs = tags.Find("hb_rs");
+  ASSERT_TRUE(hb_rs.IsValid());
+  for (const auto& c : spec.request.containers) {
+    if (std::find(c.tags.begin(), c.tags.end(), hb_rs) != c.tags.end()) {
+      ++workers;
+      EXPECT_EQ(c.demand, Resource(2048, 1));
+    }
+  }
+  EXPECT_EQ(workers, 10);
+  // 3 app constraints + 1 shared cardinality.
+  EXPECT_EQ(spec.app_constraints.size(), 3u);
+  EXPECT_EQ(spec.shared_constraints.size(), 1u);
+}
+
+TEST(LraTemplatesTest, HBaseConstraintsParse) {
+  auto groups = std::make_shared<NodeGroupRegistry>(8);
+  ASSERT_TRUE(groups->RegisterPartition(kNodeGroupRack, {0, 0, 0, 0, 1, 1, 1, 1}).ok());
+  ConstraintManager manager(groups);
+  const auto spec = MakeHBaseInstance(ApplicationId(3), manager.tags(), 10);
+  for (const auto& text : spec.app_constraints) {
+    EXPECT_TRUE(
+        manager.AddFromText(text, ConstraintOrigin::kApplication, ApplicationId(3)).ok())
+        << text;
+  }
+  for (const auto& text : spec.shared_constraints) {
+    EXPECT_TRUE(manager.AddFromText(text, ConstraintOrigin::kOperator).ok()) << text;
+  }
+  EXPECT_EQ(manager.size(), 4u);
+}
+
+TEST(LraTemplatesTest, TensorFlowShape) {
+  TagPool tags;
+  const auto spec = MakeTensorFlowInstance(ApplicationId(5), tags, 8, 2);
+  EXPECT_EQ(spec.request.containers.size(), 11u);  // 8 workers + 2 ps + chief
+  const TagId chief = tags.Find("tf_chief");
+  int chiefs = 0;
+  for (const auto& c : spec.request.containers) {
+    if (std::find(c.tags.begin(), c.tags.end(), chief) != c.tags.end()) {
+      ++chiefs;
+      EXPECT_EQ(c.demand, Resource(4096, 1));  // <4 GB, 1 CPU> per §7.1
+    }
+  }
+  EXPECT_EQ(chiefs, 1);
+}
+
+TEST(LraTemplatesTest, AppIdTagAttached) {
+  TagPool tags;
+  const auto spec = MakeGenericLra(ApplicationId(42), tags, 3, "svc");
+  const TagId app_tag = tags.Find("appID:42");
+  ASSERT_TRUE(app_tag.IsValid());
+  for (const auto& c : spec.request.containers) {
+    EXPECT_NE(std::find(c.tags.begin(), c.tags.end(), app_tag), c.tags.end());
+  }
+}
+
+TEST(LraTemplatesTest, ConstraintsOptional) {
+  TagPool tags;
+  const auto spec = MakeHBaseInstance(ApplicationId(3), tags, 10, /*with_constraints=*/false);
+  EXPECT_TRUE(spec.app_constraints.empty());
+  EXPECT_TRUE(spec.shared_constraints.empty());
+}
+
+TEST(GridMixTest, JobShapesWithinBounds) {
+  GridMixConfig config;
+  GridMixGenerator gen(config, 11);
+  for (int i = 0; i < 50; ++i) {
+    const auto job = gen.NextJob();
+    EXPECT_GE(job.size(), 1u);
+    for (const auto& task : job) {
+      EXPECT_GE(task.duration_ms, config.min_duration_ms);
+      EXPECT_LE(task.duration_ms, config.max_duration_ms);
+      EXPECT_EQ(task.demand, config.task_demand);
+    }
+  }
+}
+
+TEST(GridMixTest, MemoryFractionTargetReached) {
+  GridMixConfig config;
+  GridMixGenerator gen(config, 12);
+  const Resource total(1000 * 1024, 1000);
+  const auto jobs = gen.JobsForMemoryFraction(total, 0.5);
+  double mb = 0;
+  for (const auto& job : jobs) {
+    for (const auto& task : job) {
+      mb += static_cast<double>(task.demand.memory_mb);
+    }
+  }
+  EXPECT_GE(mb, 0.5 * 1000 * 1024);
+  // Should not overshoot by more than one job.
+  EXPECT_LE(mb, 0.5 * 1000 * 1024 + 400 * 1024);
+}
+
+TEST(GridMixTest, DeterministicPerSeed) {
+  GridMixGenerator a(GridMixConfig{}, 7);
+  GridMixGenerator b(GridMixConfig{}, 7);
+  for (int i = 0; i < 10; ++i) {
+    const auto ja = a.NextJob();
+    const auto jb = b.NextJob();
+    ASSERT_EQ(ja.size(), jb.size());
+    for (size_t t = 0; t < ja.size(); ++t) {
+      EXPECT_EQ(ja[t].duration_ms, jb[t].duration_ms);
+    }
+  }
+}
+
+TEST(GoogleTraceTest, ArrivalsSortedAndWithinHorizon) {
+  GoogleTraceGenerator gen(GoogleTraceConfig{}, 13);
+  const SimTimeMs horizon = 60'000;
+  const auto arrivals = gen.Generate(horizon);
+  ASSERT_FALSE(arrivals.empty());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_LT(arrivals[i].time, horizon);
+    EXPECT_GE(arrivals[i].task.duration_ms, 100);
+    if (i > 0) {
+      EXPECT_GE(arrivals[i].time, arrivals[i - 1].time);
+    }
+  }
+}
+
+TEST(GoogleTraceTest, SpeedupCompressesDurations) {
+  GoogleTraceConfig slow;
+  slow.speedup = 1.0;
+  GoogleTraceConfig fast;
+  fast.speedup = 200.0;
+  GoogleTraceGenerator gs(slow, 17);
+  GoogleTraceGenerator gf(fast, 17);
+  const auto a_slow = gs.Generate(10'000);
+  const auto a_fast = gf.Generate(10'000);
+  // 200x speedup packs ~200x the trace time into the same horizon.
+  EXPECT_GT(a_fast.size(), a_slow.size() * 50);
+}
+
+TEST(GoogleTraceTest, BurstsCreateVariance) {
+  GoogleTraceGenerator gen(GoogleTraceConfig{}, 19);
+  const auto arrivals = gen.Generate(120'000);
+  // Bucket arrivals per second of sim time; bursty traffic should yield an
+  // index of dispersion (var/mean) well above Poisson's 1.
+  std::vector<double> buckets(120, 0.0);
+  for (const auto& a : arrivals) {
+    ++buckets[static_cast<size_t>(a.time / 1000)];
+  }
+  double mean = 0;
+  for (double b : buckets) {
+    mean += b;
+  }
+  mean /= static_cast<double>(buckets.size());
+  double var = 0;
+  for (double b : buckets) {
+    var += (b - mean) * (b - mean);
+  }
+  var /= static_cast<double>(buckets.size());
+  ASSERT_GT(mean, 0.0);
+  EXPECT_GT(var / mean, 1.5);
+}
+
+}  // namespace
+}  // namespace medea
