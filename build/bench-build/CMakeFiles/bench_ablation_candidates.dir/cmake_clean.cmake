@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_candidates"
+  "../bench/bench_ablation_candidates.pdb"
+  "CMakeFiles/bench_ablation_candidates.dir/bench_ablation_candidates.cc.o"
+  "CMakeFiles/bench_ablation_candidates.dir/bench_ablation_candidates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_scoring.cc" "bench-build/CMakeFiles/bench_ablation_scoring.dir/bench_ablation_scoring.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_scoring.dir/bench_ablation_scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/medea_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/medea_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasksched/CMakeFiles/medea_tasksched.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/medea_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/medea_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/medea_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/medea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/medea_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/medea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

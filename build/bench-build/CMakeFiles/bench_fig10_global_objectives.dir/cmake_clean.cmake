@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_global_objectives"
+  "../bench/bench_fig10_global_objectives.pdb"
+  "CMakeFiles/bench_fig10_global_objectives.dir/bench_fig10_global_objectives.cc.o"
+  "CMakeFiles/bench_fig10_global_objectives.dir/bench_fig10_global_objectives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_global_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11a_latency_scale"
+  "../bench/bench_fig11a_latency_scale.pdb"
+  "CMakeFiles/bench_fig11a_latency_scale.dir/bench_fig11a_latency_scale.cc.o"
+  "CMakeFiles/bench_fig11a_latency_scale.dir/bench_fig11a_latency_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_latency_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11b_two_scheduler"
+  "../bench/bench_fig11b_two_scheduler.pdb"
+  "CMakeFiles/bench_fig11b_two_scheduler.dir/bench_fig11b_two_scheduler.cc.o"
+  "CMakeFiles/bench_fig11b_two_scheduler.dir/bench_fig11b_two_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_two_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2a_affinity"
+  "../bench/bench_fig2a_affinity.pdb"
+  "CMakeFiles/bench_fig2a_affinity.dir/bench_fig2a_affinity.cc.o"
+  "CMakeFiles/bench_fig2a_affinity.dir/bench_fig2a_affinity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

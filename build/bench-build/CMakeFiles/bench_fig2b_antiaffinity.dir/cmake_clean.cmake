@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2b_antiaffinity"
+  "../bench/bench_fig2b_antiaffinity.pdb"
+  "CMakeFiles/bench_fig2b_antiaffinity.dir/bench_fig2b_antiaffinity.cc.o"
+  "CMakeFiles/bench_fig2b_antiaffinity.dir/bench_fig2b_antiaffinity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_antiaffinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

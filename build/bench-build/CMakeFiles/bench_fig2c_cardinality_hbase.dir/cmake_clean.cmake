@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2c_cardinality_hbase"
+  "../bench/bench_fig2c_cardinality_hbase.pdb"
+  "CMakeFiles/bench_fig2c_cardinality_hbase.dir/bench_fig2c_cardinality_hbase.cc.o"
+  "CMakeFiles/bench_fig2c_cardinality_hbase.dir/bench_fig2c_cardinality_hbase.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_cardinality_hbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

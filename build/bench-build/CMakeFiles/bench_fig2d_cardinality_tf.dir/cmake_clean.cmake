@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2d_cardinality_tf"
+  "../bench/bench_fig2d_cardinality_tf.pdb"
+  "CMakeFiles/bench_fig2d_cardinality_tf.dir/bench_fig2d_cardinality_tf.cc.o"
+  "CMakeFiles/bench_fig2d_cardinality_tf.dir/bench_fig2d_cardinality_tf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_cardinality_tf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

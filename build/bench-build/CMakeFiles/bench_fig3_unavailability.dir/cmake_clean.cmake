@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_unavailability"
+  "../bench/bench_fig3_unavailability.pdb"
+  "CMakeFiles/bench_fig3_unavailability.dir/bench_fig3_unavailability.cc.o"
+  "CMakeFiles/bench_fig3_unavailability.dir/bench_fig3_unavailability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unavailability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_app_performance"
+  "../bench/bench_fig7_app_performance.pdb"
+  "CMakeFiles/bench_fig7_app_performance.dir/bench_fig7_app_performance.cc.o"
+  "CMakeFiles/bench_fig7_app_performance.dir/bench_fig7_app_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_app_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_resilience"
+  "../bench/bench_fig8_resilience.pdb"
+  "CMakeFiles/bench_fig8_resilience.dir/bench_fig8_resilience.cc.o"
+  "CMakeFiles/bench_fig8_resilience.dir/bench_fig8_resilience.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

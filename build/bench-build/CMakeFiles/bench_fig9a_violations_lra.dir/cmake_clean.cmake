@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9a_violations_lra"
+  "../bench/bench_fig9a_violations_lra.pdb"
+  "CMakeFiles/bench_fig9a_violations_lra.dir/bench_fig9a_violations_lra.cc.o"
+  "CMakeFiles/bench_fig9a_violations_lra.dir/bench_fig9a_violations_lra.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_violations_lra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

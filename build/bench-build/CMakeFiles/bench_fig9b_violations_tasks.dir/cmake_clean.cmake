@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9b_violations_tasks"
+  "../bench/bench_fig9b_violations_tasks.pdb"
+  "CMakeFiles/bench_fig9b_violations_tasks.dir/bench_fig9b_violations_tasks.cc.o"
+  "CMakeFiles/bench_fig9b_violations_tasks.dir/bench_fig9b_violations_tasks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_violations_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9c_periodicity"
+  "../bench/bench_fig9c_periodicity.pdb"
+  "CMakeFiles/bench_fig9c_periodicity.dir/bench_fig9c_periodicity.cc.o"
+  "CMakeFiles/bench_fig9c_periodicity.dir/bench_fig9c_periodicity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9c_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/medea_bench_util.dir/bench_util.cc.o.d"
+  "libmedea_bench_util.a"
+  "libmedea_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cluster_sim_cli"
+  "../examples/cluster_sim_cli.pdb"
+  "CMakeFiles/cluster_sim_cli.dir/cluster_sim_cli.cpp.o"
+  "CMakeFiles/cluster_sim_cli.dir/cluster_sim_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

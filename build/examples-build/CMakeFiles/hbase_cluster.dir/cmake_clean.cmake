@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hbase_cluster"
+  "../examples/hbase_cluster.pdb"
+  "CMakeFiles/hbase_cluster.dir/hbase_cluster.cpp.o"
+  "CMakeFiles/hbase_cluster.dir/hbase_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbase_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/resilience_failover"
+  "../examples/resilience_failover.pdb"
+  "CMakeFiles/resilience_failover.dir/resilience_failover.cpp.o"
+  "CMakeFiles/resilience_failover.dir/resilience_failover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

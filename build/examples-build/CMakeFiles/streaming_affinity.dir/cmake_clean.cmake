@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/streaming_affinity"
+  "../examples/streaming_affinity.pdb"
+  "CMakeFiles/streaming_affinity.dir/streaming_affinity.cpp.o"
+  "CMakeFiles/streaming_affinity.dir/streaming_affinity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

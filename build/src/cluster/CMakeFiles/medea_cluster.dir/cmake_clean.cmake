@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_cluster.dir/cluster_state.cc.o"
+  "CMakeFiles/medea_cluster.dir/cluster_state.cc.o.d"
+  "CMakeFiles/medea_cluster.dir/node.cc.o"
+  "CMakeFiles/medea_cluster.dir/node.cc.o.d"
+  "CMakeFiles/medea_cluster.dir/node_group.cc.o"
+  "CMakeFiles/medea_cluster.dir/node_group.cc.o.d"
+  "libmedea_cluster.a"
+  "libmedea_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

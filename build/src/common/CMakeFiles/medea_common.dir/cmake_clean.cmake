@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_common.dir/logging.cc.o"
+  "CMakeFiles/medea_common.dir/logging.cc.o.d"
+  "CMakeFiles/medea_common.dir/resource.cc.o"
+  "CMakeFiles/medea_common.dir/resource.cc.o.d"
+  "CMakeFiles/medea_common.dir/result.cc.o"
+  "CMakeFiles/medea_common.dir/result.cc.o.d"
+  "CMakeFiles/medea_common.dir/rng.cc.o"
+  "CMakeFiles/medea_common.dir/rng.cc.o.d"
+  "CMakeFiles/medea_common.dir/stats.cc.o"
+  "CMakeFiles/medea_common.dir/stats.cc.o.d"
+  "CMakeFiles/medea_common.dir/strings.cc.o"
+  "CMakeFiles/medea_common.dir/strings.cc.o.d"
+  "libmedea_common.a"
+  "libmedea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

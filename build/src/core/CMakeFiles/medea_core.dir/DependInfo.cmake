@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/constraint.cc" "src/core/CMakeFiles/medea_core.dir/constraint.cc.o" "gcc" "src/core/CMakeFiles/medea_core.dir/constraint.cc.o.d"
+  "/root/repo/src/core/constraint_manager.cc" "src/core/CMakeFiles/medea_core.dir/constraint_manager.cc.o" "gcc" "src/core/CMakeFiles/medea_core.dir/constraint_manager.cc.o.d"
+  "/root/repo/src/core/constraint_parser.cc" "src/core/CMakeFiles/medea_core.dir/constraint_parser.cc.o" "gcc" "src/core/CMakeFiles/medea_core.dir/constraint_parser.cc.o.d"
+  "/root/repo/src/core/tags.cc" "src/core/CMakeFiles/medea_core.dir/tags.cc.o" "gcc" "src/core/CMakeFiles/medea_core.dir/tags.cc.o.d"
+  "/root/repo/src/core/violation.cc" "src/core/CMakeFiles/medea_core.dir/violation.cc.o" "gcc" "src/core/CMakeFiles/medea_core.dir/violation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/medea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/medea_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_core.dir/constraint.cc.o"
+  "CMakeFiles/medea_core.dir/constraint.cc.o.d"
+  "CMakeFiles/medea_core.dir/constraint_manager.cc.o"
+  "CMakeFiles/medea_core.dir/constraint_manager.cc.o.d"
+  "CMakeFiles/medea_core.dir/constraint_parser.cc.o"
+  "CMakeFiles/medea_core.dir/constraint_parser.cc.o.d"
+  "CMakeFiles/medea_core.dir/tags.cc.o"
+  "CMakeFiles/medea_core.dir/tags.cc.o.d"
+  "CMakeFiles/medea_core.dir/violation.cc.o"
+  "CMakeFiles/medea_core.dir/violation.cc.o.d"
+  "libmedea_core.a"
+  "libmedea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

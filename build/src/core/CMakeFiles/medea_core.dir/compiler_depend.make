@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for medea_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_perfmodel.dir/perf_model.cc.o"
+  "CMakeFiles/medea_perfmodel.dir/perf_model.cc.o.d"
+  "libmedea_perfmodel.a"
+  "libmedea_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmedea_perfmodel.a"
+)

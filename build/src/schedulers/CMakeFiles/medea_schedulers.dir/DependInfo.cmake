@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/candidates.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/candidates.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/candidates.cc.o.d"
+  "/root/repo/src/schedulers/greedy.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/greedy.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/greedy.cc.o.d"
+  "/root/repo/src/schedulers/ilp_scheduler.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/ilp_scheduler.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/ilp_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/jkube.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/jkube.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/jkube.cc.o.d"
+  "/root/repo/src/schedulers/migration.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/migration.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/migration.cc.o.d"
+  "/root/repo/src/schedulers/placement.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/placement.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/placement.cc.o.d"
+  "/root/repo/src/schedulers/scoring.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/scoring.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/scoring.cc.o.d"
+  "/root/repo/src/schedulers/yarn.cc" "src/schedulers/CMakeFiles/medea_schedulers.dir/yarn.cc.o" "gcc" "src/schedulers/CMakeFiles/medea_schedulers.dir/yarn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/medea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/medea_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/medea_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/medea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_schedulers.dir/candidates.cc.o"
+  "CMakeFiles/medea_schedulers.dir/candidates.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/greedy.cc.o"
+  "CMakeFiles/medea_schedulers.dir/greedy.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/ilp_scheduler.cc.o"
+  "CMakeFiles/medea_schedulers.dir/ilp_scheduler.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/jkube.cc.o"
+  "CMakeFiles/medea_schedulers.dir/jkube.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/migration.cc.o"
+  "CMakeFiles/medea_schedulers.dir/migration.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/placement.cc.o"
+  "CMakeFiles/medea_schedulers.dir/placement.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/scoring.cc.o"
+  "CMakeFiles/medea_schedulers.dir/scoring.cc.o.d"
+  "CMakeFiles/medea_schedulers.dir/yarn.cc.o"
+  "CMakeFiles/medea_schedulers.dir/yarn.cc.o.d"
+  "libmedea_schedulers.a"
+  "libmedea_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

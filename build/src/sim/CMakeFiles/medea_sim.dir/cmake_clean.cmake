@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_sim.dir/scenario.cc.o"
+  "CMakeFiles/medea_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/medea_sim.dir/simulation.cc.o"
+  "CMakeFiles/medea_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/medea_sim.dir/unavailability.cc.o"
+  "CMakeFiles/medea_sim.dir/unavailability.cc.o.d"
+  "libmedea_sim.a"
+  "libmedea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_solver.dir/lp_reader.cc.o"
+  "CMakeFiles/medea_solver.dir/lp_reader.cc.o.d"
+  "CMakeFiles/medea_solver.dir/lp_writer.cc.o"
+  "CMakeFiles/medea_solver.dir/lp_writer.cc.o.d"
+  "CMakeFiles/medea_solver.dir/mip.cc.o"
+  "CMakeFiles/medea_solver.dir/mip.cc.o.d"
+  "CMakeFiles/medea_solver.dir/model.cc.o"
+  "CMakeFiles/medea_solver.dir/model.cc.o.d"
+  "CMakeFiles/medea_solver.dir/presolve.cc.o"
+  "CMakeFiles/medea_solver.dir/presolve.cc.o.d"
+  "CMakeFiles/medea_solver.dir/simplex.cc.o"
+  "CMakeFiles/medea_solver.dir/simplex.cc.o.d"
+  "libmedea_solver.a"
+  "libmedea_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

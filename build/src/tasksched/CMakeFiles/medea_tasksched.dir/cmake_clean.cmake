@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_tasksched.dir/task_scheduler.cc.o"
+  "CMakeFiles/medea_tasksched.dir/task_scheduler.cc.o.d"
+  "libmedea_tasksched.a"
+  "libmedea_tasksched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_tasksched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/google_trace.cc" "src/workload/CMakeFiles/medea_workload.dir/google_trace.cc.o" "gcc" "src/workload/CMakeFiles/medea_workload.dir/google_trace.cc.o.d"
+  "/root/repo/src/workload/gridmix.cc" "src/workload/CMakeFiles/medea_workload.dir/gridmix.cc.o" "gcc" "src/workload/CMakeFiles/medea_workload.dir/gridmix.cc.o.d"
+  "/root/repo/src/workload/lra_templates.cc" "src/workload/CMakeFiles/medea_workload.dir/lra_templates.cc.o" "gcc" "src/workload/CMakeFiles/medea_workload.dir/lra_templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasksched/CMakeFiles/medea_tasksched.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/medea_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/medea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/medea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/medea_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/medea_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

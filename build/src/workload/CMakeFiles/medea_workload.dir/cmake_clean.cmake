@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medea_workload.dir/google_trace.cc.o"
+  "CMakeFiles/medea_workload.dir/google_trace.cc.o.d"
+  "CMakeFiles/medea_workload.dir/gridmix.cc.o"
+  "CMakeFiles/medea_workload.dir/gridmix.cc.o.d"
+  "CMakeFiles/medea_workload.dir/lra_templates.cc.o"
+  "CMakeFiles/medea_workload.dir/lra_templates.cc.o.d"
+  "libmedea_workload.a"
+  "libmedea_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medea_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_reader_test.dir/lp_reader_test.cc.o"
+  "CMakeFiles/lp_reader_test.dir/lp_reader_test.cc.o.d"
+  "lp_reader_test"
+  "lp_reader_test.pdb"
+  "lp_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

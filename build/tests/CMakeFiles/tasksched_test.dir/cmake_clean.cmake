@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasksched_test.dir/tasksched_test.cc.o"
+  "CMakeFiles/tasksched_test.dir/tasksched_test.cc.o.d"
+  "tasksched_test"
+  "tasksched_test.pdb"
+  "tasksched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasksched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
