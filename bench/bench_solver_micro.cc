@@ -3,9 +3,22 @@
 // placement-shaped models (X-assignment binaries + capacity rows), across
 // model sizes. Establishes the per-cycle solver budget the scheduler
 // latency figures (11a/11b) build on.
+//
+// Before the Google Benchmark loops, a cold-vs-warm comparison harness runs
+// branch and bound over every model size twice — once per dense cold LP
+// solve per node, once with the warm-started incremental solver — verifies
+// the objectives agree, and writes the per-model wall time / node / LP /
+// pivot counters to BENCH_solver_micro.json (in the working directory).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/solver/mip.h"
 #include "src/solver/presolve.h"
@@ -15,6 +28,9 @@ namespace {
 
 // A placement-shaped model: `containers` x `nodes` binaries, <=1 row per
 // container, two capacity rows per node, random per-container scores.
+// Capacities are tight (~2-3 containers per node with containers > nodes),
+// so the LP relaxation splits containers across nodes and branch and bound
+// genuinely branches — a root-integral model would measure nothing.
 Model PlacementModel(int containers, int nodes, uint64_t seed) {
   Rng rng(seed);
   Model m;
@@ -38,8 +54,8 @@ Model PlacementModel(int containers, int nodes, uint64_t seed) {
                        rng.NextDouble(1, 4));
       cpu.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
     }
-    m.AddRow(mem, RowSense::kLessEqual, 16.0);
-    m.AddRow(cpu, RowSense::kLessEqual, 8.0);
+    m.AddRow(mem, RowSense::kLessEqual, 7.0);
+    m.AddRow(cpu, RowSense::kLessEqual, 3.0);
   }
   return m;
 }
@@ -61,11 +77,14 @@ void BM_BranchAndBound(::benchmark::State& state) {
       PlacementModel(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 7);
   MipOptions options;
   options.time_limit_seconds = 5.0;
+  options.use_incremental_lp = state.range(2) != 0;
   for (auto _ : state) {
     MipStats stats;
     const Solution s = SolveMip(m, options, &stats);
     ::benchmark::DoNotOptimize(s.objective);
     state.counters["bnb_nodes"] = stats.nodes_explored;
+    state.counters["pivots"] = static_cast<double>(stats.total_pivots);
+    state.counters["warm_hits"] = stats.warm_start_hits;
   }
 }
 
@@ -80,19 +99,172 @@ void BM_Presolve(::benchmark::State& state) {
 }
 
 BENCHMARK(BM_LpRelaxation)
-    ->Args({8, 16})
-    ->Args({16, 32})
-    ->Args({26, 48})
-    ->Args({40, 96})
+    ->Args({8, 4})
+    ->Args({16, 8})
+    ->Args({26, 13})
+    ->Args({40, 20})
     ->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_BranchAndBound)
-    ->Args({8, 16})
-    ->Args({16, 32})
-    ->Args({26, 48})
+    ->Args({8, 4, 0})
+    ->Args({8, 4, 1})
+    ->Args({12, 6, 0})
+    ->Args({12, 6, 1})
+    ->Args({16, 8, 0})
+    ->Args({16, 8, 1})
     ->Unit(::benchmark::kMillisecond);
-BENCHMARK(BM_Presolve)->Args({26, 48})->Args({40, 96})->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_Presolve)->Args({26, 13})->Args({40, 20})->Unit(::benchmark::kMillisecond);
+
+// ---- Cold-vs-warm comparison + BENCH_solver_micro.json ---------------------
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  MipStats stats;
+  Solution solution;
+};
+
+RunResult RunOnce(const Model& m, bool incremental) {
+  MipOptions options;
+  options.time_limit_seconds = 0.0;  // run each search to completion
+  options.relative_gap = 0.0;
+  options.absolute_gap = 1e-9;
+  options.use_incremental_lp = incremental;
+  RunResult r;
+  const auto start = std::chrono::steady_clock::now();
+  r.solution = SolveMip(m, options, &r.stats);
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return r;
+}
+
+void EmitRun(bench::JsonRecords& out, const std::string& label, uint64_t seed,
+             const Model& m, const char* mode, const RunResult& r) {
+  out.Begin()
+      .Field("kind", "run")
+      .Field("model", label)
+      .Field("seed", static_cast<long long>(seed))
+      .Field("mode", mode)
+      .Field("vars", m.num_variables())
+      .Field("rows", m.num_rows())
+      .Field("status", SolveStatusName(r.solution.status))
+      .Field("objective", r.solution.objective)
+      .Field("wall_seconds", r.wall_seconds)
+      .Field("nodes_explored", r.stats.nodes_explored)
+      .Field("lp_solves", r.stats.lp_solves)
+      .Field("lp_time_seconds", r.stats.lp_time_seconds)
+      .Field("total_pivots", r.stats.total_pivots)
+      .Field("warm_start_hits", r.stats.warm_start_hits)
+      .Field("cold_restarts", r.stats.cold_restarts)
+      .End();
+}
+
+int RunComparison() {
+  bench::PrintHeader(
+      "Solver micro: cold vs warm-started branch and bound",
+      "warm-started incremental simplex needs >= 5x fewer pivots per search");
+  bench::PrintRow({"model", "mode", "wall ms", "nodes", "lp", "pivots", "warm", "objective"});
+
+  // Several seeds per size: one B&B tree is luck (alternate LP optima give
+  // different branching orders in the two modes); the per-size sums isolate
+  // the systematic warm-start effect.
+  const std::vector<std::pair<int, int>> kSizes = {{10, 5}, {12, 6}, {16, 8}, {20, 10}};
+  const std::vector<uint64_t> kSeeds = {3, 5, 7, 11, 13};
+  bench::JsonRecords out;
+  int failures = 0;
+  long long cold_pivots_total = 0;
+  long long warm_pivots_total = 0;
+  double cold_wall_total = 0.0;
+  double warm_wall_total = 0.0;
+  for (const auto& [containers, nodes] : kSizes) {
+    const std::string label =
+        std::to_string(containers) + "x" + std::to_string(nodes);
+    long long cold_pivots = 0, warm_pivots = 0;
+    double cold_wall = 0.0, warm_wall = 0.0;
+    int cold_nodes = 0, warm_nodes = 0;
+    int cold_lps = 0, warm_lps = 0;
+    int warm_hits = 0;
+    bool objectives_match = true;
+    for (const uint64_t seed : kSeeds) {
+      const Model m = PlacementModel(containers, nodes, seed);
+      const RunResult cold = RunOnce(m, false);
+      const RunResult warm = RunOnce(m, true);
+      EmitRun(out, label, seed, m, "cold", cold);
+      EmitRun(out, label, seed, m, "warm", warm);
+      objectives_match = objectives_match &&
+                         cold.solution.status == warm.solution.status &&
+                         std::fabs(cold.solution.objective - warm.solution.objective) < 1e-6;
+      cold_pivots += cold.stats.total_pivots;
+      warm_pivots += warm.stats.total_pivots;
+      cold_wall += cold.wall_seconds;
+      warm_wall += warm.wall_seconds;
+      cold_nodes += cold.stats.nodes_explored;
+      warm_nodes += warm.stats.nodes_explored;
+      cold_lps += cold.stats.lp_solves;
+      warm_lps += warm.stats.lp_solves;
+      warm_hits += warm.stats.warm_start_hits;
+    }
+    bench::PrintRow({label, "cold", bench::Fmt(cold_wall * 1e3),
+                     std::to_string(cold_nodes), std::to_string(cold_lps),
+                     std::to_string(cold_pivots), "0", ""});
+    bench::PrintRow({label, "warm", bench::Fmt(warm_wall * 1e3),
+                     std::to_string(warm_nodes), std::to_string(warm_lps),
+                     std::to_string(warm_pivots), std::to_string(warm_hits), ""});
+
+    const double pivot_ratio =
+        warm_pivots > 0 ? static_cast<double>(cold_pivots) / warm_pivots : 0.0;
+    const double wall_ratio = warm_wall > 0.0 ? cold_wall / warm_wall : 0.0;
+    out.Begin()
+        .Field("kind", "summary")
+        .Field("model", label)
+        .Field("seeds", static_cast<long long>(kSeeds.size()))
+        .Field("objectives_match", objectives_match)
+        .Field("pivot_reduction", pivot_ratio)
+        .Field("wall_speedup", wall_ratio)
+        .End();
+    bench::PrintRow({label, "ratio", bench::Fmt(wall_ratio) + "x", "", "",
+                     bench::Fmt(pivot_ratio) + "x", "",
+                     objectives_match ? "match" : "MISMATCH"});
+    if (!objectives_match) {
+      ++failures;
+    }
+    cold_pivots_total += cold_pivots;
+    warm_pivots_total += warm_pivots;
+    cold_wall_total += cold_wall;
+    warm_wall_total += warm_wall;
+  }
+  const double total_pivot_ratio =
+      warm_pivots_total > 0
+          ? static_cast<double>(cold_pivots_total) / warm_pivots_total
+          : 0.0;
+  const double total_wall_ratio =
+      warm_wall_total > 0.0 ? cold_wall_total / warm_wall_total : 0.0;
+  out.Begin()
+      .Field("kind", "total")
+      .Field("cold_pivots", cold_pivots_total)
+      .Field("warm_pivots", warm_pivots_total)
+      .Field("pivot_reduction", total_pivot_ratio)
+      .Field("cold_wall_seconds", cold_wall_total)
+      .Field("warm_wall_seconds", warm_wall_total)
+      .Field("wall_speedup", total_wall_ratio)
+      .End();
+  bench::PrintRow({"TOTAL", "ratio", bench::Fmt(total_wall_ratio) + "x", "", "",
+                   bench::Fmt(total_pivot_ratio) + "x", "", ""});
+  if (!out.WriteFile("BENCH_solver_micro.json")) {
+    ++failures;
+  }
+  std::printf("\nwrote BENCH_solver_micro.json\n");
+  return failures;
+}
 
 }  // namespace
 }  // namespace medea::solver
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int failures = medea::solver::RunComparison();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return failures;
+}

@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/schedulers/greedy.h"
@@ -173,6 +174,118 @@ std::string FmtBox(const Distribution& d) {
   std::snprintf(buffer, sizeof(buffer), "%.0f/%.0f/%.0f (%.0f..%.0f)", box.p25, box.p50,
                 box.p75, box.p5, box.p99);
   return buffer;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+JsonRecords& JsonRecords::Begin() {
+  records_.emplace_back();
+  return *this;
+}
+
+JsonRecords& JsonRecords::End() { return *this; }
+
+JsonRecords& JsonRecords::Field(const std::string& key, const std::string& value) {
+  MEDEA_CHECK(!records_.empty());
+  records_.back().emplace_back(key, JsonQuote(value));
+  return *this;
+}
+
+JsonRecords& JsonRecords::Field(const std::string& key, const char* value) {
+  return Field(key, std::string(value));
+}
+
+JsonRecords& JsonRecords::Field(const std::string& key, double value) {
+  MEDEA_CHECK(!records_.empty());
+  char buffer[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "null");  // JSON has no inf/nan
+  }
+  records_.back().emplace_back(key, buffer);
+  return *this;
+}
+
+JsonRecords& JsonRecords::Field(const std::string& key, long long value) {
+  MEDEA_CHECK(!records_.empty());
+  records_.back().emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonRecords& JsonRecords::Field(const std::string& key, int value) {
+  return Field(key, static_cast<long long>(value));
+}
+
+JsonRecords& JsonRecords::Field(const std::string& key, bool value) {
+  MEDEA_CHECK(!records_.empty());
+  records_.back().emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonRecords::str() const {
+  std::string out = "[\n";
+  for (size_t r = 0; r < records_.size(); ++r) {
+    out += "  {";
+    for (size_t f = 0; f < records_[r].size(); ++f) {
+      if (f > 0) {
+        out += ", ";
+      }
+      out += JsonQuote(records_[r][f].first);
+      out += ": ";
+      out += records_[r][f].second;
+    }
+    out += r + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool JsonRecords::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonRecords: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = str();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "JsonRecords: short write to %s\n", path.c_str());
+  }
+  return ok;
 }
 
 }  // namespace medea::bench

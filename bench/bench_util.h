@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -65,6 +66,38 @@ std::string Fmt(double value, int precision = 2);
 
 // Formats a box plot as "p25/p50/p75 (p5..p99)".
 std::string FmtBox(const Distribution& d);
+
+// ---- JSON result files -----------------------------------------------------
+
+// Minimal JSON emitter for machine-readable bench results (BENCH_*.json):
+// an array of flat objects, built record by record. No external dependency,
+// no nesting — exactly what the result files need.
+//
+//   JsonRecords out;
+//   out.Begin().Field("model", "8x16").Field("pivots", 123).End();
+//   out.WriteFile("BENCH_solver_micro.json");
+class JsonRecords {
+ public:
+  // Starts a new record (object). Must be balanced by End().
+  JsonRecords& Begin();
+  JsonRecords& End();
+
+  JsonRecords& Field(const std::string& key, const std::string& value);
+  JsonRecords& Field(const std::string& key, const char* value);
+  JsonRecords& Field(const std::string& key, double value);
+  JsonRecords& Field(const std::string& key, long long value);
+  JsonRecords& Field(const std::string& key, int value);
+  JsonRecords& Field(const std::string& key, bool value);
+
+  // The full array as a pretty-printed JSON string.
+  std::string str() const;
+
+  // Writes str() to `path`; returns false (and prints to stderr) on failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 }  // namespace medea::bench
 

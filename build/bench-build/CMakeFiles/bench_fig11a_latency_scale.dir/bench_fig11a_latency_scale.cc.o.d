@@ -228,4 +228,6 @@ bench-build/CMakeFiles/bench_fig11a_latency_scale.dir/bench_fig11a_latency_scale
  /root/repo/src/core/constraint.h /root/repo/src/core/tags.h \
  /root/repo/src/core/constraint_manager.h \
  /root/repo/src/schedulers/placement.h \
- /root/repo/src/workload/lra_templates.h
+ /root/repo/src/workload/lra_templates.h \
+ /root/repo/src/schedulers/ilp_scheduler.h /root/repo/src/solver/mip.h \
+ /root/repo/src/solver/model.h /root/repo/src/solver/simplex.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/incremental_lp.cc" "src/solver/CMakeFiles/medea_solver.dir/incremental_lp.cc.o" "gcc" "src/solver/CMakeFiles/medea_solver.dir/incremental_lp.cc.o.d"
   "/root/repo/src/solver/lp_reader.cc" "src/solver/CMakeFiles/medea_solver.dir/lp_reader.cc.o" "gcc" "src/solver/CMakeFiles/medea_solver.dir/lp_reader.cc.o.d"
   "/root/repo/src/solver/lp_writer.cc" "src/solver/CMakeFiles/medea_solver.dir/lp_writer.cc.o" "gcc" "src/solver/CMakeFiles/medea_solver.dir/lp_writer.cc.o.d"
   "/root/repo/src/solver/mip.cc" "src/solver/CMakeFiles/medea_solver.dir/mip.cc.o" "gcc" "src/solver/CMakeFiles/medea_solver.dir/mip.cc.o.d"

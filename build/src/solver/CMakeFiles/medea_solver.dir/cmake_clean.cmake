@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/medea_solver.dir/incremental_lp.cc.o"
+  "CMakeFiles/medea_solver.dir/incremental_lp.cc.o.d"
   "CMakeFiles/medea_solver.dir/lp_reader.cc.o"
   "CMakeFiles/medea_solver.dir/lp_reader.cc.o.d"
   "CMakeFiles/medea_solver.dir/lp_writer.cc.o"

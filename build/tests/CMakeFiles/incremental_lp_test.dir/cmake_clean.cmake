@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_lp_test.dir/incremental_lp_test.cc.o"
+  "CMakeFiles/incremental_lp_test.dir/incremental_lp_test.cc.o.d"
+  "incremental_lp_test"
+  "incremental_lp_test.pdb"
+  "incremental_lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

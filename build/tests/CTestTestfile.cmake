@@ -9,6 +9,7 @@ include("/root/repo/build/tests/cluster_test[1]_include.cmake")
 include("/root/repo/build/tests/constraint_test[1]_include.cmake")
 include("/root/repo/build/tests/violation_test[1]_include.cmake")
 include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_lp_test[1]_include.cmake")
 include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
 include("/root/repo/build/tests/tasksched_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_test[1]_include.cmake")

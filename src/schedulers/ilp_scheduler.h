@@ -47,6 +47,9 @@ class MedeaIlpScheduler : public LraScheduler {
   std::string name() const override { return "Medea-ILP"; }
 
   // Statistics of the last Place() call, for tests and ablation benches.
+  // `mip` carries the branch-and-bound counters, including the warm-started
+  // incremental-simplex ones (warm_start_hits, cold_restarts, total_pivots,
+  // lp_time_seconds — see docs/solver.md) that the Fig. 11 benches report.
   struct LastSolveStats {
     int variables = 0;
     int rows = 0;

@@ -1,0 +1,830 @@
+#include "src/solver/incremental_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/result.h"
+
+namespace medea::solver {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Refactorize the basis inverse after this many product-form updates. Keeps
+// drift bounded while amortizing the O(m^3) inversion over many pivots.
+constexpr int kRefactorInterval = 64;
+
+// Consecutive fully degenerate dual pivots tolerated before the solve is
+// declared stalled and handed to the dense solver (which carries Bland's
+// rule). Placement models rarely need more than a handful.
+constexpr int kDegenerateLimit = 400;
+
+constexpr double kSingularTol = 1e-11;
+
+}  // namespace
+
+IncrementalLpSolver::IncrementalLpSolver(const Model& model) : model_(model) {
+  n_ = model_.num_variables();
+  m_ = model_.num_rows();
+  ncol_ = n_ + m_;
+
+  lower_.assign(static_cast<size_t>(ncol_), 0.0);
+  upper_.assign(static_cast<size_t>(ncol_), 0.0);
+  cost_.assign(static_cast<size_t>(ncol_), 0.0);
+  rhs_.assign(static_cast<size_t>(m_), 0.0);
+  status_.assign(static_cast<size_t>(ncol_), VarStatus::kAtLower);
+  basis_.assign(static_cast<size_t>(m_), -1);
+  basic_row_.assign(static_cast<size_t>(ncol_), -1);
+  binv_.assign(static_cast<size_t>(m_) * static_cast<size_t>(m_), 0.0);
+  beta_.assign(static_cast<size_t>(m_), 0.0);
+  dj_.assign(static_cast<size_t>(ncol_), 0.0);
+  w_.assign(static_cast<size_t>(m_), 0.0);
+  rho_.assign(static_cast<size_t>(m_), 0.0);
+  alpha_.assign(static_cast<size_t>(ncol_), 0.0);
+
+  for (int j = 0; j < n_; ++j) {
+    const auto& col = model_.column(j);
+    lower_[static_cast<size_t>(j)] = col.lower;
+    upper_[static_cast<size_t>(j)] = col.upper;
+    cost_[static_cast<size_t>(j)] = model_.maximize() ? col.objective : -col.objective;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const auto& row = model_.row(i);
+    const size_t slack = static_cast<size_t>(n_ + i);
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        lower_[slack] = 0.0;
+        upper_[slack] = kInfinity;
+        break;
+      case RowSense::kGreaterEqual:
+        lower_[slack] = -kInfinity;
+        upper_[slack] = 0.0;
+        break;
+      case RowSense::kEqual:
+        lower_[slack] = 0.0;
+        upper_[slack] = 0.0;
+        break;
+    }
+    rhs_[static_cast<size_t>(i)] = row.rhs;
+  }
+  // Build the sparse column cache up front so Solve() never pays for it.
+  (void)model_.ColumnMajor();
+}
+
+void IncrementalLpSolver::SetBounds(VarIndex j, double lower, double upper) {
+  MEDEA_CHECK(j >= 0 && j < n_);
+  MEDEA_CHECK(lower <= upper);
+  lower_[static_cast<size_t>(j)] = lower;
+  upper_[static_cast<size_t>(j)] = upper;
+  model_.SetBounds(j, lower, upper);
+}
+
+double IncrementalLpSolver::NonbasicValue(int j) const {
+  switch (status_[static_cast<size_t>(j)]) {
+    case VarStatus::kAtLower:
+      return lower_[static_cast<size_t>(j)];
+    case VarStatus::kAtUpper:
+      return upper_[static_cast<size_t>(j)];
+    case VarStatus::kFreeAtZero:
+      return 0.0;
+    case VarStatus::kBasic:
+      break;
+  }
+  MEDEA_CHECK(false);
+  return 0.0;
+}
+
+void IncrementalLpSolver::InstallSlackBasis() {
+  std::fill(basic_row_.begin(), basic_row_.end(), -1);
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int slack = n_ + i;
+    basis_[static_cast<size_t>(i)] = slack;
+    basic_row_[static_cast<size_t>(slack)] = i;
+    status_[static_cast<size_t>(slack)] = VarStatus::kBasic;
+    binv_[static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(i)] = 1.0;
+  }
+  pivots_since_refactor_ = 0;
+  ComputeDuals();
+  ComputeBeta();
+}
+
+bool IncrementalLpSolver::PrepareCold(const LpOptions& opts) {
+  // Preferred resting point: every structural at its natural bound (lower
+  // when finite — placement binaries start "nothing placed"). When the
+  // all-slack basis is primal feasible there, the dual phase no-ops and the
+  // primal phase optimizes, matching the dense solver pivot for pivot.
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    if (std::isfinite(lower_[sj])) {
+      status_[sj] = VarStatus::kAtLower;
+    } else if (std::isfinite(upper_[sj])) {
+      status_[sj] = VarStatus::kAtUpper;
+    } else {
+      status_[sj] = VarStatus::kFreeAtZero;
+    }
+  }
+  InstallSlackBasis();
+  bool primal_feasible = true;
+  for (int i = 0; i < m_ && primal_feasible; ++i) {
+    const int k = basis_[static_cast<size_t>(i)];
+    const double b = beta_[static_cast<size_t>(i)];
+    const double lo = lower_[static_cast<size_t>(k)];
+    const double up = upper_[static_cast<size_t>(k)];
+    primal_feasible = lo - b <= opts.feasibility_tol * (1.0 + std::fabs(lo)) &&
+                      b - up <= opts.feasibility_tol * (1.0 + std::fabs(up));
+  }
+  if (primal_feasible) {
+    return true;
+  }
+
+  // Otherwise rest each structural at its dual-feasible bound so the dual
+  // simplex can repair primal feasibility. Fails (-> dense fallback) when no
+  // such resting point exists, e.g. a free variable with nonzero cost.
+  const double dtol = 1e-9;
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    const double lo = lower_[sj];
+    const double up = upper_[sj];
+    const double c = cost_[sj];
+    if (lo == up) {
+      status_[sj] = VarStatus::kAtLower;
+    } else if (c > dtol) {
+      if (!std::isfinite(up)) {
+        return false;  // maximization wants +inf: dense solver decides
+      }
+      status_[sj] = VarStatus::kAtUpper;
+    } else if (c < -dtol) {
+      if (!std::isfinite(lo)) {
+        return false;
+      }
+      status_[sj] = VarStatus::kAtLower;
+    } else if (std::isfinite(lo)) {
+      status_[sj] = VarStatus::kAtLower;
+    } else if (std::isfinite(up)) {
+      status_[sj] = VarStatus::kAtUpper;
+    } else {
+      status_[sj] = VarStatus::kFreeAtZero;
+    }
+  }
+  InstallSlackBasis();
+  return true;
+}
+
+bool IncrementalLpSolver::PrepareWarm() {
+  // Reduced costs depend on the basis only, so a bound change leaves the
+  // basis dual feasible — except where a nonbasic variable was resting on a
+  // bound that no longer exists (un-fixed by backtracking) and its reduced
+  // cost points the wrong way. Those flip to their opposite bound; if that
+  // bound is infinite the basis is unusable and the caller cold-starts.
+  ComputeDuals();
+  const double dtol = 1e-7;
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    if (status_[sj] == VarStatus::kBasic) {
+      continue;
+    }
+    const double lo = lower_[sj];
+    const double up = upper_[sj];
+    if (lo == up) {
+      status_[sj] = VarStatus::kAtLower;
+      continue;
+    }
+    // Repair statuses that reference a bound that went infinite.
+    if (status_[sj] == VarStatus::kAtLower && !std::isfinite(lo)) {
+      status_[sj] = std::isfinite(up) ? VarStatus::kAtUpper : VarStatus::kFreeAtZero;
+    } else if (status_[sj] == VarStatus::kAtUpper && !std::isfinite(up)) {
+      status_[sj] = std::isfinite(lo) ? VarStatus::kAtLower : VarStatus::kFreeAtZero;
+    } else if (status_[sj] == VarStatus::kFreeAtZero &&
+               (std::isfinite(lo) || std::isfinite(up))) {
+      status_[sj] = std::isfinite(lo) ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    }
+    // Restore dual feasibility by bound flips where possible.
+    const double d = dj_[sj];
+    if (status_[sj] == VarStatus::kAtLower && d > dtol) {
+      if (!std::isfinite(up)) {
+        return false;
+      }
+      status_[sj] = VarStatus::kAtUpper;
+    } else if (status_[sj] == VarStatus::kAtUpper && d < -dtol) {
+      if (!std::isfinite(lo)) {
+        return false;
+      }
+      status_[sj] = VarStatus::kAtLower;
+    } else if (status_[sj] == VarStatus::kFreeAtZero && std::fabs(d) > dtol) {
+      return false;
+    }
+  }
+  ComputeBeta();
+  return true;
+}
+
+bool IncrementalLpSolver::Refactorize() {
+  const size_t sm = static_cast<size_t>(m_);
+  // Augmented Gauss-Jordan on [B | I]; the right half becomes B^-1.
+  std::vector<double>& aug = work_;
+  aug.assign(sm * 2 * sm, 0.0);
+  const Model::SparseColumns& csc = model_.ColumnMajor();
+  for (int k = 0; k < m_; ++k) {
+    const int j = basis_[static_cast<size_t>(k)];
+    if (j >= n_) {
+      aug[static_cast<size_t>(j - n_) * 2 * sm + static_cast<size_t>(k)] = 1.0;
+    } else {
+      for (int t = csc.starts[static_cast<size_t>(j)];
+           t < csc.starts[static_cast<size_t>(j) + 1]; ++t) {
+        aug[static_cast<size_t>(csc.row_index[static_cast<size_t>(t)]) * 2 * sm +
+            static_cast<size_t>(k)] = csc.value[static_cast<size_t>(t)];
+      }
+    }
+  }
+  for (size_t i = 0; i < sm; ++i) {
+    aug[i * 2 * sm + sm + i] = 1.0;
+  }
+  for (size_t col = 0; col < sm; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(aug[col * 2 * sm + col]);
+    for (size_t i = col + 1; i < sm; ++i) {
+      const double v = std::fabs(aug[i * 2 * sm + col]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < kSingularTol) {
+      return false;
+    }
+    if (pivot != col) {
+      for (size_t k = 0; k < 2 * sm; ++k) {
+        std::swap(aug[pivot * 2 * sm + k], aug[col * 2 * sm + k]);
+      }
+    }
+    const double inv = 1.0 / aug[col * 2 * sm + col];
+    for (size_t k = 0; k < 2 * sm; ++k) {
+      aug[col * 2 * sm + k] *= inv;
+    }
+    for (size_t i = 0; i < sm; ++i) {
+      if (i == col) {
+        continue;
+      }
+      const double f = aug[i * 2 * sm + col];
+      if (f == 0.0) {
+        continue;
+      }
+      for (size_t k = 0; k < 2 * sm; ++k) {
+        aug[i * 2 * sm + k] -= f * aug[col * 2 * sm + k];
+      }
+    }
+  }
+  for (size_t i = 0; i < sm; ++i) {
+    for (size_t k = 0; k < sm; ++k) {
+      binv_[i * sm + k] = aug[i * 2 * sm + sm + k];
+    }
+  }
+  pivots_since_refactor_ = 0;
+  ++stats_.refactorizations;
+  return true;
+}
+
+void IncrementalLpSolver::ComputeBeta() {
+  const size_t sm = static_cast<size_t>(m_);
+  const Model::SparseColumns& csc = model_.ColumnMajor();
+  std::vector<double>& t = w_;  // borrow scratch
+  for (int i = 0; i < m_; ++i) {
+    t[static_cast<size_t>(i)] = rhs_[static_cast<size_t>(i)];
+  }
+  for (int j = 0; j < n_; ++j) {
+    if (status_[static_cast<size_t>(j)] == VarStatus::kBasic) {
+      continue;
+    }
+    const double v = NonbasicValue(j);
+    if (v == 0.0) {
+      continue;
+    }
+    for (int k = csc.starts[static_cast<size_t>(j)];
+         k < csc.starts[static_cast<size_t>(j) + 1]; ++k) {
+      t[static_cast<size_t>(csc.row_index[static_cast<size_t>(k)])] -=
+          csc.value[static_cast<size_t>(k)] * v;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const size_t slack = static_cast<size_t>(n_ + i);
+    if (status_[slack] == VarStatus::kBasic) {
+      continue;
+    }
+    const double v = NonbasicValue(n_ + i);
+    if (v != 0.0) {
+      t[static_cast<size_t>(i)] -= v;
+    }
+  }
+  for (size_t i = 0; i < sm; ++i) {
+    const double* row = &binv_[i * sm];
+    double acc = 0.0;
+    for (size_t k = 0; k < sm; ++k) {
+      acc += row[k] * t[k];
+    }
+    beta_[i] = acc;
+  }
+}
+
+void IncrementalLpSolver::ComputeDuals() {
+  const size_t sm = static_cast<size_t>(m_);
+  std::vector<double>& y = rho_;  // borrow scratch
+  std::fill(y.begin(), y.end(), 0.0);
+  for (size_t k = 0; k < sm; ++k) {
+    const double cb = cost_[static_cast<size_t>(basis_[k])];
+    if (cb == 0.0) {
+      continue;
+    }
+    const double* row = &binv_[k * sm];
+    for (size_t i = 0; i < sm; ++i) {
+      y[i] += cb * row[i];
+    }
+  }
+  const Model::SparseColumns& csc = model_.ColumnMajor();
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    if (status_[sj] == VarStatus::kBasic) {
+      dj_[sj] = 0.0;
+      continue;
+    }
+    double acc = cost_[sj];
+    for (int k = csc.starts[sj]; k < csc.starts[sj + 1]; ++k) {
+      acc -= y[static_cast<size_t>(csc.row_index[static_cast<size_t>(k)])] *
+             csc.value[static_cast<size_t>(k)];
+    }
+    dj_[sj] = acc;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const size_t slack = static_cast<size_t>(n_ + i);
+    dj_[slack] = status_[slack] == VarStatus::kBasic ? 0.0 : -y[static_cast<size_t>(i)];
+  }
+}
+
+void IncrementalLpSolver::Ftran(int j, std::vector<double>& w) const {
+  const size_t sm = static_cast<size_t>(m_);
+  if (j >= n_) {
+    const size_t col = static_cast<size_t>(j - n_);
+    for (size_t i = 0; i < sm; ++i) {
+      w[i] = binv_[i * sm + col];
+    }
+    return;
+  }
+  const Model::SparseColumns& csc = model_.ColumnMajor();
+  const int begin = csc.starts[static_cast<size_t>(j)];
+  const int end = csc.starts[static_cast<size_t>(j) + 1];
+  for (size_t i = 0; i < sm; ++i) {
+    const double* row = &binv_[i * sm];
+    double acc = 0.0;
+    for (int k = begin; k < end; ++k) {
+      acc += row[static_cast<size_t>(csc.row_index[static_cast<size_t>(k)])] *
+             csc.value[static_cast<size_t>(k)];
+    }
+    w[i] = acc;
+  }
+}
+
+void IncrementalLpSolver::PriceAll(const std::vector<double>& rho,
+                                   std::vector<double>& alpha) const {
+  const Model::SparseColumns& csc = model_.ColumnMajor();
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    double acc = 0.0;
+    for (int k = csc.starts[sj]; k < csc.starts[sj + 1]; ++k) {
+      acc += rho[static_cast<size_t>(csc.row_index[static_cast<size_t>(k)])] *
+             csc.value[static_cast<size_t>(k)];
+    }
+    alpha[sj] = acc;
+  }
+  for (int i = 0; i < m_; ++i) {
+    alpha[static_cast<size_t>(n_ + i)] = rho[static_cast<size_t>(i)];
+  }
+}
+
+void IncrementalLpSolver::UpdateBasisInverse(int pivot_row, const std::vector<double>& w) {
+  const size_t sm = static_cast<size_t>(m_);
+  const size_t r = static_cast<size_t>(pivot_row);
+  double* rowr = &binv_[r * sm];
+  const double inv = 1.0 / w[r];
+  for (size_t k = 0; k < sm; ++k) {
+    rowr[k] *= inv;
+  }
+  for (size_t i = 0; i < sm; ++i) {
+    if (i == r) {
+      continue;
+    }
+    const double f = w[i];
+    if (f == 0.0) {
+      continue;
+    }
+    double* row = &binv_[i * sm];
+    for (size_t k = 0; k < sm; ++k) {
+      row[k] -= f * rowr[k];
+    }
+  }
+  ++pivots_since_refactor_;
+}
+
+void IncrementalLpSolver::ApplyPivot(int pivot_row, int entering, VarStatus leave_to,
+                                     double entering_value, double theta_dual) {
+  const int leaving = basis_[static_cast<size_t>(pivot_row)];
+  // dj update with alpha_ as the pivot row passed by the caller (unscaled in
+  // the dual loop, scaled by 1/alpha_rq in the primal loop — theta_dual is
+  // chosen to match): one pass covers every column. Basic columns other
+  // than `leaving` have alpha 0; `leaving` starts at dj 0 and lands at
+  // -theta_dual * alpha_leaving, which is the correct value in both
+  // conventions; `entering` lands at ~0 (pinned exactly below).
+  if (theta_dual != 0.0) {
+    for (int j = 0; j < ncol_; ++j) {
+      dj_[static_cast<size_t>(j)] -= theta_dual * alpha_[static_cast<size_t>(j)];
+    }
+  }
+  dj_[static_cast<size_t>(entering)] = 0.0;
+
+  status_[static_cast<size_t>(leaving)] = leave_to;
+  basic_row_[static_cast<size_t>(leaving)] = -1;
+  status_[static_cast<size_t>(entering)] = VarStatus::kBasic;
+  basic_row_[static_cast<size_t>(entering)] = pivot_row;
+  basis_[static_cast<size_t>(pivot_row)] = entering;
+  beta_[static_cast<size_t>(pivot_row)] = entering_value;
+
+  UpdateBasisInverse(pivot_row, w_);
+}
+
+SolveStatus IncrementalLpSolver::DualSimplex(const LpOptions& opts, bool timed,
+                                             TimePoint deadline) {
+  const double ptol = std::max(opts.pivot_tol, 1e-11);
+  int degenerate_streak = 0;
+  bool just_refactored = false;
+  while (true) {
+    if (last_info_.pivots >= opts.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+    if (timed && (last_info_.pivots & 15) == 0 && Clock::now() >= deadline) {
+      return SolveStatus::kTimeLimit;
+    }
+    // Leaving row: most-violated basic variable (relative tolerance — row
+    // activities reach 1e4..1e5 on placement models).
+    int r = -1;
+    double best_viol = 0.0;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      const int k = basis_[static_cast<size_t>(i)];
+      const double b = beta_[static_cast<size_t>(i)];
+      const double lo = lower_[static_cast<size_t>(k)];
+      const double up = upper_[static_cast<size_t>(k)];
+      const double vlo = lo - b;
+      if (vlo > opts.feasibility_tol * (1.0 + std::fabs(lo)) && vlo > best_viol) {
+        best_viol = vlo;
+        r = i;
+        below = true;
+      }
+      const double vup = b - up;
+      if (vup > opts.feasibility_tol * (1.0 + std::fabs(up)) && vup > best_viol) {
+        best_viol = vup;
+        r = i;
+        below = false;
+      }
+    }
+    if (r < 0) {
+      return SolveStatus::kOptimal;  // primal feasible; dual kept feasible
+    }
+    const int leaving = basis_[static_cast<size_t>(r)];
+    const double target = below ? lower_[static_cast<size_t>(leaving)]
+                                : upper_[static_cast<size_t>(leaving)];
+
+    // Pivot row alpha via BTRAN (rho = row r of B^-1) + sparse pricing.
+    const size_t sm = static_cast<size_t>(m_);
+    std::copy(&binv_[static_cast<size_t>(r) * sm], &binv_[static_cast<size_t>(r) * sm] + sm,
+              rho_.begin());
+    PriceAll(rho_, alpha_);
+
+    // Dual ratio test: eligible columns can move so the leaving variable
+    // returns toward `target`; pick min |dj|/|alpha|, then the largest
+    // |alpha| within a relative band of the best ratio (stability).
+    double best_ratio = kInfinity;
+    for (int j = 0; j < ncol_; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      const VarStatus st = status_[sj];
+      if (st == VarStatus::kBasic || lower_[sj] == upper_[sj]) {
+        continue;
+      }
+      const double a = alpha_[sj];
+      if (std::fabs(a) <= ptol) {
+        continue;
+      }
+      const bool eligible = st == VarStatus::kFreeAtZero ||
+                            (st == VarStatus::kAtLower && (below ? a < 0.0 : a > 0.0)) ||
+                            (st == VarStatus::kAtUpper && (below ? a > 0.0 : a < 0.0));
+      if (!eligible) {
+        continue;
+      }
+      const double ratio = std::fabs(dj_[sj]) / std::fabs(a);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+      }
+    }
+    if (!std::isfinite(best_ratio)) {
+      return SolveStatus::kInfeasible;  // row r cannot be repaired
+    }
+    int q = -1;
+    double best_alpha = 0.0;
+    const double band = best_ratio * (1.0 + 1e-7) + 1e-10;
+    for (int j = 0; j < ncol_; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      const VarStatus st = status_[sj];
+      if (st == VarStatus::kBasic || lower_[sj] == upper_[sj]) {
+        continue;
+      }
+      const double a = alpha_[sj];
+      if (std::fabs(a) <= ptol) {
+        continue;
+      }
+      const bool eligible = st == VarStatus::kFreeAtZero ||
+                            (st == VarStatus::kAtLower && (below ? a < 0.0 : a > 0.0)) ||
+                            (st == VarStatus::kAtUpper && (below ? a > 0.0 : a < 0.0));
+      if (!eligible) {
+        continue;
+      }
+      if (std::fabs(dj_[sj]) / std::fabs(a) <= band && std::fabs(a) > best_alpha) {
+        best_alpha = std::fabs(a);
+        q = j;
+      }
+    }
+    MEDEA_CHECK(q >= 0);
+
+    Ftran(q, w_);
+    const double wr = w_[static_cast<size_t>(r)];
+    // Drift guard: the priced alpha and the FTRAN'd column must agree.
+    if (std::fabs(wr) <= ptol ||
+        std::fabs(wr - alpha_[static_cast<size_t>(q)]) >
+            1e-6 * std::max(1.0, std::fabs(wr))) {
+      if (just_refactored) {
+        return SolveStatus::kIterationLimit;  // numerical trouble: fall back
+      }
+      if (!Refactorize()) {
+        return SolveStatus::kIterationLimit;
+      }
+      ComputeDuals();
+      ComputeBeta();
+      just_refactored = true;
+      continue;
+    }
+    just_refactored = false;
+
+    const double theta_dual = dj_[static_cast<size_t>(q)] / wr;
+    const double dxq = (target - beta_[static_cast<size_t>(r)]) / (-wr);
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) {
+        continue;
+      }
+      const double wi = w_[static_cast<size_t>(i)];
+      if (wi != 0.0) {
+        beta_[static_cast<size_t>(i)] -= wi * dxq;
+      }
+    }
+    const double entering_value = NonbasicValue(q) + dxq;
+    const VarStatus leave_to =
+        below ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    ApplyPivot(r, q, leave_to, entering_value, theta_dual);
+    ++last_info_.pivots;
+    ++stats_.pivots;
+
+    if (std::fabs(dxq) <= 1e-12 && std::fabs(theta_dual) <= 1e-12) {
+      if (++degenerate_streak > kDegenerateLimit) {
+        return SolveStatus::kIterationLimit;  // stalled: dense fallback
+      }
+    } else {
+      degenerate_streak = 0;
+    }
+    if (pivots_since_refactor_ >= kRefactorInterval) {
+      if (!Refactorize()) {
+        return SolveStatus::kIterationLimit;
+      }
+      ComputeDuals();
+      ComputeBeta();
+    }
+  }
+}
+
+SolveStatus IncrementalLpSolver::PrimalCleanup(const LpOptions& opts, bool timed,
+                                               TimePoint deadline) {
+  const double ptol = std::max(opts.pivot_tol, 1e-11);
+  int stall = 0;
+  while (true) {
+    if (last_info_.pivots >= opts.max_iterations || stall > kDegenerateLimit) {
+      return SolveStatus::kIterationLimit;
+    }
+    if (timed && (last_info_.pivots & 15) == 0 && Clock::now() >= deadline) {
+      return SolveStatus::kTimeLimit;
+    }
+    // Entering: largest reduced-cost violation (Dantzig).
+    int q = -1;
+    double best = opts.optimality_tol;
+    double dir = 1.0;
+    for (int j = 0; j < ncol_; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      const VarStatus st = status_[sj];
+      if (st == VarStatus::kBasic || lower_[sj] == upper_[sj]) {
+        continue;
+      }
+      const double d = dj_[sj];
+      if ((st == VarStatus::kAtLower || st == VarStatus::kFreeAtZero) && d > best) {
+        best = d;
+        q = j;
+        dir = 1.0;
+      } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFreeAtZero) && -d > best) {
+        best = -d;
+        q = j;
+        dir = -1.0;
+      }
+    }
+    if (q < 0) {
+      return SolveStatus::kOptimal;
+    }
+
+    Ftran(q, w_);
+
+    // Primal ratio test (mirrors the dense solver, over the FTRAN column).
+    double limit = kInfinity;
+    int limit_row = -1;
+    VarStatus leave_to = VarStatus::kAtLower;
+    if (std::isfinite(lower_[static_cast<size_t>(q)]) &&
+        std::isfinite(upper_[static_cast<size_t>(q)])) {
+      limit = upper_[static_cast<size_t>(q)] - lower_[static_cast<size_t>(q)];
+    }
+    for (int i = 0; i < m_; ++i) {
+      const double y = w_[static_cast<size_t>(i)];
+      if (std::fabs(y) < ptol) {
+        continue;
+      }
+      const int k = basis_[static_cast<size_t>(i)];
+      const double change = dir * y;  // beta_i moves by -change * t
+      double t = kInfinity;
+      VarStatus to = VarStatus::kAtLower;
+      if (change > 0.0) {
+        if (std::isfinite(lower_[static_cast<size_t>(k)])) {
+          t = (beta_[static_cast<size_t>(i)] - lower_[static_cast<size_t>(k)]) / change;
+          to = VarStatus::kAtLower;
+        }
+      } else {
+        if (std::isfinite(upper_[static_cast<size_t>(k)])) {
+          t = (upper_[static_cast<size_t>(k)] - beta_[static_cast<size_t>(i)]) / (-change);
+          to = VarStatus::kAtUpper;
+        }
+      }
+      if (t < limit - 1e-12) {
+        limit = t;
+        limit_row = i;
+        leave_to = to;
+      }
+    }
+    if (!std::isfinite(limit)) {
+      return SolveStatus::kUnbounded;
+    }
+    limit = std::max(limit, 0.0);
+    if (limit <= 1e-12) {
+      ++stall;
+    } else {
+      stall = 0;
+    }
+
+    if (limit_row < 0) {
+      // Bound flip: the entering variable jumps to its opposite bound.
+      const double span = dir * limit;
+      for (int i = 0; i < m_; ++i) {
+        const double y = w_[static_cast<size_t>(i)];
+        if (y != 0.0) {
+          beta_[static_cast<size_t>(i)] -= y * span;
+        }
+      }
+      status_[static_cast<size_t>(q)] =
+          dir > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      ++last_info_.pivots;
+      ++stats_.pivots;
+      continue;
+    }
+
+    const int r = limit_row;
+    const double wr = w_[static_cast<size_t>(r)];
+    if (std::fabs(wr) <= ptol) {
+      return SolveStatus::kIterationLimit;
+    }
+    const double entering_value = NonbasicValue(q) + dir * limit;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) {
+        continue;
+      }
+      const double y = w_[static_cast<size_t>(i)];
+      if (y != 0.0) {
+        beta_[static_cast<size_t>(i)] -= y * dir * limit;
+      }
+    }
+    // Pivot-row alpha for the dj update: rho = (row r of B^-1) / wr, so the
+    // implied theta is dj_q (entering lands at zero reduced cost).
+    const size_t sm = static_cast<size_t>(m_);
+    for (size_t k = 0; k < sm; ++k) {
+      rho_[k] = binv_[static_cast<size_t>(r) * sm + k] / wr;
+    }
+    PriceAll(rho_, alpha_);
+    ApplyPivot(r, q, leave_to, entering_value, dj_[static_cast<size_t>(q)]);
+    ++last_info_.pivots;
+    ++stats_.pivots;
+
+    if (pivots_since_refactor_ >= kRefactorInterval) {
+      if (!Refactorize()) {
+        return SolveStatus::kIterationLimit;
+      }
+      ComputeDuals();
+      ComputeBeta();
+    }
+  }
+}
+
+Solution IncrementalLpSolver::DenseFallback(const LpOptions& opts) {
+  basis_valid_ = false;
+  last_info_.dense_fallback = true;
+  ++stats_.dense_fallbacks;
+  LpStats lp_stats;
+  Solution solution = SolveLp(model_, opts, &lp_stats);
+  last_info_.pivots += lp_stats.iterations;
+  stats_.pivots += lp_stats.iterations;
+  return solution;
+}
+
+Solution IncrementalLpSolver::Extract() const {
+  Solution solution;
+  solution.values.assign(static_cast<size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    const int row = basic_row_[sj];
+    double v = row >= 0 ? beta_[static_cast<size_t>(row)] : NonbasicValue(j);
+    const auto& col = model_.column(j);
+    v = std::clamp(v, std::isfinite(col.lower) ? col.lower : -kInfinity,
+                   std::isfinite(col.upper) ? col.upper : kInfinity);
+    solution.values[sj] = v;
+  }
+  solution.status = SolveStatus::kOptimal;
+  solution.objective = model_.Objective(solution.values);
+  return solution;
+}
+
+Solution IncrementalLpSolver::Solve(const LpOptions& options) {
+  last_info_ = SolveInfo{};
+  if (m_ == 0) {
+    // Pure bound problem: the dense solver's closed-form path handles it.
+    return DenseFallback(options);
+  }
+  const bool timed = options.time_limit_seconds > 0.0;
+  const TimePoint deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             timed ? options.time_limit_seconds : 0.0));
+
+  bool warm = basis_valid_;
+  if (warm && !PrepareWarm()) {
+    warm = false;
+  }
+  if (!warm && !PrepareCold(options)) {
+    return DenseFallback(options);
+  }
+  last_info_.warm = warm;
+  if (warm) {
+    ++stats_.warm_solves;
+  } else {
+    ++stats_.cold_solves;
+  }
+
+  SolveStatus st = DualSimplex(options, timed, deadline);
+  if (st == SolveStatus::kOptimal) {
+    st = PrimalCleanup(options, timed, deadline);
+  }
+  switch (st) {
+    case SolveStatus::kOptimal:
+      basis_valid_ = true;
+      return Extract();
+    case SolveStatus::kInfeasible: {
+      // The basis is still consistent; siblings re-enter from it.
+      basis_valid_ = true;
+      Solution solution;
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    case SolveStatus::kTimeLimit: {
+      // Mid-run state is a valid basis; resume warm on the next call.
+      basis_valid_ = true;
+      Solution solution;
+      solution.status = SolveStatus::kTimeLimit;
+      return solution;
+    }
+    case SolveStatus::kUnbounded:
+      // Only the dense solver's verdict is authoritative here.
+      return DenseFallback(options);
+    case SolveStatus::kIterationLimit:
+    case SolveStatus::kFeasible:
+      break;
+  }
+  // Stall, iteration cap or numerical trouble: cold dense restart.
+  return DenseFallback(options);
+}
+
+}  // namespace medea::solver

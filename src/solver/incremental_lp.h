@@ -1,0 +1,151 @@
+// Copyright (c) Medea reproduction authors.
+// Incremental, warm-startable LP solver for branch and bound.
+//
+// Branch-and-bound children differ from their parent by exactly one
+// variable-bound change, which leaves the parent's final basis dual feasible
+// (reduced costs depend on the basis and costs only, never on bounds). This
+// solver exploits that: it is constructed once per search, holds the basis,
+// the basis inverse and the variable statuses across solves, and re-enters
+// through a bounded-variable dual simplex that re-optimizes in a few pivots
+// instead of the dense solver's full Phase-1/Phase-2 restart.
+//
+// Implementation: revised simplex over [structurals | slacks] with
+//  * the constraint matrix in sparse column-major form (Model::ColumnMajor),
+//    so pricing and pivot-row computation iterate nonzeros only;
+//  * a dense m x m basis inverse maintained by product-form updates and
+//    periodically refactorized (placement models have a few hundred rows,
+//    where a dense inverse is small and cache-friendly);
+//  * a dual simplex main loop (restores primal feasibility after bound
+//    changes) followed by a primal cleanup loop (fixes residual dual
+//    infeasibility from drift or bound flips);
+//  * a fallback to the cold dense solver (simplex.h) whenever basis repair
+//    fails — numerical trouble, stalling, or a cost structure the
+//    dual-feasible cold start cannot express. The caller observes fallbacks
+//    through last_info() and counts them in MipStats::cold_restarts.
+//
+// See docs/solver.md for the full architecture.
+
+#ifndef SRC_SOLVER_INCREMENTAL_LP_H_
+#define SRC_SOLVER_INCREMENTAL_LP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/solver/model.h"
+#include "src/solver/simplex.h"
+
+namespace medea::solver {
+
+class IncrementalLpSolver {
+ public:
+  // Takes a private copy of `model`. Subsequent bound changes must be
+  // applied through SetBounds; the matrix, objective and variable set are
+  // fixed for the lifetime of the solver.
+  explicit IncrementalLpSolver(const Model& model);
+
+  // Updates variable j's bounds (branch-and-bound fix/unfix). O(1); the
+  // next Solve() re-enters from the previous final basis.
+  void SetBounds(VarIndex j, double lower, double upper);
+
+  // Re-optimizes after any number of SetBounds calls. The first call, and
+  // any call after a failure invalidated the basis, is a cold start.
+  Solution Solve(const LpOptions& options = LpOptions());
+
+  // Observability for the most recent Solve() call.
+  struct SolveInfo {
+    int pivots = 0;               // dual + primal pivots and bound flips
+    bool warm = false;            // re-entered from the previous final basis
+    bool dense_fallback = false;  // delegated to the cold dense solver
+  };
+  const SolveInfo& last_info() const { return last_info_; }
+
+  // Lifetime counters across all Solve() calls.
+  struct Stats {
+    std::int64_t pivots = 0;
+    int warm_solves = 0;
+    int cold_solves = 0;      // solves rebuilt from the all-slack basis
+    int dense_fallbacks = 0;  // solves delegated to the dense solver
+    int refactorizations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // The solver's private model copy (bounds reflect SetBounds calls).
+  const Model& model() const { return model_; }
+
+ private:
+  enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper, kFreeAtZero };
+
+  double NonbasicValue(int j) const;
+
+  // Installs the all-slack basis (binv = I) and refreshes duals/beta for
+  // whatever resting statuses the structurals currently hold.
+  void InstallSlackBasis();
+  // Cold start: rests structurals at their natural (lower-preferred) bounds
+  // when that point is primal feasible — the primal phase then optimizes
+  // like the dense solver — otherwise at their dual-feasible bounds for the
+  // dual simplex to repair. Returns false when neither start exists; the
+  // caller falls back to the dense solver.
+  bool PrepareCold(const LpOptions& opts);
+  // Warm start: keeps the previous basis, reconciles nonbasic statuses with
+  // the new bounds (bound flips where dual feasibility demands it), and
+  // recomputes beta/duals. Returns false when the basis cannot be reused.
+  bool PrepareWarm();
+
+  bool Refactorize();
+  void ComputeBeta();
+  void ComputeDuals();
+  // w = B^-1 * A_j for an extended column j (structural or slack).
+  void Ftran(int j, std::vector<double>& w) const;
+  // alpha_j = rho . A_j for every extended column, iterating nonzeros only.
+  void PriceAll(const std::vector<double>& rho, std::vector<double>& alpha) const;
+  void UpdateBasisInverse(int pivot_row, const std::vector<double>& w);
+  // Applies the shared pivot bookkeeping: dj row update (using alpha_ as the
+  // unscaled pivot row), status/basis swap, basis-inverse update.
+  void ApplyPivot(int pivot_row, int entering, VarStatus leave_to, double entering_value,
+                  double theta_dual);
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  // Dual simplex: picks the most-violated basic variable, restores primal
+  // feasibility while preserving dual feasibility. Detects infeasibility.
+  SolveStatus DualSimplex(const LpOptions& opts, bool timed, TimePoint deadline);
+  // Primal simplex: drives out residual dual infeasibility (usually zero
+  // iterations after a clean dual phase).
+  SolveStatus PrimalCleanup(const LpOptions& opts, bool timed, TimePoint deadline);
+
+  // Delegates the whole solve to the cold dense solver and invalidates the
+  // basis. Counted in stats_.dense_fallbacks.
+  Solution DenseFallback(const LpOptions& opts);
+  // Builds the Solution (values per structural variable) from the basis.
+  Solution Extract() const;
+
+  Model model_;  // private copy: bounds track SetBounds calls
+
+  int n_ = 0;     // structural columns
+  int m_ = 0;     // rows
+  int ncol_ = 0;  // n_ + m_
+
+  std::vector<double> lower_, upper_;  // extended bounds (slacks encode sense)
+  std::vector<double> cost_;           // internal maximize costs
+  std::vector<double> rhs_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;      // row -> basic extended column
+  std::vector<int> basic_row_;  // extended column -> row, -1 if nonbasic
+  std::vector<double> binv_;    // dense m x m row-major basis inverse
+  std::vector<double> beta_;    // basic variable values per row
+  std::vector<double> dj_;      // reduced costs per extended column
+
+  bool basis_valid_ = false;
+  int pivots_since_refactor_ = 0;
+
+  // Scratch (sized once, reused every pivot).
+  std::vector<double> w_, rho_, alpha_, work_;
+
+  SolveInfo last_info_;
+  Stats stats_;
+};
+
+}  // namespace medea::solver
+
+#endif  // SRC_SOLVER_INCREMENTAL_LP_H_

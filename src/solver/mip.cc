@@ -1,10 +1,12 @@
 #include "src/solver/mip.h"
 
+#include "src/solver/incremental_lp.h"
 #include "src/solver/presolve.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 namespace medea::solver {
 namespace {
@@ -27,15 +29,58 @@ class BranchAndBound {
   bool TimeUp() const { return deadline_set_ && Clock::now() >= deadline_; }
 
   // LP options with the time budget clipped to the remaining MIP budget, so
-  // a single degenerate LP cannot blow through the solver deadline.
+  // a single degenerate LP cannot blow through the solver deadline. An
+  // already-expired budget maps to a ~zero (not zero: zero means unlimited)
+  // LP deadline, so post-deadline nodes fail their first deadline check
+  // instead of each getting a fresh grace period.
   LpOptions BudgetedLpOptions() const {
     LpOptions lp = opts_.lp;
     if (deadline_set_) {
       const double remaining =
           std::chrono::duration<double>(deadline_ - Clock::now()).count();
-      const double capped = std::max(0.01, remaining);
+      const double capped = std::max(1e-9, remaining);
       lp.time_limit_seconds =
           lp.time_limit_seconds > 0 ? std::min(lp.time_limit_seconds, capped) : capped;
+    }
+    return lp;
+  }
+
+  // Applies a branching bound change to the model copy and, when active, the
+  // incremental solver (which holds its own copy and basis).
+  void SetVarBounds(VarIndex j, double lower, double upper) {
+    model_.SetBounds(j, lower, upper);
+    if (inc_ != nullptr) {
+      inc_->SetBounds(j, lower, upper);
+    }
+  }
+
+  // Solves one node relaxation — incremental (warm-started) when enabled,
+  // dense otherwise — and records timing/pivot/warm-vs-cold statistics.
+  Solution NodeLp() {
+    const auto start = Clock::now();
+    Solution lp;
+    if (inc_ != nullptr) {
+      lp = inc_->Solve(BudgetedLpOptions());
+      if (stats_ != nullptr) {
+        const auto& info = inc_->last_info();
+        stats_->total_pivots += info.pivots;
+        if (info.warm && !info.dense_fallback) {
+          ++stats_->warm_start_hits;
+        } else {
+          ++stats_->cold_restarts;
+        }
+      }
+    } else {
+      LpStats lp_stats;
+      lp = SolveLp(model_, BudgetedLpOptions(), &lp_stats);
+      if (stats_ != nullptr) {
+        stats_->total_pivots += lp_stats.iterations;
+        ++stats_->cold_restarts;
+      }
+    }
+    if (stats_ != nullptr) {
+      ++stats_->lp_solves;
+      stats_->lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
     }
     return lp;
   }
@@ -56,6 +101,13 @@ class BranchAndBound {
   void Dfs(int depth);
 
   Model model_;  // mutable copy: bounds change during the search
+  // Persistent warm-started node solver; null when opts_.use_incremental_lp
+  // is off. Branch bounds are mirrored into it via SetVarBounds; the
+  // temporary all-integers-fixed bounds of TryRounding deliberately are NOT
+  // (those solves stay on the dense path — with every integer fixed, the
+  // dense solver's fixed-column elimination makes them tiny, and keeping
+  // them out preserves the parent basis for the next node).
+  std::unique_ptr<IncrementalLpSolver> inc_;
   const MipOptions& opts_;
   MipStats* stats_;
   bool deadline_set_ = false;
@@ -103,13 +155,17 @@ void BranchAndBound::TryRounding(const std::vector<double>& x) {
         std::clamp(std::round(rounded[static_cast<size_t>(j)]), col.lower, col.upper);
     model_.SetBounds(j, v, v);
   }
-  const Solution repaired = SolveLp(model_, BudgetedLpOptions());
+  const auto start = Clock::now();
+  LpStats lp_stats;
+  const Solution repaired = SolveLp(model_, BudgetedLpOptions(), &lp_stats);
   for (int j = 0; j < model_.num_variables(); ++j) {
     model_.SetBounds(j, saved[static_cast<size_t>(j)].first,
                      saved[static_cast<size_t>(j)].second);
   }
   if (stats_ != nullptr) {
     ++stats_->lp_solves;
+    stats_->total_pivots += lp_stats.iterations;
+    stats_->lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
   }
   if (repaired.status == SolveStatus::kOptimal &&
       model_.IsFeasible(repaired.values, 1e-5)) {
@@ -144,18 +200,22 @@ void BranchAndBound::Dfs(int depth) {
   ++nodes_;
   if (stats_ != nullptr) {
     ++stats_->nodes_explored;
-    ++stats_->lp_solves;
   }
 
-  const Solution lp = SolveLp(model_, BudgetedLpOptions());
+  const Solution lp = NodeLp();
   if (lp.status == SolveStatus::kInfeasible) {
     return;
   }
-  if (lp.status == SolveStatus::kUnbounded || lp.status == SolveStatus::kIterationLimit) {
-    // Treat as unexplorable; keep the search sound by marking incomplete.
+  if (lp.status != SolveStatus::kOptimal) {
+    // No usable verdict (unbounded, iteration limit, or the LP's clipped
+    // time budget expired — lp.values may be empty). Treat as unexplorable;
+    // keep the search sound by marking incomplete.
     search_complete_ = false;
     if (stats_ != nullptr) {
       ++stats_->lp_failures;
+      if (lp.status == SolveStatus::kTimeLimit) {
+        stats_->hit_time_limit = true;
+      }
     }
     return;
   }
@@ -197,15 +257,15 @@ void BranchAndBound::Dfs(int depth) {
       if (floor_v < old_lower - 1e-12) {
         continue;
       }
-      model_.SetBounds(branch_var, old_lower, std::min(floor_v, old_upper));
+      SetVarBounds(branch_var, old_lower, std::min(floor_v, old_upper));
     } else {
       if (ceil_v > old_upper + 1e-12) {
         continue;
       }
-      model_.SetBounds(branch_var, std::max(ceil_v, old_lower), old_upper);
+      SetVarBounds(branch_var, std::max(ceil_v, old_lower), old_upper);
     }
     Dfs(depth + 1);
-    model_.SetBounds(branch_var, old_lower, old_upper);
+    SetVarBounds(branch_var, old_lower, old_upper);
     if (TimeUp()) {
       search_complete_ = false;
       return;
@@ -214,6 +274,9 @@ void BranchAndBound::Dfs(int depth) {
 }
 
 Solution BranchAndBound::Run() {
+  if (opts_.use_incremental_lp) {
+    inc_ = std::make_unique<IncrementalLpSolver>(model_);
+  }
   if (static_cast<int>(opts_.warm_start.size()) == model_.num_variables()) {
     TryRounding(opts_.warm_start);
   }
@@ -251,11 +314,17 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
     }
   }
   if (model.num_integer_variables() == 0) {
+    const auto start = Clock::now();
+    LpStats lp_stats;
+    Solution solution = SolveLp(model, options.lp, &lp_stats);
     if (stats != nullptr) {
       stats->lp_solves = 1;
       stats->nodes_explored = 1;
+      stats->cold_restarts = 1;
+      stats->total_pivots = lp_stats.iterations;
+      stats->lp_time_seconds = std::chrono::duration<double>(Clock::now() - start).count();
     }
-    return SolveLp(model, options.lp);
+    return solution;
   }
   BranchAndBound bnb(model, options, stats);
   return bnb.Run();

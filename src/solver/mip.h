@@ -41,6 +41,10 @@ struct MipOptions {
   // the result seeds the incumbent. Size must equal the model's variable
   // count (or be empty).
   std::vector<double> warm_start;
+  // Solve node relaxations with the persistent warm-started solver
+  // (src/solver/incremental_lp.h) instead of a cold dense solve per node.
+  // Results are identical up to tolerances; see docs/solver.md.
+  bool use_incremental_lp = true;
   LpOptions lp;
 };
 
@@ -48,10 +52,22 @@ struct MipStats {
   int nodes_explored = 0;
   int lp_solves = 0;
   // LP relaxations that ended without a usable verdict (iteration limit /
-  // unbounded); any such node leaves the search incomplete.
+  // time limit / unbounded); any such node leaves the search incomplete.
   int lp_failures = 0;
   bool hit_time_limit = false;
   bool hit_node_limit = false;
+  // Wall-clock seconds spent inside LP solves (node relaxations, rounding
+  // repairs and warm-start seeding).
+  double lp_time_seconds = 0.0;
+  // Simplex pivots + bound flips summed over every LP solve, incremental and
+  // dense alike. The headline metric for the warm-start speedup.
+  long long total_pivots = 0;
+  // Node relaxations re-entered from the parent's final basis by the
+  // incremental solver.
+  int warm_start_hits = 0;
+  // Node relaxations solved cold: the root solve, plus every basis-repair
+  // failure that fell back to a from-scratch solve.
+  int cold_restarts = 0;
 };
 
 // Solves `model` to (proven or budget-limited) optimality.

@@ -24,6 +24,7 @@ VarIndex Model::AddVariable(double lower, double upper, double objective, VarTyp
     ++num_integer_;
   }
   columns_.push_back(std::move(col));
+  csc_valid_ = false;
   return static_cast<VarIndex>(columns_.size()) - 1;
 }
 
@@ -58,7 +59,40 @@ RowIndex Model::AddRow(std::vector<std::pair<VarIndex, double>> terms, RowSense 
   row.rhs = rhs;
   row.name = std::move(name);
   rows_.push_back(std::move(row));
+  csc_valid_ = false;
   return static_cast<RowIndex>(rows_.size()) - 1;
+}
+
+const Model::SparseColumns& Model::ColumnMajor() const {
+  if (csc_valid_) {
+    return csc_;
+  }
+  const int n = num_variables();
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  size_t nnz = 0;
+  for (const Row& row : rows_) {
+    for (const auto& [var, coeff] : row.terms) {
+      ++counts[static_cast<size_t>(var)];
+      ++nnz;
+    }
+  }
+  csc_.starts.assign(static_cast<size_t>(n) + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    csc_.starts[static_cast<size_t>(j) + 1] =
+        csc_.starts[static_cast<size_t>(j)] + counts[static_cast<size_t>(j)];
+  }
+  csc_.row_index.assign(nnz, 0);
+  csc_.value.assign(nnz, 0.0);
+  std::vector<int> fill(csc_.starts.begin(), csc_.starts.end() - 1);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (const auto& [var, coeff] : rows_[r].terms) {
+      const int k = fill[static_cast<size_t>(var)]++;
+      csc_.row_index[static_cast<size_t>(k)] = static_cast<int>(r);
+      csc_.value[static_cast<size_t>(k)] = coeff;
+    }
+  }
+  csc_valid_ = true;
+  return csc_;
 }
 
 void Model::SetObjectiveCoefficient(VarIndex var, double coefficient) {

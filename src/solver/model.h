@@ -79,6 +79,19 @@ class Model {
   // need not be contained in the old ones.
   void SetBounds(VarIndex var, double lower, double upper);
 
+  // Compressed sparse column view of the constraint matrix: column j's
+  // nonzeros are (row_index[k], value[k]) for k in [starts[j], starts[j+1]).
+  // Placement models are extremely sparse (each x_{c,n} binary touches only
+  // a handful of rows), so the simplex pricing/pivoting loops iterate this
+  // instead of scanning dense rows. Built lazily and cached; adding rows or
+  // variables invalidates the cache, bound changes do not.
+  struct SparseColumns {
+    std::vector<int> starts;     // size num_variables() + 1
+    std::vector<int> row_index;  // size nnz
+    std::vector<double> value;   // size nnz
+  };
+  const SparseColumns& ColumnMajor() const;
+
   // Evaluates the objective at a point.
   double Objective(const std::vector<double>& x) const;
 
@@ -91,6 +104,9 @@ class Model {
   std::vector<Row> rows_;
   bool maximize_ = true;
   int num_integer_ = 0;
+  // Cached ColumnMajor() view; rebuilt when the matrix shape changes.
+  mutable SparseColumns csc_;
+  mutable bool csc_valid_ = false;
 };
 
 enum class SolveStatus {

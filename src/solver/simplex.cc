@@ -21,6 +21,8 @@ class SimplexSolver {
 
   Solution Solve();
 
+  int iterations() const { return iterations_; }
+
  private:
   // Extended-column bound accessors.
   double Lower(int j) const { return lower_[static_cast<size_t>(j)]; }
@@ -395,7 +397,7 @@ SolveStatus SimplexSolver::Iterate() {
       return SolveStatus::kIterationLimit;
     }
     if (timed && (iterations_ & 63) == 0 && std::chrono::steady_clock::now() >= deadline) {
-      return SolveStatus::kIterationLimit;
+      return SolveStatus::kTimeLimit;
     }
     const int entering = ChooseEntering(bland);
     if (entering < 0) {
@@ -462,7 +464,7 @@ Solution SimplexSolver::Solve() {
     }
     InstallCosts(phase1);
     const SolveStatus p1 = Iterate();
-    if (p1 == SolveStatus::kIterationLimit) {
+    if (p1 == SolveStatus::kIterationLimit || p1 == SolveStatus::kTimeLimit) {
       solution.status = p1;
       return solution;
     }
@@ -492,7 +494,7 @@ Solution SimplexSolver::Solve() {
     solution.status = SolveStatus::kUnbounded;
     return solution;
   }
-  if (p2 == SolveStatus::kIterationLimit) {
+  if (p2 == SolveStatus::kIterationLimit || p2 == SolveStatus::kTimeLimit) {
     solution.status = p2;
     return solution;
   }
@@ -528,9 +530,13 @@ Solution SimplexSolver::Solve() {
 
 }  // namespace
 
-Solution SolveLp(const Model& model, const LpOptions& options) {
+Solution SolveLp(const Model& model, const LpOptions& options, LpStats* stats) {
   SimplexSolver solver(model, options);
-  return solver.Solve();
+  Solution solution = solver.Solve();
+  if (stats != nullptr) {
+    stats->iterations = solver.iterations();
+  }
+  return solution;
 }
 
 }  // namespace medea::solver

@@ -30,16 +30,23 @@ struct LpOptions {
   // anti-cycling rule.
   int stall_threshold = 500;
   // Wall-clock budget for one solve; <= 0 means unlimited. Expiry returns
-  // kIterationLimit (no usable verdict). Checked every few dozen pivots.
+  // kTimeLimit (no usable verdict). Checked every few dozen pivots.
   double time_limit_seconds = 0.0;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-9;
   double pivot_tol = 1e-9;
 };
 
+// Per-solve observability, for MipStats aggregation and the solver benches.
+struct LpStats {
+  int iterations = 0;  // simplex pivots + bound flips across both phases
+};
+
 // Solves the continuous relaxation of `model` (integrality ignored).
 // The returned Solution's `values` has one entry per model variable.
-Solution SolveLp(const Model& model, const LpOptions& options = LpOptions());
+// `stats`, when non-null, receives per-solve counters.
+Solution SolveLp(const Model& model, const LpOptions& options = LpOptions(),
+                 LpStats* stats = nullptr);
 
 }  // namespace medea::solver
 

@@ -1,0 +1,245 @@
+// Copyright (c) Medea reproduction authors.
+// Tests for the warm-started incremental LP solver and its branch-and-bound
+// integration: randomized cold-vs-warm equivalence on placement-shaped MIP
+// models, LP-level bound-change sequences against the dense solver, and the
+// kTimeLimit node-relaxation regression.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/incremental_lp.h"
+#include "src/solver/mip.h"
+#include "src/solver/model.h"
+#include "src/solver/simplex.h"
+
+namespace medea::solver {
+namespace {
+
+// A random placement-shaped model: binary x_{c,n} with per-container
+// assignment rows and per-node capacity rows — the shape the Fig. 5 ILP
+// produces after pruning.
+Model PlacementModel(int containers, int nodes, uint64_t seed) {
+  Rng rng(seed);
+  Model model;
+  std::vector<std::vector<VarIndex>> x(static_cast<size_t>(containers));
+  for (int c = 0; c < containers; ++c) {
+    for (int n = 0; n < nodes; ++n) {
+      x[static_cast<size_t>(c)].push_back(
+          model.AddBinary(rng.NextDouble(0.5, 1.5)));
+    }
+  }
+  for (int c = 0; c < containers; ++c) {
+    std::vector<std::pair<VarIndex, double>> terms;
+    for (int n = 0; n < nodes; ++n) {
+      terms.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+    }
+    model.AddRow(std::move(terms), RowSense::kLessEqual, 1.0);
+  }
+  for (int n = 0; n < nodes; ++n) {
+    std::vector<std::pair<VarIndex, double>> mem;
+    std::vector<std::pair<VarIndex, double>> cpu;
+    for (int c = 0; c < containers; ++c) {
+      mem.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)],
+                       rng.NextDouble(1.0, 4.0));
+      cpu.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+    }
+    model.AddRow(std::move(mem), RowSense::kLessEqual, 6.0);
+    model.AddRow(std::move(cpu), RowSense::kLessEqual, 3.0);
+  }
+  return model;
+}
+
+// Like Model::IsFeasible but without the integrality check — LP relaxation
+// values are legitimately fractional.
+bool IsLpFeasible(const Model& model, const std::vector<double>& x, double tol) {
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto& col = model.column(j);
+    const double v = x[static_cast<size_t>(j)];
+    if (v < col.lower - tol || v > col.upper + tol) {
+      return false;
+    }
+  }
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const auto& row = model.row(r);
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : row.terms) {
+      lhs += coeff * x[static_cast<size_t>(var)];
+    }
+    const bool ok = row.sense == RowSense::kLessEqual      ? lhs <= row.rhs + tol
+                    : row.sense == RowSense::kGreaterEqual ? lhs >= row.rhs - tol
+                                                           : std::fabs(lhs - row.rhs) <= tol;
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MipOptions ExactOptions(bool incremental) {
+  MipOptions options;
+  options.time_limit_seconds = 0.0;  // unlimited: both paths finish the search
+  options.relative_gap = 0.0;
+  options.absolute_gap = 1e-9;
+  options.use_incremental_lp = incremental;
+  return options;
+}
+
+// Tentpole equivalence: across ~50 random placement MIPs, the warm-started
+// search and the cold dense search must agree on status and objective.
+TEST(IncrementalEquivalence, RandomPlacementMips) {
+  int multi_node_searches = 0;
+  long long warm_hits = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const int containers = static_cast<int>(2 + seed % 4);  // 2..5
+    const int nodes = static_cast<int>(4 + seed % 5);       // 4..8
+    const Model model = PlacementModel(containers, nodes, seed * 7919);
+
+    MipStats cold_stats;
+    const Solution cold = SolveMip(model, ExactOptions(false), &cold_stats);
+    MipStats warm_stats;
+    const Solution warm = SolveMip(model, ExactOptions(true), &warm_stats);
+
+    ASSERT_EQ(cold.status, warm.status) << "seed " << seed;
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(cold.objective, warm.objective, 1e-6) << "seed " << seed;
+    EXPECT_TRUE(model.IsFeasible(warm.values, 1e-5)) << "seed " << seed;
+    EXPECT_EQ(warm_stats.warm_start_hits + warm_stats.cold_restarts,
+              warm_stats.nodes_explored)
+        << "seed " << seed;
+    if (warm_stats.nodes_explored > 1) {
+      ++multi_node_searches;
+      warm_hits += warm_stats.warm_start_hits;
+    }
+  }
+  // Warm starts must actually engage on searches with more than one node.
+  ASSERT_GT(multi_node_searches, 0);
+  EXPECT_GT(warm_hits, 0);
+}
+
+// LP-level equivalence: random branch-like bound-fix/unfix sequences, the
+// incremental solver against a cold dense solve after every change.
+TEST(IncrementalEquivalence, RandomBoundChangeSequences) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Model model = PlacementModel(3, 6, seed * 104729);
+    IncrementalLpSolver inc(model);
+    Rng rng(seed);
+    for (int step = 0; step < 30; ++step) {
+      const int j = static_cast<int>(rng.NextBounded(
+          static_cast<uint64_t>(model.num_variables())));
+      const int kind = static_cast<int>(rng.NextBounded(3));
+      const double lo = kind == 0 ? 0.0 : (kind == 1 ? 1.0 : 0.0);
+      const double up = kind == 1 ? 1.0 : (kind == 0 ? 0.0 : 1.0);
+      model.SetBounds(j, lo, up);
+      inc.SetBounds(j, lo, up);
+
+      const Solution dense = SolveLp(model);
+      const Solution fast = inc.Solve();
+      ASSERT_EQ(dense.status, fast.status) << "seed " << seed << " step " << step;
+      if (dense.status == SolveStatus::kOptimal) {
+        EXPECT_NEAR(dense.objective, fast.objective, 1e-6)
+            << "seed " << seed << " step " << step;
+        EXPECT_TRUE(IsLpFeasible(model, fast.values, 1e-5))
+            << "seed " << seed << " step " << step;
+      }
+    }
+    EXPECT_GT(inc.stats().warm_solves, 0) << "seed " << seed;
+  }
+}
+
+// Infeasible child nodes must be detected, and the basis must survive them
+// so the sibling still warm-starts.
+TEST(IncrementalLp, InfeasibleChildThenSibling) {
+  Model model;
+  const VarIndex a = model.AddBinary(1.0);
+  const VarIndex b = model.AddBinary(1.0);
+  model.AddRow({{a, 1.0}, {b, 1.0}}, RowSense::kGreaterEqual, 1.0);
+  IncrementalLpSolver inc(model);
+  EXPECT_EQ(inc.Solve().status, SolveStatus::kOptimal);
+
+  inc.SetBounds(a, 0.0, 0.0);
+  inc.SetBounds(b, 0.0, 0.0);  // forces the >= 1 row infeasible
+  EXPECT_EQ(inc.Solve().status, SolveStatus::kInfeasible);
+
+  inc.SetBounds(b, 1.0, 1.0);  // the sibling branch is feasible again
+  const Solution sibling = inc.Solve();
+  ASSERT_EQ(sibling.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sibling.objective, 1.0, 1e-9);
+  EXPECT_GT(inc.stats().warm_solves, 0);
+}
+
+// Minimization models flow through the internal maximize convention.
+TEST(IncrementalLp, MinimizationObjective) {
+  Model model;
+  const VarIndex a = model.AddContinuous(0.0, 10.0, 2.0);
+  const VarIndex b = model.AddContinuous(0.0, 10.0, 3.0);
+  model.AddRow({{a, 1.0}, {b, 1.0}}, RowSense::kGreaterEqual, 4.0);
+  model.SetMaximize(false);
+  IncrementalLpSolver inc(model);
+  const Solution solution = inc.Solve();
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 8.0, 1e-7);  // a = 4, b = 0
+
+  inc.SetBounds(a, 0.0, 1.0);
+  const Solution tightened = inc.Solve();
+  ASSERT_EQ(tightened.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(tightened.objective, 2.0 * 1.0 + 3.0 * 3.0, 1e-7);
+}
+
+// Regression: a node relaxation that returns kTimeLimit (LP budget expiry)
+// must be treated like any other failed LP — search marked incomplete,
+// lp_failures counted — instead of indexing the empty lp.values.
+TEST(MipLpTimeLimit, NodeRelaxationExpiryIsAFailureNotACrash) {
+  for (const bool incremental : {false, true}) {
+    const Model model = PlacementModel(4, 6, 42);
+    MipOptions options;
+    options.time_limit_seconds = 0.0;  // the MIP itself is unlimited
+    options.presolve = false;
+    options.use_incremental_lp = incremental;
+    options.lp.time_limit_seconds = 1e-9;  // every LP expires immediately
+    MipStats stats;
+    const Solution solution = SolveMip(model, options, &stats);
+    EXPECT_EQ(solution.status, SolveStatus::kTimeLimit) << incremental;
+    EXPECT_FALSE(solution.HasSolution()) << incremental;
+    EXPECT_GT(stats.lp_failures, 0) << incremental;
+    EXPECT_TRUE(stats.hit_time_limit) << incremental;
+  }
+}
+
+// Regression: an expired MIP deadline must not grant post-deadline nodes a
+// fresh 10ms LP budget each. The LPs run with a ~zero budget, so the whole
+// solve returns promptly even though the node cap is huge.
+TEST(MipLpTimeLimit, ExpiredBudgetDoesNotGrantGracePeriods) {
+  const Model model = PlacementModel(6, 10, 7);
+  MipOptions options;
+  options.time_limit_seconds = 1e-6;  // effectively expired at entry
+  options.max_nodes = 0;
+  options.presolve = false;
+  MipStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  const Solution solution = SolveMip(model, options, &stats);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_TRUE(stats.hit_time_limit);
+  EXPECT_FALSE(solution.status == SolveStatus::kOptimal);
+  // Generous bound: with the old max(0.01, remaining) clamp this path could
+  // burn 10ms per visited node; the fix keeps the whole solve well under it.
+  EXPECT_LT(elapsed, 2.0);
+}
+
+// New MipStats fields are populated by a normal search.
+TEST(MipStatsPlumbing, WarmColdPivotTimeCounters) {
+  const Model model = PlacementModel(5, 8, 3);
+  MipStats stats;
+  const Solution solution = SolveMip(model, ExactOptions(true), &stats);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_GT(stats.lp_solves, 0);
+  EXPECT_GT(stats.total_pivots, 0);
+  EXPECT_GT(stats.lp_time_seconds, 0.0);
+  EXPECT_EQ(stats.warm_start_hits + stats.cold_restarts, stats.nodes_explored);
+}
+
+}  // namespace
+}  // namespace medea::solver
