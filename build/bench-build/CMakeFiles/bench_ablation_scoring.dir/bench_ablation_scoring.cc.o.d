@@ -208,9 +208,9 @@ bench-build/CMakeFiles/bench_ablation_scoring.dir/bench_ablation_scoring.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/stats.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/stats.h \
  /root/repo/src/core/violation.h /usr/include/c++/12/span \
  /root/repo/src/cluster/cluster_state.h /root/repo/src/cluster/node.h \
  /root/repo/src/common/resource.h /root/repo/src/common/types.h \

@@ -207,9 +207,9 @@ bench-build/CMakeFiles/bench_fig9d_complexity.dir/bench_fig9d_complexity.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/stats.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/stats.h \
  /root/repo/src/core/violation.h /usr/include/c++/12/span \
  /root/repo/src/cluster/cluster_state.h /root/repo/src/cluster/node.h \
  /root/repo/src/common/resource.h /root/repo/src/common/types.h \
