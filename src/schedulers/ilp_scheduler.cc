@@ -604,6 +604,9 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
 
   solver::MipOptions options;
   options.time_limit_seconds = config_.ilp_time_limit_seconds;
+  // Under an installed audit hook, have the solver re-certify any incumbent
+  // it returns against the model (bounds, rows, integrality).
+  options.certify = GetPlacementAuditor() != nullptr;
 
   // Warm start from the Serial greedy heuristic: placement models are highly
   // symmetric, so branch-and-bound needs a strong incumbent up front to
@@ -665,6 +668,7 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
     plan.latency_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
+    AuditPlan(problem, plan, name());
     return plan;
   }
 
@@ -695,6 +699,7 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
   plan.latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  AuditPlan(problem, plan, name());
   return plan;
 }
 

@@ -3,6 +3,17 @@
 #include "src/common/logging.h"
 
 namespace medea {
+namespace {
+PlacementAuditor* g_auditor = nullptr;
+}  // namespace
+
+PlacementAuditor* SetPlacementAuditor(PlacementAuditor* auditor) {
+  PlacementAuditor* previous = g_auditor;
+  g_auditor = auditor;
+  return previous;
+}
+
+PlacementAuditor* GetPlacementAuditor() { return g_auditor; }
 
 bool CommitPlan(const PlacementProblem& problem, const PlacementPlan& plan, ClusterState& state,
                 std::vector<bool>* committed_lras) {

@@ -88,6 +88,48 @@ class LraScheduler {
 bool CommitPlan(const PlacementProblem& problem, const PlacementPlan& plan, ClusterState& state,
                 std::vector<bool>* committed_lras = nullptr);
 
+// --- Placement audit hook ---------------------------------------------------
+//
+// A process-wide observer that every LraScheduler implementation reports its
+// finished plan to (before returning it), and that state-mutating pipeline
+// stages (simulation commits, migrations, failure handling) notify after
+// touching the cluster. The scheduler layer only sees this abstract
+// interface; src/verify installs an implementation that independently
+// re-checks every invariant, so the schedulers never grade their own
+// homework. No auditor is installed by default (zero overhead beyond one
+// pointer load).
+class PlacementAuditor {
+ public:
+  virtual ~PlacementAuditor() = default;
+
+  // Called by a scheduler with its finished plan, before returning it.
+  virtual void OnPlan(const PlacementProblem& problem, const PlacementPlan& plan,
+                      const std::string& scheduler) = 0;
+
+  // Called after a pipeline stage mutated `state` (`where` names the stage,
+  // e.g. "lra-commit", "migration", "node-down").
+  virtual void OnStateMutation(const ClusterState& state, const char* where) = 0;
+};
+
+// Installs `auditor` (nullptr uninstalls). Returns the previous auditor so
+// scoped installers can restore it. Not thread-safe (the pipeline is
+// single-threaded by design).
+PlacementAuditor* SetPlacementAuditor(PlacementAuditor* auditor);
+PlacementAuditor* GetPlacementAuditor();
+
+// Convenience guards used at the call sites.
+inline void AuditPlan(const PlacementProblem& problem, const PlacementPlan& plan,
+                      const std::string& scheduler) {
+  if (PlacementAuditor* a = GetPlacementAuditor()) {
+    a->OnPlan(problem, plan, scheduler);
+  }
+}
+inline void AuditStateMutation(const ClusterState& state, const char* where) {
+  if (PlacementAuditor* a = GetPlacementAuditor()) {
+    a->OnStateMutation(state, where);
+  }
+}
+
 // Tuning knobs shared by the schedulers.
 struct SchedulerConfig {
   // Approximate size of the node pool a cycle works with (candidate

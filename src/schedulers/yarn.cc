@@ -61,6 +61,7 @@ PlacementPlan YarnScheduler::Place(const PlacementProblem& problem) {
   plan.latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  AuditPlan(problem, plan, name());
   return plan;
 }
 

@@ -117,6 +117,7 @@ void Simulation::HandleNodeDown(NodeId node) {
     }
   }
   state_.SetNodeAvailable(node, false);
+  AuditStateMutation(state_, "node-down");
   // Resubmit the lost LRA containers through the LRA scheduler; their
   // constraints are still registered with the manager.
   for (auto& [app, request] : lost) {
@@ -174,6 +175,7 @@ void Simulation::RunLraCycle() {
 
   std::vector<bool> committed;
   task_scheduler_.CommitLraPlan(problem, plan, &committed);
+  AuditStateMutation(state_, "lra-commit");
 
   for (size_t i = 0; i < cycle_lras.size(); ++i) {
     PendingLra& lra = cycle_lras[i];
@@ -298,6 +300,7 @@ void Simulation::RunMigrationCycle() {
   const MigrationPlanner planner(config_.migration);
   const MigrationPlan plan = planner.Plan(state_, manager_);
   metrics_.migrations += MigrationPlanner::Apply(plan, state_);
+  AuditStateMutation(state_, "migration");
   EnsureMigrationScheduled();
 }
 
@@ -341,6 +344,7 @@ void Simulation::RunUntil(SimTimeMs t) {
       case EventType::kRemoveLra:
         state_.ReleaseApplication(event.app);
         manager_.RemoveApplicationConstraints(event.app);
+        AuditStateMutation(state_, "remove-lra");
         break;
       case EventType::kLraCycle:
         RunLraCycle();

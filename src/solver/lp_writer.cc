@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <unordered_set>
 
 #include "src/common/strings.h"
 
@@ -24,6 +25,23 @@ std::string Sanitize(const std::string& name, const char* prefix, int index) {
   }
   if (out[0] == 'e' || out[0] == 'E' || (out[0] >= '0' && out[0] <= '9')) {
     out = std::string(prefix) + out;
+  }
+  return out;
+}
+
+// Sanitizes and uniquifies within `used`. The index suffix is appended only
+// on an actual collision, so writing a parsed model reproduces the same
+// names (round-trip idempotence).
+std::string UniqueName(const std::string& name, const char* prefix, int index,
+                       std::unordered_set<std::string>& used) {
+  std::string out = Sanitize(name, prefix, index);
+  if (!used.insert(out).second) {
+    int salt = index;
+    std::string candidate;
+    do {
+      candidate = StrFormat("%s_%d", out.c_str(), salt++);
+    } while (!used.insert(candidate).second);
+    out = std::move(candidate);
   }
   return out;
 }
@@ -58,11 +76,15 @@ std::string BoundString(double value) {
 std::string WriteLpFormat(const Model& model) {
   std::ostringstream os;
   // Variable names, uniquified by index suffix when needed.
+  std::unordered_set<std::string> used_variable_names;
   std::vector<std::string> names;
   names.reserve(static_cast<size_t>(model.num_variables()));
   for (int j = 0; j < model.num_variables(); ++j) {
-    names.push_back(Sanitize(model.column(j).name, "x", j));
+    names.push_back(UniqueName(model.column(j).name, "x", j, used_variable_names));
   }
+  // A variable mentioned nowhere in the file would be lost on a round-trip;
+  // track mentions and force a Bounds line for any such variable.
+  std::vector<bool> mentioned(static_cast<size_t>(model.num_variables()), false);
 
   os << (model.maximize() ? "Maximize\n" : "Minimize\n") << " obj:";
   bool first = true;
@@ -73,19 +95,22 @@ std::string WriteLpFormat(const Model& model) {
     }
     os << " ";
     AppendTerm(os, c, names[static_cast<size_t>(j)], first);
+    mentioned[static_cast<size_t>(j)] = true;
     first = false;
   }
   if (first) {
     os << " 0 " << (model.num_variables() > 0 ? names[0] : "x0");
   }
   os << "\nSubject To\n";
+  std::unordered_set<std::string> used_row_names;
   for (int r = 0; r < model.num_rows(); ++r) {
     const auto& row = model.row(r);
-    os << " " << Sanitize(row.name, "c", r) << "_" << r << ":";
+    os << " " << UniqueName(row.name, "c", r, used_row_names) << ":";
     bool row_first = true;
     for (const auto& [var, coeff] : row.terms) {
       os << " ";
       AppendTerm(os, coeff, names[static_cast<size_t>(var)], row_first);
+      mentioned[static_cast<size_t>(var)] = true;
       row_first = false;
     }
     if (row_first) {
@@ -105,7 +130,10 @@ std::string WriteLpFormat(const Model& model) {
     if (col.type == VarType::kBinary) {
       continue;
     }
-    if (col.lower == 0.0 && col.upper == kInfinity) {
+    // Default bounds need no line — unless the variable appears nowhere else
+    // (integer variables are always listed under General).
+    if (col.lower == 0.0 && col.upper == kInfinity &&
+        (mentioned[static_cast<size_t>(j)] || col.type == VarType::kInteger)) {
       continue;
     }
     os << " " << BoundString(col.lower) << " <= " << names[static_cast<size_t>(j)]

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 
 namespace medea::solver {
@@ -118,6 +119,13 @@ class BranchAndBound {
   double best_score_ = -kInfinity;
   bool search_complete_ = true;  // false once pruned by budget
   int nodes_ = 0;
+  // Dual-bound bookkeeping for MipStats::best_bound. A subtree abandoned by
+  // the gap test still bounds its own optimum by its node LP value; budget
+  // prunes leave the subtree bound unknown, so an incomplete search can only
+  // claim the root relaxation bound.
+  bool have_root_bound_ = false;
+  double root_bound_score_ = kInfinity;
+  double pruned_bound_max_ = -kInfinity;
 };
 
 int BranchAndBound::MostFractional(const std::vector<double>& x) const {
@@ -220,9 +228,14 @@ void BranchAndBound::Dfs(int depth) {
     return;
   }
   const double bound = Score(lp.objective);
+  if (depth == 0) {
+    have_root_bound_ = true;
+    root_bound_score_ = bound;
+  }
   const double gap =
       std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
   if (have_incumbent_ && bound <= best_score_ + gap) {
+    pruned_bound_max_ = std::max(pruned_bound_max_, bound);
     return;  // cannot improve (within tolerance)
   }
 
@@ -238,6 +251,7 @@ void BranchAndBound::Dfs(int depth) {
     const double new_gap =
         std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
     if (have_incumbent_ && bound <= best_score_ + new_gap) {
+      pruned_bound_max_ = std::max(pruned_bound_max_, bound);
       return;  // the repaired incumbent already matches this node's bound
     }
   }
@@ -289,7 +303,47 @@ Solution BranchAndBound::Run() {
   } else {
     solution.status = search_complete_ ? SolveStatus::kInfeasible : SolveStatus::kTimeLimit;
   }
+  if (stats_ != nullptr) {
+    // A complete search proves the optimum is at most the best explored or
+    // gap-pruned score; a budget-limited one can only claim the root bound.
+    double bound_score = kInfinity;
+    bool have_bound = false;
+    if (search_complete_ && (have_incumbent_ || pruned_bound_max_ > -kInfinity)) {
+      bound_score = std::max(best_score_, pruned_bound_max_);
+      have_bound = true;
+    } else if (have_root_bound_) {
+      bound_score = root_bound_score_;
+      have_bound = true;
+    }
+    if (have_bound) {
+      stats_->has_best_bound = true;
+      stats_->best_bound = model_.maximize() ? bound_score : -bound_score;
+    }
+  }
   return solution;
+}
+
+// MipOptions::certify: re-verify a returned incumbent against the model —
+// primal feasibility of every row/bound plus integrality of every integer
+// variable — and abort the process on mismatch (a wrong incumbent means the
+// search itself is broken; nothing downstream can be trusted).
+void CertifyIncumbent(const Model& model, const MipOptions& options, const Solution& solution) {
+  if (!options.certify || !solution.HasSolution()) {
+    return;
+  }
+  MEDEA_CHECK(static_cast<int>(solution.values.size()) == model.num_variables());
+  std::string violation;
+  if (!model.IsFeasible(solution.values, 1e-5, &violation)) {
+    std::fprintf(stderr, "MIP certify: incumbent infeasible: %s\n", violation.c_str());
+    MEDEA_CHECK(false);
+  }
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = solution.values[static_cast<size_t>(j)];
+    MEDEA_CHECK(std::fabs(v - std::round(v)) <= 1e-5);
+  }
 }
 
 }  // namespace
@@ -323,11 +377,18 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
       stats->cold_restarts = 1;
       stats->total_pivots = lp_stats.iterations;
       stats->lp_time_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      if (solution.status == SolveStatus::kOptimal) {
+        stats->has_best_bound = true;
+        stats->best_bound = solution.objective;
+      }
     }
+    CertifyIncumbent(model, options, solution);
     return solution;
   }
   BranchAndBound bnb(model, options, stats);
-  return bnb.Run();
+  Solution solution = bnb.Run();
+  CertifyIncumbent(model, options, solution);
+  return solution;
 }
 
 }  // namespace medea::solver

@@ -45,6 +45,11 @@ struct MipOptions {
   // (src/solver/incremental_lp.h) instead of a cold dense solve per node.
   // Results are identical up to tolerances; see docs/solver.md.
   bool use_incremental_lp = true;
+  // Self-certification (src/verify): after the search, re-verify the
+  // returned incumbent against the Model (bounds, rows, integrality) and
+  // abort on mismatch. Enabled by the verify layer's audit hook so that
+  // every audited scheduling cycle also certifies its MIP incumbent.
+  bool certify = false;
   LpOptions lp;
 };
 
@@ -68,6 +73,13 @@ struct MipStats {
   // Node relaxations solved cold: the root solve, plus every basis-repair
   // failure that fell back to a from-scratch solve.
   int cold_restarts = 0;
+  // Best dual (optimality) bound proven by the search, in the model's
+  // objective sense: for a maximization no feasible point can exceed it
+  // (minimization: fall below it). A complete search tightens it to the
+  // incumbent plus the pruning gap; a budget-limited search falls back to
+  // the root relaxation bound. Consumed by verify::CertifySolution.
+  bool has_best_bound = false;
+  double best_bound = 0.0;
 };
 
 // Solves `model` to (proven or budget-limited) optimality.

@@ -1,0 +1,639 @@
+#include "src/verify/invariant_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/result.h"
+#include "src/core/violation.h"
+
+namespace medea::verify {
+namespace {
+
+// --- Independent constraint evaluation ---------------------------------------
+//
+// A from-scratch re-implementation of the Eq. 6-8 semantics that never touches
+// Node::tag_counts_ or ClusterState::TagCardinality: all cardinalities are
+// re-derived from the ContainerInfo records. Differential testing against
+// ConstraintEvaluator then covers both implementations.
+
+// Per-node view rebuilt from the container records.
+struct NodeView {
+  std::vector<const ContainerInfo*> containers;
+};
+
+std::vector<NodeView> BuildNodeViews(const ClusterState& state) {
+  std::vector<NodeView> views(state.num_nodes());
+  state.ForEachContainer([&](const ContainerInfo& info) {
+    if (info.node.IsValid() && info.node.value < state.num_nodes()) {
+      views[info.node.value].containers.push_back(&info);
+    }
+  });
+  return views;
+}
+
+int CountOccurrences(std::span<const TagId> tags, TagId t) {
+  int count = 0;
+  for (const TagId tag : tags) {
+    count += (tag == t) ? 1 : 0;
+  }
+  return count;
+}
+
+// gamma_n of a conjunction, recomputed from container records. Mirrors the
+// documented ClusterState semantics: an empty conjunction counts all
+// containers; a single tag counts occurrences (plus 1 for a static node tag);
+// a multi-tag conjunction counts containers matching every conjunct, where a
+// static node tag satisfies its conjunct for all containers on the node.
+int DirectTagCardinality(const ClusterState& state, const NodeView& view, NodeId node,
+                         std::span<const TagId> conjunction) {
+  const Node& n = state.node(node);
+  if (conjunction.empty()) {
+    return static_cast<int>(view.containers.size());
+  }
+  if (conjunction.size() == 1) {
+    const TagId t = conjunction[0];
+    int count = n.HasStaticTag(t) ? 1 : 0;
+    for (const ContainerInfo* info : view.containers) {
+      count += CountOccurrences(info->tags, t);
+    }
+    return count;
+  }
+  int count = 0;
+  for (const ContainerInfo* info : view.containers) {
+    bool matches = true;
+    for (const TagId t : conjunction) {
+      if (CountOccurrences(info->tags, t) == 0 && !n.HasStaticTag(t)) {
+        matches = false;
+        break;
+      }
+    }
+    count += matches ? 1 : 0;
+  }
+  return count;
+}
+
+double DirectTagConstraintExtent(const TagConstraint& tc, int cardinality) {
+  double extent = 0.0;
+  if (cardinality < tc.cmin) {
+    extent += static_cast<double>(tc.cmin - cardinality) / std::max(tc.cmin, 1);
+  }
+  if (tc.cmax != kCardinalityInfinity && cardinality > tc.cmax) {
+    extent += static_cast<double>(cardinality - tc.cmax) / std::max(tc.cmax, 1);
+  }
+  return extent;
+}
+
+double DirectAtomicExtent(const ClusterState& state, const std::vector<NodeView>& views,
+                          const AtomicConstraint& atomic, NodeId node,
+                          std::span<const TagId> subject_tags) {
+  const NodeGroupRegistry& groups = state.groups();
+  const std::vector<int>& containing = groups.SetsContaining(atomic.node_group, node);
+  if (containing.empty()) {
+    double extent = 0.0;
+    for (const TagConstraint& tc : atomic.targets) {
+      extent += DirectTagConstraintExtent(tc, 0);
+    }
+    return extent;
+  }
+  const auto& sets = groups.SetsOf(atomic.node_group);
+  double best_extent = std::numeric_limits<double>::infinity();
+  for (const int set_index : containing) {
+    const std::vector<NodeId>& node_set = sets[static_cast<size_t>(set_index)];
+    double extent = 0.0;
+    for (const TagConstraint& tc : atomic.targets) {
+      int cardinality = 0;
+      for (const NodeId member : node_set) {
+        cardinality += DirectTagCardinality(state, views[member.value], member, tc.c_tags.tags());
+      }
+      // Exclude the subject container itself (Eqs. 6-7).
+      if (tc.c_tags.MatchedBy(subject_tags)) {
+        cardinality = std::max(0, cardinality - 1);
+      }
+      extent += DirectTagConstraintExtent(tc, cardinality);
+    }
+    best_extent = std::min(best_extent, extent);
+    if (best_extent == 0.0) {
+      break;
+    }
+  }
+  return best_extent;
+}
+
+double DirectConstraintExtent(const ClusterState& state, const std::vector<NodeView>& views,
+                              const PlacementConstraint& constraint, NodeId node,
+                              std::span<const TagId> subject_tags) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& clause : constraint.clauses) {
+    double clause_extent = 0.0;
+    for (const AtomicConstraint& atomic : clause) {
+      clause_extent += DirectAtomicExtent(state, views, atomic, node, subject_tags);
+    }
+    best = std::min(best, clause_extent);
+    if (best == 0.0) {
+      break;
+    }
+  }
+  return best;
+}
+
+bool IsSubjectOf(const PlacementConstraint& constraint, std::span<const TagId> tags) {
+  for (const auto& clause : constraint.clauses) {
+    for (const AtomicConstraint& atomic : clause) {
+      if (atomic.subject.MatchedBy(tags)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+SoftEvaluation DirectEvaluateAll(
+    const ClusterState& state,
+    std::span<const std::pair<ConstraintId, const PlacementConstraint*>> constraints) {
+  SoftEvaluation soft;
+  const std::vector<NodeView> views = BuildNodeViews(state);
+  // Subjects are visited in container-id order for determinism; the aggregate
+  // totals are order-independent anyway.
+  std::vector<const ContainerInfo*> lra_containers;
+  state.ForEachContainer([&](const ContainerInfo& info) {
+    if (info.long_running) {
+      lra_containers.push_back(&info);
+    }
+  });
+  std::sort(lra_containers.begin(), lra_containers.end(),
+            [](const ContainerInfo* a, const ContainerInfo* b) { return a->id < b->id; });
+  for (const auto& [id, constraint] : constraints) {
+    (void)id;
+    for (const ContainerInfo* info : lra_containers) {
+      if (!IsSubjectOf(*constraint, info->tags)) {
+        continue;
+      }
+      ++soft.subjects;
+      const double extent =
+          DirectConstraintExtent(state, views, *constraint, info->node, info->tags);
+      if (extent > 0.0) {
+        ++soft.violated;
+        soft.weighted_extent += extent * constraint->weight;
+      }
+    }
+  }
+  return soft;
+}
+
+// --- Report plumbing ---------------------------------------------------------
+
+void AddViolation(InvariantReport& report, InvariantKind kind, std::string message,
+                  int lra_index = -1, int container_index = -1, NodeId node = NodeId::Invalid()) {
+  InvariantViolation v;
+  v.kind = kind;
+  v.message = std::move(message);
+  v.lra_index = lra_index;
+  v.container_index = container_index;
+  v.node = node;
+  report.violations.push_back(std::move(v));
+}
+
+std::string ResourceString(const Resource& r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+// Applies the plan's placed LRAs to `scratch`, reporting any allocation
+// failure (a failure here means the plan was infeasible against the live
+// state). Mirrors CommitPlan's tagging exactly: request tags, long-running.
+void ApplyPlanToScratch(const PlacementProblem& problem, const PlacementPlan& plan,
+                        ClusterState& scratch, InvariantReport& report) {
+  for (const Assignment& a : plan.assignments) {
+    if (a.lra_index < 0 || a.lra_index >= static_cast<int>(problem.lras.size())) {
+      continue;  // already reported as kBadIndex
+    }
+    const size_t li = static_cast<size_t>(a.lra_index);
+    if (li < plan.lra_placed.size() && !plan.lra_placed[li]) {
+      continue;  // already reported as kUnplannedAssignment
+    }
+    const LraRequest& lra = problem.lras[li];
+    if (a.container_index < 0 || a.container_index >= static_cast<int>(lra.containers.size())) {
+      continue;
+    }
+    const ContainerRequest& req = lra.containers[static_cast<size_t>(a.container_index)];
+    auto result = scratch.Allocate(lra.app, a.node, req.demand, req.tags, /*long_running=*/true);
+    if (!result.ok()) {
+      AddViolation(report, InvariantKind::kCapacityExceeded,
+                   "plan not committable: " + result.status().ToString(), a.lra_index,
+                   a.container_index, a.node);
+    }
+  }
+}
+
+void CheckPlanStructure(const PlacementProblem& problem, const PlacementPlan& plan,
+                        InvariantReport& report) {
+  const ClusterState& state = *problem.state;
+  const size_t num_lras = problem.lras.size();
+  if (plan.lra_placed.size() != num_lras) {
+    AddViolation(report, InvariantKind::kBadIndex,
+                 "lra_placed has " + std::to_string(plan.lra_placed.size()) + " entries for " +
+                     std::to_string(num_lras) + " LRAs");
+  }
+  // (lra, container) -> times assigned, for duplicate + completeness checks.
+  std::map<std::pair<int, int>, int> assigned;
+  for (const Assignment& a : plan.assignments) {
+    if (a.lra_index < 0 || a.lra_index >= static_cast<int>(num_lras)) {
+      AddViolation(report, InvariantKind::kBadIndex,
+                   "assignment lra_index " + std::to_string(a.lra_index) + " out of range",
+                   a.lra_index, a.container_index, a.node);
+      continue;
+    }
+    const LraRequest& lra = problem.lras[static_cast<size_t>(a.lra_index)];
+    if (a.container_index < 0 ||
+        a.container_index >= static_cast<int>(lra.containers.size())) {
+      AddViolation(report, InvariantKind::kBadIndex,
+                   "assignment container_index " + std::to_string(a.container_index) +
+                       " out of range for app" + std::to_string(lra.app.value),
+                   a.lra_index, a.container_index, a.node);
+      continue;
+    }
+    if (!a.node.IsValid() || a.node.value >= state.num_nodes()) {
+      AddViolation(report, InvariantKind::kInvalidNode,
+                   "assignment targets nonexistent node", a.lra_index, a.container_index, a.node);
+      continue;
+    }
+    if (!state.node(a.node).available()) {
+      AddViolation(report, InvariantKind::kUnavailableNode,
+                   "assignment targets unavailable node n" + std::to_string(a.node.value),
+                   a.lra_index, a.container_index, a.node);
+    }
+    const size_t li = static_cast<size_t>(a.lra_index);
+    if (li < plan.lra_placed.size() && !plan.lra_placed[li]) {
+      AddViolation(report, InvariantKind::kUnplannedAssignment,
+                   "assignment for LRA the plan marks unplaced", a.lra_index, a.container_index,
+                   a.node);
+    }
+    const int count = ++assigned[{a.lra_index, a.container_index}];
+    if (count == 2) {  // report each duplicated container once
+      AddViolation(report, InvariantKind::kDuplicateAssignment,
+                   "container assigned more than once", a.lra_index, a.container_index, a.node);
+    }
+  }
+  // Eq. 4: a placed LRA must have every container assigned.
+  for (size_t i = 0; i < num_lras; ++i) {
+    if (i < plan.lra_placed.size() && !plan.lra_placed[i]) {
+      continue;
+    }
+    const LraRequest& lra = problem.lras[i];
+    for (size_t c = 0; c < lra.containers.size(); ++c) {
+      if (assigned.find({static_cast<int>(i), static_cast<int>(c)}) == assigned.end()) {
+        AddViolation(report, InvariantKind::kPartialPlacement,
+                     "placed LRA app" + std::to_string(lra.app.value) +
+                         " missing assignment for container " + std::to_string(c),
+                     static_cast<int>(i), static_cast<int>(c));
+      }
+    }
+  }
+}
+
+void CheckPlanCapacity(const PlacementProblem& problem, const PlacementPlan& plan,
+                       InvariantReport& report) {
+  const ClusterState& state = *problem.state;
+  // Aggregate the plan's demand per node (structurally valid assignments of
+  // placed LRAs only) and compare against free capacity, per dimension.
+  std::unordered_map<uint32_t, Resource> added;
+  for (const Assignment& a : plan.assignments) {
+    if (a.lra_index < 0 || a.lra_index >= static_cast<int>(problem.lras.size())) {
+      continue;
+    }
+    const size_t li = static_cast<size_t>(a.lra_index);
+    if (li < plan.lra_placed.size() && !plan.lra_placed[li]) {
+      continue;
+    }
+    const LraRequest& lra = problem.lras[li];
+    if (a.container_index < 0 || a.container_index >= static_cast<int>(lra.containers.size()) ||
+        !a.node.IsValid() || a.node.value >= state.num_nodes()) {
+      continue;
+    }
+    added[a.node.value] += lra.containers[static_cast<size_t>(a.container_index)].demand;
+  }
+  for (const auto& [node_value, demand] : added) {
+    const NodeId node(node_value);
+    const Resource free = state.node(node).Free();
+    if (!free.Fits(demand)) {
+      AddViolation(report, InvariantKind::kCapacityExceeded,
+                   "plan adds " + ResourceString(demand) + " to node n" +
+                       std::to_string(node_value) + " with only " + ResourceString(free) +
+                       " free",
+                   -1, -1, node);
+    }
+  }
+}
+
+void CheckStateInto(const ClusterState& state, const ConstraintManager* manager,
+                    const CheckOptions& options, InvariantReport& report) {
+  const size_t num_nodes = state.num_nodes();
+
+  // Re-derive per-node accounting from the container records.
+  std::vector<Resource> used(num_nodes, Resource::Zero());
+  std::vector<std::vector<ContainerId>> on_node(num_nodes);
+  std::vector<std::unordered_map<TagId, int, std::hash<TagId>>> tag_counts(num_nodes);
+  std::unordered_map<ApplicationId, std::vector<ContainerId>, std::hash<ApplicationId>> per_app;
+  size_t long_running = 0;
+  state.ForEachContainer([&](const ContainerInfo& info) {
+    per_app[info.app].push_back(info.id);
+    long_running += info.long_running ? 1 : 0;
+    if (!info.node.IsValid() || info.node.value >= num_nodes) {
+      AddViolation(report, InvariantKind::kAccountingMismatch,
+                   "container c" + std::to_string(info.id.value) + " records nonexistent node",
+                   -1, -1, info.node);
+      return;
+    }
+    used[info.node.value] += info.resource;
+    on_node[info.node.value].push_back(info.id);
+    for (const TagId t : info.tags) {
+      ++tag_counts[info.node.value][t];
+    }
+  });
+
+  if (long_running != state.num_long_running_containers()) {
+    AddViolation(report, InvariantKind::kAccountingMismatch,
+                 "state counts " + std::to_string(state.num_long_running_containers()) +
+                     " long-running containers, records show " + std::to_string(long_running));
+  }
+  for (const auto& [app, ids] : per_app) {
+    std::vector<ContainerId> reported = state.ContainersOf(app);
+    std::vector<ContainerId> expected = ids;
+    std::sort(reported.begin(), reported.end());
+    std::sort(expected.begin(), expected.end());
+    if (reported != expected) {
+      AddViolation(report, InvariantKind::kAccountingMismatch,
+                   "ContainersOf(app" + std::to_string(app.value) +
+                       ") disagrees with container records");
+    }
+  }
+
+  for (size_t n = 0; n < num_nodes; ++n) {
+    const NodeId id(static_cast<uint32_t>(n));
+    const Node& node = state.node(id);
+    if (node.used() != used[n]) {
+      AddViolation(report, InvariantKind::kAccountingMismatch,
+                   "node used " + ResourceString(node.used()) + " but containers sum to " +
+                       ResourceString(used[n]),
+                   -1, -1, id);
+    }
+    if (node.used().IsNegative()) {
+      AddViolation(report, InvariantKind::kAccountingMismatch, "node used is negative", -1, -1,
+                   id);
+    }
+    if (!node.capacity().Fits(node.used())) {
+      AddViolation(report, InvariantKind::kCapacityExceeded,
+                   "node over capacity: used " + ResourceString(node.used()) + " of " +
+                       ResourceString(node.capacity()),
+                   -1, -1, id);
+    }
+    // Container cross-reference: node's list == records with info.node == n.
+    std::vector<ContainerId> listed = node.containers();
+    std::sort(listed.begin(), listed.end());
+    std::sort(on_node[n].begin(), on_node[n].end());
+    if (listed != on_node[n]) {
+      AddViolation(report, InvariantKind::kAccountingMismatch,
+                   "node container list disagrees with container records (" +
+                       std::to_string(listed.size()) + " vs " +
+                       std::to_string(on_node[n].size()) + ")",
+                   -1, -1, id);
+    }
+    // Tag multiset: container tag occurrences plus one per static tag,
+    // compared over the union of recomputed and stored keys.
+    std::unordered_set<TagId, std::hash<TagId>> tag_keys;
+    for (const auto& [t, count] : tag_counts[n]) {
+      (void)count;
+      tag_keys.insert(t);
+    }
+    for (const auto& [t, count] : node.tag_counts()) {
+      (void)count;
+      tag_keys.insert(t);
+    }
+    bool tags_ok = true;
+    for (const TagId t : tag_keys) {
+      const auto expected_it = tag_counts[n].find(t);
+      const int expected = (expected_it == tag_counts[n].end() ? 0 : expected_it->second) +
+                           (node.HasStaticTag(t) ? 1 : 0);
+      const auto actual_it = node.tag_counts().find(t);
+      const int actual = actual_it == node.tag_counts().end() ? 0 : actual_it->second;
+      if (expected != actual) {
+        tags_ok = false;
+      }
+    }
+    if (!tags_ok) {
+      AddViolation(report, InvariantKind::kAccountingMismatch,
+                   "node tag multiset disagrees with container records", -1, -1, id);
+    }
+  }
+
+  // Node-group registry: membership indexes must invert the set lists.
+  const NodeGroupRegistry& groups = state.groups();
+  std::vector<std::string> kinds = groups.Kinds();
+  kinds.push_back(kNodeGroupNode);
+  for (const std::string& kind : kinds) {
+    if (!groups.HasKind(kind)) {
+      AddViolation(report, InvariantKind::kGroupInconsistency, "kind '" + kind + "' vanished");
+      continue;
+    }
+    const auto& sets = groups.SetsOf(kind);
+    std::vector<std::set<int>> expected_membership(num_nodes);
+    for (size_t s = 0; s < sets.size(); ++s) {
+      for (const NodeId member : sets[s]) {
+        if (!member.IsValid() || member.value >= num_nodes) {
+          AddViolation(report, InvariantKind::kGroupInconsistency,
+                       "kind '" + kind + "' set " + std::to_string(s) +
+                           " references nonexistent node",
+                       -1, -1, member);
+          continue;
+        }
+        expected_membership[member.value].insert(static_cast<int>(s));
+      }
+    }
+    for (size_t n = 0; n < num_nodes; ++n) {
+      const std::vector<int>& containing =
+          groups.SetsContaining(kind, NodeId(static_cast<uint32_t>(n)));
+      const std::set<int> actual(containing.begin(), containing.end());
+      if (actual != expected_membership[n]) {
+        AddViolation(report, InvariantKind::kGroupInconsistency,
+                     "kind '" + kind + "' membership index disagrees with its sets", -1, -1,
+                     NodeId(static_cast<uint32_t>(n)));
+      }
+    }
+  }
+
+  // Differential check of the two constraint-evaluation implementations.
+  if (manager != nullptr) {
+    const auto effective = manager->Effective();
+    report.soft = DirectEvaluateAll(state, effective);
+    const ViolationReport shared = ConstraintEvaluator::EvaluateAll(state, *manager);
+    if (shared.total_subjects != report.soft.subjects ||
+        shared.violated_subjects != report.soft.violated ||
+        std::abs(shared.weighted_extent - report.soft.weighted_extent) > options.tol) {
+      std::ostringstream os;
+      os << "independent soft evaluation (subjects=" << report.soft.subjects
+         << ", violated=" << report.soft.violated
+         << ", weighted_extent=" << report.soft.weighted_extent
+         << ") disagrees with ConstraintEvaluator (subjects=" << shared.total_subjects
+         << ", violated=" << shared.violated_subjects
+         << ", weighted_extent=" << shared.weighted_extent << ")";
+      AddViolation(report, InvariantKind::kConstraintMismatch, os.str());
+    }
+  }
+}
+
+double FragmentationTerm(const ClusterState& state, const CheckOptions& options) {
+  double sum = 0.0;
+  for (const Node& node : state.nodes()) {
+    const Resource free = node.Free();
+    double z = 1.0;
+    if (options.rmin.memory_mb > 0) {
+      z = std::min(z, static_cast<double>(free.memory_mb) /
+                          static_cast<double>(options.rmin.memory_mb));
+    }
+    if (options.rmin.vcores > 0) {
+      z = std::min(z,
+                   static_cast<double>(free.vcores) / static_cast<double>(options.rmin.vcores));
+    }
+    sum += std::max(0.0, z);
+  }
+  return sum;
+}
+
+}  // namespace
+
+const char* InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kBadIndex:
+      return "bad-index";
+    case InvariantKind::kInvalidNode:
+      return "invalid-node";
+    case InvariantKind::kUnavailableNode:
+      return "unavailable-node";
+    case InvariantKind::kDuplicateAssignment:
+      return "duplicate-assignment";
+    case InvariantKind::kUnplannedAssignment:
+      return "unplanned-assignment";
+    case InvariantKind::kPartialPlacement:
+      return "partial-placement";
+    case InvariantKind::kCapacityExceeded:
+      return "capacity-exceeded";
+    case InvariantKind::kAccountingMismatch:
+      return "accounting-mismatch";
+    case InvariantKind::kGroupInconsistency:
+      return "group-inconsistency";
+    case InvariantKind::kConstraintMismatch:
+      return "constraint-mismatch";
+  }
+  return "unknown";
+}
+
+std::string InvariantViolation::ToString() const {
+  std::ostringstream os;
+  os << "[" << InvariantKindName(kind) << "] " << message;
+  if (lra_index >= 0) {
+    os << " (lra " << lra_index;
+    if (container_index >= 0) {
+      os << ", container " << container_index;
+    }
+    os << ")";
+  }
+  if (node.IsValid()) {
+    os << " @ " << node;
+  }
+  return os.str();
+}
+
+std::string InvariantReport::ToString() const {
+  std::ostringstream os;
+  for (const InvariantViolation& v : violations) {
+    os << v.ToString() << "\n";
+  }
+  return os.str();
+}
+
+InvariantReport InvariantChecker::CheckPlan(const PlacementProblem& problem,
+                                            const PlacementPlan& plan,
+                                            const CheckOptions& options) {
+  InvariantReport report;
+  MEDEA_CHECK(problem.state != nullptr);
+  CheckPlanStructure(problem, plan, report);
+  CheckPlanCapacity(problem, plan, report);
+
+  // Apply to a scratch copy and audit the post-placement state, including the
+  // differential constraint evaluation and the recomputed objective.
+  ClusterState scratch = *problem.state;
+  ApplyPlanToScratch(problem, plan, scratch, report);
+  CheckStateInto(scratch, problem.manager, options, report);
+
+  const double k = std::max<size_t>(problem.lras.size(), 1);
+  const double m = problem.manager != nullptr
+                       ? std::max<size_t>(problem.manager->Effective().size(), 1)
+                       : 1.0;
+  const double p = std::max<size_t>(scratch.num_nodes(), 1);
+  report.objective = options.w1_placement * plan.NumPlaced() / k -
+                     options.w2_violations * report.soft.weighted_extent / m +
+                     options.w3_fragmentation * FragmentationTerm(scratch, options) / p;
+  return report;
+}
+
+InvariantReport InvariantChecker::CheckState(const ClusterState& state,
+                                             const ConstraintManager* manager,
+                                             const CheckOptions& options) {
+  InvariantReport report;
+  CheckStateInto(state, manager, options, report);
+  return report;
+}
+
+double InvariantChecker::PlanObjective(const PlacementProblem& problem, const PlacementPlan& plan,
+                                       const CheckOptions& options) {
+  return CheckPlan(problem, plan, options).objective;
+}
+
+ScopedInvariantAudit::ScopedInvariantAudit(bool abort_on_violation, const CheckOptions& options)
+    : previous_(SetPlacementAuditor(this)),
+      abort_on_violation_(abort_on_violation),
+      options_(options) {}
+
+ScopedInvariantAudit::~ScopedInvariantAudit() { SetPlacementAuditor(previous_); }
+
+void ScopedInvariantAudit::OnPlan(const PlacementProblem& problem, const PlacementPlan& plan,
+                                  const std::string& scheduler) {
+  ++plans_audited_;
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, plan, options_);
+  if (report.ok()) {
+    return;
+  }
+  const std::string failure = "plan audit failed for scheduler '" + scheduler +
+                              "':\n" + report.ToString();
+  if (abort_on_violation_) {
+    std::fprintf(stderr, "%s\n", failure.c_str());
+    MEDEA_CHECK(false);
+  }
+  failures_.push_back(failure);
+}
+
+void ScopedInvariantAudit::OnStateMutation(const ClusterState& state, const char* where) {
+  ++states_audited_;
+  const InvariantReport report = InvariantChecker::CheckState(state, nullptr, options_);
+  if (report.ok()) {
+    return;
+  }
+  const std::string failure =
+      std::string("state audit failed after '") + where + "':\n" + report.ToString();
+  if (abort_on_violation_) {
+    std::fprintf(stderr, "%s\n", failure.c_str());
+    MEDEA_CHECK(false);
+  }
+  failures_.push_back(failure);
+}
+
+}  // namespace medea::verify

@@ -1,0 +1,496 @@
+#include "src/verify/scenario_fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/schedulers/greedy.h"
+#include "src/schedulers/ilp_scheduler.h"
+#include "src/schedulers/jkube.h"
+#include "src/schedulers/yarn.h"
+#include "src/sim/simulation.h"
+#include "src/solver/mip.h"
+#include "src/verify/self_certify.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea::verify {
+namespace {
+
+constexpr Resource kCapacityChoices[] = {
+    Resource(8 * 1024, 4),
+    Resource(16 * 1024, 8),
+    Resource(24 * 1024, 12),
+};
+
+// One generated scenario: a populated cluster plus a fresh submission batch,
+// with every constraint registered in the manager.
+struct Scenario {
+  ClusterState state;
+  ConstraintManager manager;
+  std::vector<LraRequest> lras;
+
+  explicit Scenario(ClusterState s) : state(std::move(s)), manager(state.groups_ptr()) {}
+};
+
+LraSpec MakeRandomSpec(Rng& rng, ApplicationId app, TagPool& tags) {
+  switch (rng.NextBounded(5)) {
+    case 0:
+      return MakeHBaseInstance(app, tags, /*num_workers=*/static_cast<int>(rng.NextInt(2, 4)));
+    case 1:
+      return MakeTensorFlowInstance(app, tags, /*num_workers=*/static_cast<int>(rng.NextInt(2, 3)),
+                                    /*num_ps=*/static_cast<int>(rng.NextInt(1, 2)));
+    case 2:
+      return MakeStormInstance(app, tags,
+                               /*num_supervisors=*/static_cast<int>(rng.NextInt(2, 4)));
+    case 3:
+      return MakeMemcachedInstance(app, tags);
+    default:
+      return MakeGenericLra(app, tags, static_cast<int>(rng.NextInt(1, 3)),
+                            "fz" + std::to_string(rng.NextBounded(3)));
+  }
+}
+
+void RegisterSpecConstraints(const LraSpec& spec, ApplicationId app, ConstraintManager& manager,
+                             std::vector<std::string>& operator_texts) {
+  for (const std::string& text : spec.shared_constraints) {
+    if (std::find(operator_texts.begin(), operator_texts.end(), text) != operator_texts.end()) {
+      continue;  // operator constraints are cluster-wide; register once
+    }
+    operator_texts.push_back(text);
+    MEDEA_CHECK(manager.AddFromText(text, ConstraintOrigin::kOperator).ok());
+  }
+  for (const std::string& text : spec.app_constraints) {
+    MEDEA_CHECK(manager.AddFromText(text, ConstraintOrigin::kApplication, app).ok());
+  }
+}
+
+Scenario GenerateScenario(Rng& rng, const SchedulerConfig& config) {
+  Scenario scenario(ClusterBuilder()
+                        .NumNodes(static_cast<size_t>(rng.NextInt(6, 20)))
+                        .NumRacks(static_cast<size_t>(rng.NextInt(2, 4)))
+                        .NumUpgradeDomains(static_cast<size_t>(rng.NextInt(2, 4)))
+                        .NumServiceUnits(static_cast<size_t>(rng.NextInt(2, 5)))
+                        .NodeCapacity(kCapacityChoices[rng.NextBounded(3)])
+                        .Build());
+  // Static hardware tags on a random subset of nodes, to exercise the static
+  // leg of the tag-cardinality accounting.
+  const TagId ssd = scenario.manager.tags().Intern("fz_ssd");
+  for (size_t n = 0; n < scenario.state.num_nodes(); ++n) {
+    if (rng.NextBool(0.3)) {
+      scenario.state.AddStaticNodeTag(NodeId(static_cast<uint32_t>(n)), ssd);
+    }
+  }
+
+  std::vector<std::string> operator_texts;
+  uint32_t next_app = 0;
+
+  // Pre-deployed LRAs: placed by the Serial greedy and committed, so the
+  // fresh batch competes with existing containers and their constraints.
+  const int num_existing = static_cast<int>(rng.NextInt(0, 2));
+  for (int i = 0; i < num_existing; ++i) {
+    const ApplicationId app(next_app++);
+    LraSpec spec = MakeRandomSpec(rng, app, scenario.manager.tags());
+    RegisterSpecConstraints(spec, app, scenario.manager, operator_texts);
+    PlacementProblem problem;
+    problem.lras = {spec.request};
+    problem.state = &scenario.state;
+    problem.manager = &scenario.manager;
+    GreedyScheduler serial(GreedyOrdering::kSerial, config);
+    const PlacementPlan plan = serial.Place(problem);
+    CommitPlan(problem, plan, scenario.state);
+  }
+
+  // The fresh submission batch.
+  const int num_new = static_cast<int>(rng.NextInt(1, 4));
+  for (int i = 0; i < num_new; ++i) {
+    const ApplicationId app(next_app++);
+    LraSpec spec = MakeRandomSpec(rng, app, scenario.manager.tags());
+    RegisterSpecConstraints(spec, app, scenario.manager, operator_texts);
+    scenario.lras.push_back(std::move(spec.request));
+  }
+  return scenario;
+}
+
+// Canonical plan serialization (latency excluded): the replay-determinism
+// currency. Bit-identical placements serialize identically.
+std::string SerializePlan(const PlacementPlan& plan) {
+  std::ostringstream os;
+  for (const bool placed : plan.lra_placed) {
+    os << (placed ? '1' : '0');
+  }
+  os << '|';
+  std::vector<std::tuple<int, int, uint32_t>> assignments;
+  assignments.reserve(plan.assignments.size());
+  for (const Assignment& a : plan.assignments) {
+    assignments.emplace_back(a.lra_index, a.container_index, a.node.value);
+  }
+  std::sort(assignments.begin(), assignments.end());
+  for (const auto& [l, c, n] : assignments) {
+    os << l << ',' << c << ',' << n << ';';
+  }
+  return os.str();
+}
+
+// A branch-and-bound run is reproducible only if the search completed:
+// kOptimal / kInfeasible mean every node was explored, while a deadline- or
+// node-limit-cut search returns whatever incumbent the budget caught
+// (reported as kFeasible or kTimeLimit), which is wall-clock-dependent.
+bool IlpSolveReproducible(const MedeaIlpScheduler& ilp) {
+  const auto& stats = ilp.last_stats();
+  const bool complete = stats.status == solver::SolveStatus::kOptimal ||
+                        stats.status == solver::SolveStatus::kInfeasible;
+  return complete && !stats.mip.hit_time_limit && !stats.mip.hit_node_limit;
+}
+
+// The scheduler families under test. `family` 0..3 with per-seed variant
+// rotation within the family.
+std::unique_ptr<LraScheduler> MakeScheduler(int family, uint64_t seed,
+                                            const SchedulerConfig& config) {
+  switch (family) {
+    case 0:
+      return std::make_unique<MedeaIlpScheduler>(config);
+    case 1: {
+      constexpr GreedyOrdering kOrderings[] = {GreedyOrdering::kSerial,
+                                               GreedyOrdering::kTagPopularity,
+                                               GreedyOrdering::kNodeCandidates};
+      return std::make_unique<GreedyScheduler>(kOrderings[seed % 3], config);
+    }
+    case 2:
+      return std::make_unique<YarnScheduler>(
+          config, seed % 2 == 0 ? YarnPolicy::kRandom : YarnPolicy::kPack);
+    default:
+      return std::make_unique<JKubeScheduler>(/*support_cardinality=*/seed % 2 == 0, config);
+  }
+}
+
+class FuzzRun {
+ public:
+  explicit FuzzRun(const FuzzOptions& options) : options_(options) {}
+
+  FuzzResult Run() {
+    for (int i = 0; i < options_.num_seeds; ++i) {
+      if (Saturated()) {
+        break;
+      }
+      const uint64_t seed = options_.base_seed + static_cast<uint64_t>(i);
+      RunSeed(seed);
+      ++result_.stats.seeds_run;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool Saturated() const {
+    return options_.max_failures > 0 &&
+           static_cast<int>(result_.failures.size()) >= options_.max_failures;
+  }
+
+  void Fail(uint64_t seed, std::string scheduler, std::string invariant, std::string detail) {
+    FuzzFailure f;
+    f.seed = seed;
+    f.scheduler = std::move(scheduler);
+    f.invariant = std::move(invariant);
+    f.detail = std::move(detail);
+    result_.failures.push_back(std::move(f));
+  }
+
+  SchedulerConfig ConfigForSeed(uint64_t seed) const {
+    SchedulerConfig config;
+    config.seed = seed;
+    config.ilp_time_limit_seconds = options_.ilp_time_limit_seconds;
+    return config;
+  }
+
+  void RunSeed(uint64_t seed) {
+    Rng rng(seed);
+    const SchedulerConfig config = ConfigForSeed(seed);
+    Scenario scenario = GenerateScenario(rng, config);
+
+    PlacementProblem problem;
+    problem.lras = scenario.lras;
+    problem.state = &scenario.state;
+    problem.manager = &scenario.manager;
+
+    double ilp_objective = 0.0;
+    bool ilp_is_optimal = false;
+
+    for (int family = 0; family < 4 && !Saturated(); ++family) {
+      std::unique_ptr<LraScheduler> scheduler = MakeScheduler(family, seed, config);
+      MedeaIlpScheduler* ilp = family == 0 ? static_cast<MedeaIlpScheduler*>(scheduler.get())
+                                           : nullptr;
+      const PlacementPlan plan = scheduler->Place(problem);
+      // A budget-cut solve returns whatever incumbent the deadline caught:
+      // still checker-valid, but not reproducible, so the bit-identical
+      // replay invariant only applies when the search ran to completion.
+      const bool truncated = ilp != nullptr && !IlpSolveReproducible(*ilp);
+
+      // Invariant 1: the plan passes the independent checker.
+      ++result_.stats.plans_checked;
+      const InvariantReport report = InvariantChecker::CheckPlan(problem, plan);
+      if (!report.ok()) {
+        Fail(seed, scheduler->name(), "invariant-checker", report.ToString());
+        continue;
+      }
+      if (ilp != nullptr) {
+        ilp_objective = report.objective;
+        ilp_is_optimal = ilp->last_stats().status == solver::SolveStatus::kOptimal;
+        if (ilp_is_optimal) {
+          ++result_.stats.ilp_optimal;
+        }
+      }
+
+      // Invariant 2: a checker-clean plan commits cleanly, and the committed
+      // state passes the state audit (accounting, tags, groups, differential
+      // constraint evaluation).
+      ++result_.stats.commits_checked;
+      ClusterState scratch = scenario.state;
+      if (!CommitPlan(problem, plan, scratch)) {
+        Fail(seed, scheduler->name(), "commit",
+             "checker-clean plan failed to commit");
+      } else {
+        const InvariantReport post = InvariantChecker::CheckState(scratch, &scenario.manager);
+        if (!post.ok()) {
+          Fail(seed, scheduler->name(), "post-commit-state", post.ToString());
+        }
+      }
+
+      // Invariant 3: deterministic replay — a fresh scheduler instance on the
+      // identical problem yields a bit-identical placement.
+      if (options_.check_replay && !truncated) {
+        const std::unique_ptr<LraScheduler> replayer = MakeScheduler(family, seed, config);
+        const PlacementPlan replay = replayer->Place(problem);
+        // The replay run is subject to the same wall clock; compare only if
+        // it also ran to completion (an asymmetric cutoff is not a bug).
+        const bool replay_truncated =
+            family == 0 &&
+            !IlpSolveReproducible(static_cast<const MedeaIlpScheduler&>(*replayer));
+        if (!replay_truncated) {
+          ++result_.stats.replays_checked;
+          if (SerializePlan(plan) != SerializePlan(replay)) {
+            Fail(seed, scheduler->name(), "replay-determinism",
+                 "first run: " + SerializePlan(plan) + "\nreplay:    " + SerializePlan(replay));
+          }
+        }
+      }
+    }
+
+    // Invariant 4: on proven-optimal instances the ILP's recomputed objective
+    // dominates the Serial greedy's (the greedy plan warm-starts the search,
+    // so the ILP incumbent can only improve on it).
+    if (options_.check_dominance && ilp_is_optimal && !Saturated()) {
+      GreedyScheduler serial(GreedyOrdering::kSerial, config);
+      const PlacementPlan serial_plan = serial.Place(problem);
+      const double serial_objective = InvariantChecker::PlanObjective(problem, serial_plan);
+      ++result_.stats.dominance_checked;
+      if (ilp_objective + 1e-6 < serial_objective) {
+        std::ostringstream os;
+        os << "ILP objective " << ilp_objective << " < Serial objective " << serial_objective;
+        Fail(seed, "Medea-ILP", "ilp-dominance", os.str());
+      }
+    }
+
+    if (options_.check_mip && !Saturated()) {
+      RunMipLeg(seed, rng);
+    }
+    if (options_.run_simulation && !Saturated()) {
+      RunSimulationLeg(seed, rng);
+    }
+  }
+
+  // --- Random MIP models: self-certification + presolve differential --------
+
+  solver::Model BuildRandomModel(Rng& rng) {
+    solver::Model model;
+    model.SetMaximize(rng.NextBool(0.7));
+    const int num_vars = static_cast<int>(rng.NextInt(3, 8));
+    for (int j = 0; j < num_vars; ++j) {
+      const double objective = static_cast<double>(rng.NextInt(-10, 10));
+      switch (rng.NextBounded(3)) {
+        case 0:
+          model.AddBinary(objective);
+          break;
+        case 1:
+          model.AddVariable(0.0, static_cast<double>(rng.NextInt(1, 5)), objective,
+                            solver::VarType::kInteger);
+          break;
+        default:
+          model.AddContinuous(0.0, static_cast<double>(rng.NextInt(1, 10)), objective);
+          break;
+      }
+    }
+    // Rows keep x = 0 feasible (<= with rhs >= 0, >= with rhs <= 0), so every
+    // generated model has a solution; all variables are bounded, so no model
+    // is unbounded.
+    const int num_rows = static_cast<int>(rng.NextInt(2, 6));
+    for (int r = 0; r < num_rows; ++r) {
+      std::vector<std::pair<solver::VarIndex, double>> terms;
+      const int num_terms = static_cast<int>(rng.NextInt(1, std::min(num_vars, 4)));
+      for (int t = 0; t < num_terms; ++t) {
+        double coeff = 0.0;
+        while (coeff == 0.0) {
+          coeff = static_cast<double>(rng.NextInt(-5, 5));
+        }
+        terms.emplace_back(static_cast<solver::VarIndex>(rng.NextBounded(
+                               static_cast<uint64_t>(num_vars))),
+                           coeff);
+      }
+      if (rng.NextBool(0.5)) {
+        model.AddRow(std::move(terms), solver::RowSense::kLessEqual,
+                     static_cast<double>(rng.NextInt(0, 15)));
+      } else {
+        model.AddRow(std::move(terms), solver::RowSense::kGreaterEqual,
+                     -static_cast<double>(rng.NextInt(0, 15)));
+      }
+    }
+    return model;
+  }
+
+  void RunMipLeg(uint64_t seed, Rng& rng) {
+    const solver::Model model = BuildRandomModel(rng);
+    ++result_.stats.mip_models;
+
+    solver::MipOptions mip_options;
+    mip_options.time_limit_seconds = 10.0;
+    // Exact gaps: "optimal" must mean optimal for the presolve differential.
+    mip_options.absolute_gap = 1e-9;
+    mip_options.relative_gap = 0.0;
+
+    CertifyOptions certify_options;
+    certify_options.absolute_gap = mip_options.absolute_gap;
+    certify_options.relative_gap = mip_options.relative_gap;
+
+    double objectives[2] = {0.0, 0.0};
+    bool solved[2] = {false, false};
+    for (int pass = 0; pass < 2; ++pass) {
+      mip_options.presolve = pass == 0;
+      solver::MipStats stats;
+      const solver::Solution solution = solver::SolveMip(model, mip_options, &stats);
+      if (solution.status != solver::SolveStatus::kOptimal) {
+        Fail(seed, "mip", "mip-unsolved",
+             std::string("tiny model not solved to optimality (presolve ") +
+                 (mip_options.presolve ? "on" : "off") +
+                 "): " + solver::SolveStatusName(solution.status));
+        continue;
+      }
+      solved[pass] = true;
+      objectives[pass] = solution.objective;
+      const CertifyReport certified =
+          CertifySolution(model, solution, &stats, certify_options);
+      if (!certified.ok()) {
+        Fail(seed, "mip",
+             std::string("mip-certify-presolve-") + (mip_options.presolve ? "on" : "off"),
+             certified.ToString());
+      }
+    }
+    if (solved[0] && solved[1] && std::fabs(objectives[0] - objectives[1]) > 1e-5) {
+      std::ostringstream os;
+      os << "presolve on/off disagree: " << objectives[0] << " vs " << objectives[1];
+      Fail(seed, "mip", "mip-presolve-differential", os.str());
+    }
+  }
+
+  // --- Full-pipeline Simulation leg ------------------------------------------
+
+  void RunSimulationLeg(uint64_t seed, Rng& rng) {
+    SimConfig sim_config;
+    sim_config.num_nodes = static_cast<size_t>(rng.NextInt(12, 24));
+    sim_config.num_racks = 3;
+    sim_config.num_upgrade_domains = 3;
+    sim_config.num_service_units = 4;
+    sim_config.node_capacity = kCapacityChoices[rng.NextBounded(3)];
+    sim_config.lra_interval_ms = 1000;
+    sim_config.task_heartbeat_ms = 500;
+    constexpr ConflictPolicy kPolicies[] = {ConflictPolicy::kResubmit, ConflictPolicy::kKillTasks,
+                                            ConflictPolicy::kReserve};
+    sim_config.conflict_policy = kPolicies[rng.NextBounded(3)];
+    sim_config.migration_interval_ms = rng.NextBool(0.5) ? 4000 : 0;
+
+    const int family = static_cast<int>(seed % 4);
+    Simulation sim(sim_config, MakeScheduler(family, seed, ConfigForSeed(seed)));
+    const std::string scheduler_name = sim.lra_scheduler().name();
+    ++result_.stats.simulations;
+
+    // LRA submissions.
+    const int num_lras = static_cast<int>(rng.NextInt(2, 4));
+    for (int i = 0; i < num_lras; ++i) {
+      const ApplicationId app(static_cast<uint32_t>(i));
+      // rng calls sequenced explicitly: argument evaluation order is
+      // unspecified and replay must not depend on the compiler.
+      const SimTimeMs submit_at = rng.NextInt(0, 3000);
+      sim.SubmitLraAt(submit_at, MakeRandomSpec(rng, app, sim.manager().tags()));
+    }
+    // Task churn.
+    const int num_jobs = static_cast<int>(rng.NextInt(1, 2));
+    for (int j = 0; j < num_jobs; ++j) {
+      std::vector<TaskRequest> tasks;
+      const int num_tasks = static_cast<int>(rng.NextInt(1, 4));
+      for (int t = 0; t < num_tasks; ++t) {
+        const Resource demand(rng.NextInt(512, 2048), 1);
+        tasks.emplace_back(demand, rng.NextInt(500, 3000));
+      }
+      const SimTimeMs job_at = rng.NextInt(0, 2000);
+      sim.SubmitTaskJobAt(job_at, std::move(tasks));
+    }
+    // A node failure + recovery mid-run.
+    const NodeId down(static_cast<uint32_t>(rng.NextBounded(sim_config.num_nodes)));
+    sim.NodeDownAt(2000, down);
+    sim.NodeUpAt(6000, down);
+    // Occasionally tear one LRA down to exercise constraint removal.
+    if (rng.NextBool(0.5)) {
+      sim.RemoveLraAt(7000, ApplicationId(0));
+    }
+
+    {
+      // Collect failures instead of aborting so every one carries its seed.
+      ScopedInvariantAudit audit(/*abort_on_violation=*/false);
+      // Bounded horizon: with migration enabled the cycle reschedules itself
+      // for as long as any LRA container lives, so an unbounded
+      // RunUntilQuiescent would spin ~90k audited migration cycles against
+      // its 100-hour safety net. 20 simulated seconds covers every scripted
+      // event (latest at t=7000) plus several migration cycles.
+      sim.RunUntilQuiescent(/*max_t=*/20'000);
+      for (const std::string& failure : audit.failures()) {
+        Fail(seed, scheduler_name, "simulation-audit", failure);
+        if (Saturated()) {
+          return;
+        }
+      }
+    }
+    const InvariantReport final_report =
+        InvariantChecker::CheckState(sim.state(), &sim.manager());
+    if (!final_report.ok()) {
+      Fail(seed, scheduler_name, "simulation-final-state", final_report.ToString());
+    }
+  }
+
+  FuzzOptions options_;
+  FuzzResult result_;
+};
+
+}  // namespace
+
+std::string FuzzFailure::ToString() const {
+  std::ostringstream os;
+  os << "seed " << seed << " [" << scheduler << "] " << invariant << ": " << detail;
+  return os.str();
+}
+
+std::string FuzzResult::Summary() const {
+  std::ostringstream os;
+  os << "seeds=" << stats.seeds_run << " plans=" << stats.plans_checked
+     << " commits=" << stats.commits_checked << " replays=" << stats.replays_checked
+     << " dominance=" << stats.dominance_checked << " (ilp-optimal=" << stats.ilp_optimal
+     << ") mip-models=" << stats.mip_models << " simulations=" << stats.simulations
+     << " failures=" << failures.size();
+  return os.str();
+}
+
+FuzzResult FuzzSchedulers(const FuzzOptions& options) { return FuzzRun(options).Run(); }
+
+}  // namespace medea::verify

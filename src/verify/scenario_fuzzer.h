@@ -1,0 +1,93 @@
+// Copyright (c) Medea reproduction authors.
+// Seeded differential scenario fuzzer over the full scheduling stack.
+//
+// Each seed deterministically generates a random cluster (topology, node
+// capacities, static tags), a random mix of already-deployed LRAs and a
+// fresh submission batch drawn from the §7.1 workload templates, then runs
+// all four scheduler families — Medea-ILP, the greedy heuristics, YARN and
+// J-Kube — on the identical problem and asserts per-seed invariants:
+//
+//   * every plan passes the InvariantChecker (and commits cleanly onto a
+//     scratch state that passes again post-commit);
+//   * deterministic replay: a freshly constructed scheduler produces a
+//     bit-identical placement for the same problem and seed;
+//   * optimality dominance: on instances the ILP solves to proven
+//     optimality, its recomputed Eq. 1 objective is no worse than the Serial
+//     greedy's (the warm start makes the greedy plan an ILP incumbent);
+//   * MIP self-certification: random MIP models solve to certified
+//     solutions, with presolve on/off agreeing on the optimum;
+//   * a full Simulation pass (node failures, task churn, migration) with the
+//     audit hook installed stays invariant-clean.
+//
+// Every failure carries its seed, so `fuzz_schedulers --seeds 1 --base-seed
+// <seed>` reproduces it exactly.
+
+#ifndef SRC_VERIFY_SCENARIO_FUZZER_H_
+#define SRC_VERIFY_SCENARIO_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/verify/invariant_checker.h"
+
+namespace medea::verify {
+
+struct FuzzOptions {
+  int num_seeds = 100;
+  uint64_t base_seed = 1;
+  // Run the event-driven Simulation leg (node failures, migration, task
+  // churn) with the audit hook installed.
+  bool run_simulation = true;
+  // Re-run each scheduler from scratch and require bit-identical plans.
+  bool check_replay = true;
+  // Require ILP objective >= Serial greedy objective on proven-optimal
+  // instances (both recomputed by InvariantChecker::PlanObjective).
+  bool check_dominance = true;
+  // Solve random MIP models and certify incumbents + presolve agreement.
+  bool check_mip = true;
+  // Stop after this many failures (0 = collect all).
+  int max_failures = 10;
+  // Per-cycle ILP budget. Most generated instances solve to optimality in
+  // milliseconds; the occasional hard instance is cut off here (and then
+  // skips the dominance and replay checks, which are only sound for solves
+  // the wall clock did not truncate).
+  double ilp_time_limit_seconds = 2.0;
+  bool verbose = false;
+};
+
+struct FuzzFailure {
+  uint64_t seed = 0;
+  std::string scheduler;   // or "mip" / "simulation"
+  std::string invariant;   // which invariant tripped
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct FuzzStats {
+  int seeds_run = 0;
+  int plans_checked = 0;
+  int commits_checked = 0;
+  int replays_checked = 0;
+  int dominance_checked = 0;
+  int ilp_optimal = 0;
+  int mip_models = 0;
+  int simulations = 0;
+};
+
+struct FuzzResult {
+  FuzzStats stats;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+// Runs the fuzzer. Deterministic: identical options produce identical
+// results.
+FuzzResult FuzzSchedulers(const FuzzOptions& options = {});
+
+}  // namespace medea::verify
+
+#endif  // SRC_VERIFY_SCENARIO_FUZZER_H_

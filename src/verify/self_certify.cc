@@ -1,0 +1,142 @@
+#include "src/verify/self_certify.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace medea::verify {
+namespace {
+
+using solver::Model;
+using solver::RowSense;
+using solver::SolveStatus;
+using solver::VarType;
+
+void Fail(CertifyReport& report, std::string message) {
+  report.failures.push_back(std::move(message));
+}
+
+std::string VarName(const Model& model, int j) {
+  const auto& col = model.column(j);
+  return col.name.empty() ? "x" + std::to_string(j) : col.name;
+}
+
+}  // namespace
+
+std::string CertifyReport::ToString() const {
+  std::ostringstream os;
+  for (const std::string& f : failures) {
+    os << f << "\n";
+  }
+  return os.str();
+}
+
+CertifyReport CertifySolution(const solver::Model& model, const solver::Solution& solution,
+                              const solver::MipStats* stats, const CertifyOptions& options) {
+  CertifyReport report;
+  if (!solution.HasSolution()) {
+    return report;  // nothing claimed, nothing to certify
+  }
+  if (static_cast<int>(solution.values.size()) != model.num_variables()) {
+    Fail(report, "solution has " + std::to_string(solution.values.size()) + " values for " +
+                     std::to_string(model.num_variables()) + " variables");
+    return report;
+  }
+
+  // Variable bounds and integrality, straight from the column descriptions.
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto& col = model.column(j);
+    const double v = solution.values[static_cast<size_t>(j)];
+    if (!std::isfinite(v)) {
+      Fail(report, "variable " + VarName(model, j) + " is not finite");
+      continue;
+    }
+    if (v < col.lower - options.feasibility_tol || v > col.upper + options.feasibility_tol) {
+      std::ostringstream os;
+      os << "variable " << VarName(model, j) << " = " << v << " outside bounds [" << col.lower
+         << ", " << col.upper << "]";
+      Fail(report, os.str());
+    }
+    if (col.type != VarType::kContinuous &&
+        std::fabs(v - std::round(v)) > options.integrality_tol) {
+      std::ostringstream os;
+      os << "integer variable " << VarName(model, j) << " = " << v << " is fractional";
+      Fail(report, os.str());
+    }
+  }
+
+  // Rows, re-evaluated term by term.
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const auto& row = model.row(r);
+    double activity = 0.0;
+    for (const auto& [var, coeff] : row.terms) {
+      activity += coeff * solution.values[static_cast<size_t>(var)];
+    }
+    bool violated = false;
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        violated = activity > row.rhs + options.feasibility_tol;
+        break;
+      case RowSense::kGreaterEqual:
+        violated = activity < row.rhs - options.feasibility_tol;
+        break;
+      case RowSense::kEqual:
+        violated = std::fabs(activity - row.rhs) > options.feasibility_tol;
+        break;
+    }
+    if (violated) {
+      std::ostringstream os;
+      os << "row " << (row.name.empty() ? "r" + std::to_string(r) : row.name) << " activity "
+         << activity << " violates rhs " << row.rhs;
+      Fail(report, os.str());
+    }
+  }
+
+  // Objective: recompute independently of Model::Objective.
+  double objective = 0.0;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    objective += model.column(j).objective * solution.values[static_cast<size_t>(j)];
+  }
+  report.recomputed_objective = objective;
+  if (std::fabs(objective - solution.objective) > options.objective_tol) {
+    std::ostringstream os;
+    os << "reported objective " << solution.objective << " differs from recomputed " << objective;
+    Fail(report, os.str());
+  }
+
+  // Bound consistency against the search's proven dual bound.
+  if (stats != nullptr && stats->has_best_bound) {
+    const double bound = stats->best_bound;
+    const double gap =
+        std::max(options.absolute_gap, options.relative_gap * std::fabs(objective));
+    if (model.maximize()) {
+      if (objective > bound + options.objective_tol) {
+        std::ostringstream os;
+        os << "incumbent " << objective << " exceeds proven upper bound " << bound;
+        Fail(report, os.str());
+      }
+      if (solution.status == SolveStatus::kOptimal &&
+          objective < bound - gap - options.objective_tol) {
+        std::ostringstream os;
+        os << "allegedly optimal incumbent " << objective << " trails upper bound " << bound
+           << " by more than the pruning gap " << gap;
+        Fail(report, os.str());
+      }
+    } else {
+      if (objective < bound - options.objective_tol) {
+        std::ostringstream os;
+        os << "incumbent " << objective << " beats proven lower bound " << bound;
+        Fail(report, os.str());
+      }
+      if (solution.status == SolveStatus::kOptimal &&
+          objective > bound + gap + options.objective_tol) {
+        std::ostringstream os;
+        os << "allegedly optimal incumbent " << objective << " trails lower bound " << bound
+           << " by more than the pruning gap " << gap;
+        Fail(report, os.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace medea::verify

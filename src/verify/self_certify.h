@@ -1,0 +1,55 @@
+// Copyright (c) Medea reproduction authors.
+// Solver self-certification: independent verification of MIP solutions.
+//
+// A branch-and-bound bug can silently return an infeasible or sub-optimal
+// incumbent, and every placement built from it inherits the defect.
+// CertifySolution re-checks a Solution against the Model alone — bounds,
+// rows, integrality and the objective value are all re-evaluated from the
+// model description with no simplex or search internals involved — and, when
+// MipStats are provided, checks bound consistency: the incumbent must not
+// beat the proven dual bound, and an allegedly optimal incumbent must be
+// within the solver's pruning gap of it.
+
+#ifndef SRC_VERIFY_SELF_CERTIFY_H_
+#define SRC_VERIFY_SELF_CERTIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/solver/mip.h"
+#include "src/solver/model.h"
+
+namespace medea::verify {
+
+struct CertifyOptions {
+  // Row / bound feasibility tolerance.
+  double feasibility_tol = 1e-5;
+  // Distance from the nearest integer tolerated for integer variables.
+  double integrality_tol = 1e-5;
+  // Tolerated disagreement between the reported and recomputed objective.
+  double objective_tol = 1e-6;
+  // The solver's pruning gap (MipOptions defaults); an optimal incumbent may
+  // trail the best bound by max(absolute_gap, relative_gap * |objective|).
+  double absolute_gap = 1e-6;
+  double relative_gap = 0.01;
+};
+
+struct CertifyReport {
+  std::vector<std::string> failures;
+  // Objective re-evaluated from the model at the solution point.
+  double recomputed_objective = 0.0;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+// Certifies `solution` against `model`. Solutions without a feasible point
+// (kInfeasible etc.) certify trivially. With `stats`, additionally checks
+// incumbent-vs-bound consistency using stats->best_bound.
+CertifyReport CertifySolution(const solver::Model& model, const solver::Solution& solution,
+                              const solver::MipStats* stats = nullptr,
+                              const CertifyOptions& options = {});
+
+}  // namespace medea::verify
+
+#endif  // SRC_VERIFY_SELF_CERTIFY_H_

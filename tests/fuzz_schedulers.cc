@@ -1,0 +1,84 @@
+// Copyright (c) Medea reproduction authors.
+// Standalone driver for the differential scenario fuzzer (src/verify).
+//
+// Usage: fuzz_schedulers [--seeds N] [--base-seed S] [--no-sim] [--no-mip]
+//                        [--no-replay] [--no-dominance] [--max-failures K]
+//                        [--verbose]
+//
+// Exits 0 iff every seed upholds every invariant; otherwise prints each
+// failing seed with its violation report (reproduce a single failure with
+// `fuzz_schedulers --seeds 1 --base-seed <seed>`).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/verify/scenario_fuzzer.h"
+
+namespace {
+
+bool ParseInt(const char* text, long long* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--base-seed S] [--no-sim] [--no-mip] [--no-replay] "
+               "[--no-dominance] [--max-failures K] [--verbose]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  medea::verify::FuzzOptions options;
+  options.num_seeds = 100;
+  options.max_failures = 25;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long long value = 0;
+    if (std::strcmp(arg, "--seeds") == 0 && i + 1 < argc && ParseInt(argv[++i], &value)) {
+      options.num_seeds = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--base-seed") == 0 && i + 1 < argc &&
+               ParseInt(argv[++i], &value)) {
+      options.base_seed = static_cast<uint64_t>(value);
+    } else if (std::strcmp(arg, "--max-failures") == 0 && i + 1 < argc &&
+               ParseInt(argv[++i], &value)) {
+      options.max_failures = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--no-sim") == 0) {
+      options.run_simulation = false;
+    } else if (std::strcmp(arg, "--no-mip") == 0) {
+      options.check_mip = false;
+    } else if (std::strcmp(arg, "--no-replay") == 0) {
+      options.check_replay = false;
+    } else if (std::strcmp(arg, "--no-dominance") == 0) {
+      options.check_dominance = false;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const medea::verify::FuzzResult result = medea::verify::FuzzSchedulers(options);
+  std::printf("%s\n", result.Summary().c_str());
+  if (!result.ok()) {
+    for (const auto& failure : result.failures) {
+      std::fprintf(stderr, "FAIL %s\n", failure.ToString().c_str());
+    }
+    std::fprintf(stderr, "fuzz_schedulers: %zu invariant violation(s)\n",
+                 result.failures.size());
+    return 1;
+  }
+  std::printf("fuzz_schedulers: all invariants held\n");
+  return 0;
+}

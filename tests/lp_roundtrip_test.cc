@@ -1,0 +1,195 @@
+// Copyright (c) Medea reproduction authors.
+// Round-trip tests: WriteLpFormat -> ParseLpFormat must reproduce the model
+// structurally — bounds (two-sided, free, fixed, defaults), both objective
+// senses, all three row senses, and the General/Binary integrality markers.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/lp_reader.h"
+#include "src/solver/lp_writer.h"
+#include "src/solver/model.h"
+
+namespace medea::solver {
+namespace {
+
+// Structural equality by variable *name*: the LP format preserves row order
+// but not variable index order (a variable absent from the objective is only
+// discovered later, in a row or Bounds line), so models are compared through
+// the name mapping. Every test model names its variables explicitly.
+void ExpectModelsEquivalent(const Model& a, const Model& b) {
+  ASSERT_EQ(a.num_variables(), b.num_variables());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  EXPECT_EQ(a.maximize(), b.maximize());
+  EXPECT_EQ(a.num_integer_variables(), b.num_integer_variables());
+  auto index_by_name = [](const Model& m) {
+    std::map<std::string, int> index;
+    for (int j = 0; j < m.num_variables(); ++j) {
+      index[m.column(j).name] = j;
+    }
+    return index;
+  };
+  const std::map<std::string, int> b_index = index_by_name(b);
+  for (int j = 0; j < a.num_variables(); ++j) {
+    const auto& ca = a.column(j);
+    SCOPED_TRACE("variable " + ca.name);
+    const auto it = b_index.find(ca.name);
+    ASSERT_NE(it, b_index.end()) << "variable lost in round-trip";
+    const auto& cb = b.column(it->second);
+    EXPECT_EQ(ca.type, cb.type);
+    EXPECT_DOUBLE_EQ(ca.lower, cb.lower);
+    EXPECT_DOUBLE_EQ(ca.upper, cb.upper);
+    EXPECT_DOUBLE_EQ(ca.objective, cb.objective);
+  }
+  for (int r = 0; r < a.num_rows(); ++r) {
+    SCOPED_TRACE("row " + std::to_string(r));
+    const auto& ra = a.row(r);
+    const auto& rb = b.row(r);
+    EXPECT_EQ(ra.sense, rb.sense);
+    EXPECT_DOUBLE_EQ(ra.rhs, rb.rhs);
+    ASSERT_EQ(ra.terms.size(), rb.terms.size());
+    // Compare terms as (name, coeff) multisets; indices differ across the
+    // round-trip, term order within a row may too.
+    std::vector<std::pair<std::string, double>> ta;
+    std::vector<std::pair<std::string, double>> tb;
+    for (const auto& [var, coeff] : ra.terms) {
+      ta.emplace_back(a.column(var).name, coeff);
+    }
+    for (const auto& [var, coeff] : rb.terms) {
+      tb.emplace_back(b.column(var).name, coeff);
+    }
+    std::sort(ta.begin(), ta.end());
+    std::sort(tb.begin(), tb.end());
+    EXPECT_EQ(ta, tb);
+  }
+}
+
+Model RoundTrip(const Model& model) {
+  const std::string text = WriteLpFormat(model);
+  auto parsed = ParseLpFormat(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+  return *parsed;
+}
+
+TEST(LpRoundTripTest, BoundsVariety) {
+  Model model;
+  model.SetMaximize(true);
+  model.AddVariable(0.0, kInfinity, 1.0, VarType::kContinuous, "default_bounds");
+  model.AddVariable(2.5, 7.5, -2.0, VarType::kContinuous, "two_sided");
+  model.AddVariable(-kInfinity, kInfinity, 3.0, VarType::kContinuous, "free_var");
+  model.AddVariable(-4.0, kInfinity, 0.5, VarType::kContinuous, "negative_lower");
+  model.AddVariable(0.0, 9.0, 0.0, VarType::kContinuous, "no_objective");
+  model.AddVariable(3.0, 3.0, 1.5, VarType::kContinuous, "fixed_var");
+  model.AddRow({{0, 1.0}, {1, 2.0}, {2, -1.0}}, RowSense::kLessEqual, 10.0, "cap");
+  ExpectModelsEquivalent(model, RoundTrip(model));
+}
+
+TEST(LpRoundTripTest, RowSenses) {
+  Model model;
+  model.SetMaximize(false);
+  model.AddVariable(0.0, 10.0, 1.0, VarType::kContinuous, "x");
+  model.AddVariable(0.0, 10.0, 2.0, VarType::kContinuous, "y");
+  model.AddRow({{0, 1.0}, {1, 1.0}}, RowSense::kLessEqual, 8.0, "le");
+  model.AddRow({{0, 2.0}, {1, -3.0}}, RowSense::kGreaterEqual, -6.0, "ge");
+  model.AddRow({{0, 1.0}, {1, -1.0}}, RowSense::kEqual, 0.5, "eq");
+  ExpectModelsEquivalent(model, RoundTrip(model));
+}
+
+TEST(LpRoundTripTest, IntegralityMarkers) {
+  Model model;
+  model.SetMaximize(true);
+  model.AddBinary(5.0, "pick");
+  model.AddVariable(0.0, 7.0, 2.0, VarType::kInteger, "count");
+  model.AddVariable(0.0, 1.5, 1.0, VarType::kContinuous, "frac");
+  model.AddVariable(-2.0, 4.0, -1.0, VarType::kInteger, "signed_int");
+  model.AddRow({{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}}, RowSense::kLessEqual, 6.0, "sum");
+  const Model reparsed = RoundTrip(model);
+  ExpectModelsEquivalent(model, reparsed);
+  EXPECT_EQ(reparsed.column(0).type, VarType::kBinary);
+  EXPECT_EQ(reparsed.column(1).type, VarType::kInteger);
+  EXPECT_EQ(reparsed.column(2).type, VarType::kContinuous);
+  EXPECT_EQ(reparsed.column(3).type, VarType::kInteger);
+}
+
+TEST(LpRoundTripTest, SecondRoundTripIsIdentity) {
+  // Writer output must be a fixed point: write(parse(write(m))) == write(m).
+  Model model;
+  model.SetMaximize(true);
+  model.AddBinary(1.0, "b");
+  model.AddVariable(-1.0, 5.0, 2.5, VarType::kContinuous, "c");
+  model.AddVariable(0.0, 3.0, -4.0, VarType::kInteger, "i");
+  model.AddRow({{0, 2.0}, {2, 1.0}}, RowSense::kGreaterEqual, 1.0, "r0");
+  model.AddRow({{1, 1.0}, {2, -2.0}}, RowSense::kEqual, 0.0, "r1");
+  const std::string once = WriteLpFormat(model);
+  auto parsed = ParseLpFormat(once);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(WriteLpFormat(*parsed), once);
+}
+
+TEST(LpRoundTripTest, RandomizedModels) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    Model model;
+    model.SetMaximize(rng.NextBool(0.5));
+    const int num_vars = static_cast<int>(rng.NextInt(1, 10));
+    for (int j = 0; j < num_vars; ++j) {
+      const std::string name = "v" + std::to_string(j);
+      const double objective = static_cast<double>(rng.NextInt(-20, 20)) / 2.0;
+      switch (rng.NextBounded(4)) {
+        case 0:
+          model.AddBinary(objective, name);
+          break;
+        case 1: {
+          const double lower = static_cast<double>(rng.NextInt(-5, 0));
+          model.AddVariable(lower, lower + static_cast<double>(rng.NextInt(0, 10)), objective,
+                            VarType::kInteger, name);
+          break;
+        }
+        case 2:
+          model.AddVariable(-kInfinity, kInfinity, objective, VarType::kContinuous, name);
+          break;
+        default: {
+          const double lower = static_cast<double>(rng.NextInt(-8, 8)) / 2.0;
+          model.AddVariable(lower, lower + static_cast<double>(rng.NextInt(0, 12)), objective,
+                            VarType::kContinuous, name);
+          break;
+        }
+      }
+    }
+    const int num_rows = static_cast<int>(rng.NextInt(0, 6));
+    for (int r = 0; r < num_rows; ++r) {
+      // Distinct indices per row: duplicate terms would be merged by AddRow
+      // and could cancel to zero, which the writer legitimately drops.
+      std::vector<VarIndex> indices;
+      for (int j = 0; j < num_vars; ++j) {
+        indices.push_back(j);
+      }
+      rng.Shuffle(indices);
+      std::vector<std::pair<VarIndex, double>> terms;
+      const int num_terms = static_cast<int>(rng.NextInt(1, num_vars));
+      for (int t = 0; t < num_terms; ++t) {
+        double coeff = 0.0;
+        while (coeff == 0.0) {
+          coeff = static_cast<double>(rng.NextInt(-6, 6)) / 2.0;
+        }
+        terms.emplace_back(indices[static_cast<size_t>(t)], coeff);
+      }
+      constexpr RowSense kSenses[] = {RowSense::kLessEqual, RowSense::kGreaterEqual,
+                                      RowSense::kEqual};
+      model.AddRow(std::move(terms), kSenses[rng.NextBounded(3)],
+                   static_cast<double>(rng.NextInt(-10, 10)));
+    }
+    ExpectModelsEquivalent(model, RoundTrip(model));
+  }
+}
+
+}  // namespace
+}  // namespace medea::solver

@@ -10,6 +10,7 @@
 #include "src/schedulers/ilp_scheduler.h"
 #include "src/schedulers/migration.h"
 #include "src/sim/simulation.h"
+#include "src/verify/invariant_checker.h"
 
 namespace medea {
 namespace {
@@ -175,6 +176,60 @@ TEST_F(MigrationTest, SimulatorMigrationCycleHealsChurnDamage) {
   // ...until a migration cycle relocates them.
   EXPECT_EQ(sim.EvaluateViolations().violated_subjects, 0);
   EXPECT_GE(sim.metrics().migrations, 0);  // 0 only if the replacement landed in place
+}
+
+TEST_F(MigrationTest, MigrationAfterNodeFailureStaysInvariantClean) {
+  // A node failure kills the cache; its failover replacement lands wherever
+  // the scheduler likes, almost surely violating the clients' node-level
+  // affinity, which only a migration cycle can then heal. Every plan and
+  // every mutation (node-down, failover commit, migration) runs under the
+  // audit hook, and migrated containers must land on available nodes with
+  // accounting intact.
+  SimConfig config;
+  config.num_nodes = 8;
+  config.num_racks = 2;
+  config.num_upgrade_domains = 2;
+  config.num_service_units = 2;
+  config.migration_interval_ms = 15000;
+  config.migration.migration_cost = 0.01;
+  SchedulerConfig sc;
+  sc.node_pool_size = 8;
+  Simulation sim(config, std::make_unique<MedeaIlpScheduler>(sc));
+
+  auto cache = MakeGenericLra(ApplicationId(1), sim.manager().tags(), 1, "cache");
+  auto client = MakeGenericLra(ApplicationId(2), sim.manager().tags(), 2, "client");
+  client.app_constraints.push_back("{client, {cache, 1, inf}, node}");
+
+  verify::ScopedInvariantAudit audit(/*abort_on_violation=*/false);
+  sim.SubmitLraAt(0, std::move(cache));
+  sim.SubmitLraAt(0, std::move(client));
+  sim.RunUntil(12000);
+  ASSERT_TRUE(sim.IsPlaced(ApplicationId(1)));
+  ASSERT_TRUE(sim.IsPlaced(ApplicationId(2)));
+
+  const auto cache_containers = sim.state().ContainersOf(ApplicationId(1));
+  ASSERT_EQ(cache_containers.size(), 1u);
+  const NodeId victim = sim.state().FindContainer(cache_containers[0])->node;
+  sim.NodeDownAt(13000, victim);
+  sim.RunUntil(50000);
+
+  // The replacement cache exists, off the dead node, and migration restored
+  // the clients' affinity.
+  ASSERT_EQ(sim.state().ContainersOf(ApplicationId(1)).size(), 1u);
+  EXPECT_NE(sim.state().FindContainer(sim.state().ContainersOf(ApplicationId(1))[0])->node,
+            victim);
+  EXPECT_EQ(sim.EvaluateViolations().violated_subjects, 0);
+  for (ContainerId c : sim.state().ContainersOf(ApplicationId(2))) {
+    EXPECT_TRUE(sim.state().node(sim.state().FindContainer(c)->node).available());
+  }
+
+  EXPECT_GT(audit.states_audited(), 0);
+  EXPECT_TRUE(audit.failures().empty())
+      << "first audit failure:\n"
+      << (audit.failures().empty() ? "" : audit.failures().front());
+  const verify::InvariantReport final_report =
+      verify::InvariantChecker::CheckState(sim.state(), &sim.manager());
+  EXPECT_TRUE(final_report.ok()) << final_report.ToString();
 }
 
 }  // namespace

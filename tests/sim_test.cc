@@ -9,6 +9,7 @@
 #include "src/schedulers/ilp_scheduler.h"
 #include "src/sim/simulation.h"
 #include "src/sim/unavailability.h"
+#include "src/verify/invariant_checker.h"
 
 namespace medea {
 namespace {
@@ -210,6 +211,41 @@ TEST(SimulationTest, NodeRecoveryAcceptsPlacementsAgain) {
   sim.NodeUpAt(4000, NodeId(0));
   sim.RunUntil(6000);
   EXPECT_EQ(sim.task_scheduler().pending_tasks(), 0u);  // allocated after recovery
+}
+
+TEST(SimulationTest, NodeFailureFailoverIsInvariantClean) {
+  // A node failure mid-run forces container loss, failover resubmission and
+  // task requeueing. Every plan and every state mutation along the way must
+  // pass the independent invariant checker.
+  Simulation sim(SmallSimConfig(), SmallIlp());
+  sim.SubmitLraAt(0, MakeGenericLra(ApplicationId(1), sim.manager().tags(), 4, "svc"));
+  std::vector<TaskRequest> tasks(3, TaskRequest{Resource(2048, 1), 30000});
+  sim.SubmitTaskJobAt(0, tasks);
+
+  verify::ScopedInvariantAudit audit(/*abort_on_violation=*/false);
+  sim.RunUntil(12000);
+  ASSERT_TRUE(sim.IsPlaced(ApplicationId(1)));
+  const auto containers = sim.state().ContainersOf(ApplicationId(1));
+  const NodeId victim = sim.state().FindContainer(containers[0])->node;
+  sim.NodeDownAt(15000, victim);
+  sim.RunUntil(22000);
+  // While the node is down: accounting still consistent, nothing placed on it.
+  EXPECT_TRUE(verify::InvariantChecker::CheckState(sim.state(), &sim.manager()).ok());
+  for (ContainerId c : sim.state().ContainersOf(ApplicationId(1))) {
+    EXPECT_NE(sim.state().FindContainer(c)->node, victim);
+  }
+  sim.NodeUpAt(25000, victim);
+  sim.RunUntilQuiescent();
+
+  EXPECT_GT(audit.plans_audited(), 0);
+  EXPECT_GT(audit.states_audited(), 0);
+  EXPECT_TRUE(audit.failures().empty())
+      << "first audit failure:\n"
+      << (audit.failures().empty() ? "" : audit.failures().front());
+  const verify::InvariantReport final_report =
+      verify::InvariantChecker::CheckState(sim.state(), &sim.manager());
+  EXPECT_TRUE(final_report.ok()) << final_report.ToString();
+  EXPECT_EQ(sim.state().ContainersOf(ApplicationId(1)).size(), 4u);
 }
 
 TEST(SimulationTest, MetricsSamplingAndCsvExport) {

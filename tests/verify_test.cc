@@ -1,0 +1,287 @@
+// Copyright (c) Medea reproduction authors.
+// Unit tests for the verification layer (src/verify): the InvariantChecker
+// must reject deliberately corrupted placements with precise reports, accept
+// clean ones, and the solver self-certifier must catch tampered solutions.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/schedulers/greedy.h"
+#include "src/solver/mip.h"
+#include "src/verify/invariant_checker.h"
+#include "src/verify/self_certify.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea::verify {
+namespace {
+
+bool HasKind(const InvariantReport& report, InvariantKind kind) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [kind](const InvariantViolation& v) { return v.kind == kind; });
+}
+
+class InvariantCheckerTest : public ::testing::Test {
+ protected:
+  InvariantCheckerTest()
+      : state_(ClusterBuilder()
+                   .NumNodes(4)
+                   .NumRacks(2)
+                   .NumUpgradeDomains(2)
+                   .NumServiceUnits(2)
+                   .NodeCapacity(Resource(8 * 1024, 4))
+                   .Build()),
+        manager_(state_.groups_ptr()) {}
+
+  // A two-container generic LRA problem over the test cluster.
+  PlacementProblem MakeProblem(ApplicationId app, int containers,
+                               Resource demand = kSmallDemand) {
+    LraSpec spec = MakeGenericLra(app, manager_.tags(), containers, "svc", demand);
+    PlacementProblem problem;
+    problem.lras = {spec.request};
+    problem.state = &state_;
+    problem.manager = &manager_;
+    return problem;
+  }
+
+  static PlacementPlan FullPlan(const PlacementProblem& problem,
+                                const std::vector<uint32_t>& nodes) {
+    PlacementPlan plan;
+    plan.lra_placed = {true};
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      Assignment a;
+      a.lra_index = 0;
+      a.container_index = static_cast<int>(c);
+      a.node = NodeId(nodes[c]);
+      plan.assignments.push_back(a);
+    }
+    return plan;
+  }
+
+  ClusterState state_;
+  ConstraintManager manager_;
+};
+
+TEST_F(InvariantCheckerTest, CleanPlanPasses) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  const InvariantReport report =
+      InvariantChecker::CheckPlan(problem, FullPlan(problem, {0, 1}));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.objective, 0.0);  // full placement, no violations
+}
+
+TEST_F(InvariantCheckerTest, RejectsCapacityOverflow) {
+  // One container demanding more memory than a node holds.
+  const PlacementProblem problem =
+      MakeProblem(ApplicationId(0), 1, Resource(9 * 1024, 1));
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, FullPlan(problem, {0}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, InvariantKind::kCapacityExceeded)) << report.ToString();
+}
+
+TEST_F(InvariantCheckerTest, RejectsAggregateOverflowAcrossContainers) {
+  // Each container fits alone; both on one node exceed its 4 vcores.
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2, Resource(1024, 3));
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, FullPlan(problem, {2, 2}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, InvariantKind::kCapacityExceeded)) << report.ToString();
+}
+
+TEST_F(InvariantCheckerTest, RejectsUnavailableNode) {
+  state_.SetNodeAvailable(NodeId(1), false);
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 1);
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, FullPlan(problem, {1}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, InvariantKind::kUnavailableNode)) << report.ToString();
+  EXPECT_EQ(report.violations[0].node, NodeId(1));
+}
+
+TEST_F(InvariantCheckerTest, RejectsDuplicateAssignment) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  PlacementPlan plan = FullPlan(problem, {0, 1});
+  plan.assignments.push_back(plan.assignments[0]);  // container 0 assigned twice
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, InvariantKind::kDuplicateAssignment)) << report.ToString();
+}
+
+TEST_F(InvariantCheckerTest, RejectsPartialPlacement) {
+  // Placed LRA with only one of two containers assigned violates Eq. 4.
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  PlacementPlan plan = FullPlan(problem, {0, 1});
+  plan.assignments.pop_back();
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, InvariantKind::kPartialPlacement)) << report.ToString();
+  const auto& v = report.violations[0];
+  EXPECT_EQ(v.lra_index, 0);
+  EXPECT_EQ(v.container_index, 1);
+}
+
+TEST_F(InvariantCheckerTest, RejectsUnplannedAssignment) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 1);
+  PlacementPlan plan = FullPlan(problem, {0});
+  plan.lra_placed = {false};  // assignments for an LRA marked unplaced
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasKind(report, InvariantKind::kUnplannedAssignment)) << report.ToString();
+}
+
+TEST_F(InvariantCheckerTest, RejectsBadIndicesAndInvalidNodes) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 1);
+  PlacementPlan plan;
+  plan.lra_placed = {true};
+  Assignment bad_lra;
+  bad_lra.lra_index = 7;
+  bad_lra.container_index = 0;
+  bad_lra.node = NodeId(0);
+  Assignment bad_node;
+  bad_node.lra_index = 0;
+  bad_node.container_index = 0;
+  bad_node.node = NodeId(99);
+  plan.assignments = {bad_lra, bad_node};
+  const InvariantReport report = InvariantChecker::CheckPlan(problem, plan);
+  EXPECT_TRUE(HasKind(report, InvariantKind::kBadIndex)) << report.ToString();
+  EXPECT_TRUE(HasKind(report, InvariantKind::kInvalidNode)) << report.ToString();
+}
+
+TEST_F(InvariantCheckerTest, CommittedStatePassesStateAudit) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  ASSERT_TRUE(CommitPlan(problem, FullPlan(problem, {0, 3}), state_));
+  const InvariantReport report = InvariantChecker::CheckState(state_, &manager_);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(InvariantCheckerTest, DifferentialSoftEvaluationAgreesOnViolations) {
+  // Anti-affinity between two svc containers, then place them together: both
+  // the shared evaluator and the independent one must report the violation.
+  ASSERT_TRUE(manager_.AddFromText("{svc, {svc, 0, 0}, node}", ConstraintOrigin::kOperator).ok());
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  const InvariantReport report =
+      InvariantChecker::CheckPlan(problem, FullPlan(problem, {2, 2}));
+  // No kConstraintMismatch: the implementations agree; and they agree on a
+  // real violation, not on zero.
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.soft.subjects, 2);
+  EXPECT_EQ(report.soft.violated, 2);
+  EXPECT_GT(report.soft.weighted_extent, 0.0);
+}
+
+TEST_F(InvariantCheckerTest, PlanObjectivePrefersPlacement) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  const double placed = InvariantChecker::PlanObjective(problem, FullPlan(problem, {0, 1}));
+  PlacementPlan empty;
+  empty.lra_placed = {false};
+  const double unplaced = InvariantChecker::PlanObjective(problem, empty);
+  EXPECT_GT(placed, unplaced);
+}
+
+TEST_F(InvariantCheckerTest, ScopedAuditObservesSchedulerPlans) {
+  const PlacementProblem problem = MakeProblem(ApplicationId(0), 2);
+  ScopedInvariantAudit audit(/*abort_on_violation=*/false);
+  GreedyScheduler serial(GreedyOrdering::kSerial, SchedulerConfig{});
+  (void)serial.Place(problem);
+  EXPECT_GE(audit.plans_audited(), 1);
+  EXPECT_TRUE(audit.failures().empty());
+  // A corrupted plan routed through the hook is collected, not fatal.
+  PlacementPlan bad = FullPlan(problem, {0, 1});
+  bad.assignments.pop_back();
+  AuditPlan(problem, bad, "corrupted");
+  EXPECT_EQ(audit.failures().size(), 1u);
+}
+
+TEST_F(InvariantCheckerTest, ScopedAuditRestoresPreviousAuditor) {
+  EXPECT_EQ(GetPlacementAuditor(), nullptr);
+  {
+    ScopedInvariantAudit outer(false);
+    EXPECT_EQ(GetPlacementAuditor(), &outer);
+    {
+      ScopedInvariantAudit inner(false);
+      EXPECT_EQ(GetPlacementAuditor(), &inner);
+    }
+    EXPECT_EQ(GetPlacementAuditor(), &outer);
+  }
+  EXPECT_EQ(GetPlacementAuditor(), nullptr);
+}
+
+// --- Solver self-certification ----------------------------------------------
+
+class SelfCertifyTest : public ::testing::Test {
+ protected:
+  SelfCertifyTest() {
+    // max x + y s.t. x + y <= 1, x,y binary — optimum 1.
+    model_.SetMaximize(true);
+    model_.AddBinary(1.0, "x");
+    model_.AddBinary(1.0, "y");
+    model_.AddRow({{0, 1.0}, {1, 1.0}}, solver::RowSense::kLessEqual, 1.0, "pick_one");
+    solution_ = solver::SolveMip(model_, solver::MipOptions{}, &stats_);
+  }
+
+  solver::Model model_;
+  solver::MipStats stats_;
+  solver::Solution solution_;
+};
+
+TEST_F(SelfCertifyTest, CertifiesHonestSolution) {
+  ASSERT_TRUE(solution_.HasSolution());
+  const CertifyReport report = CertifySolution(model_, solution_, &stats_);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_NEAR(report.recomputed_objective, 1.0, 1e-6);
+  EXPECT_TRUE(stats_.has_best_bound);
+}
+
+TEST_F(SelfCertifyTest, CatchesRowViolation) {
+  solver::Solution tampered = solution_;
+  tampered.values = {1.0, 1.0};  // violates x + y <= 1
+  tampered.objective = 2.0;
+  const CertifyReport report = CertifySolution(model_, tampered);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(SelfCertifyTest, CatchesFractionalInteger) {
+  solver::Solution tampered = solution_;
+  tampered.values = {0.5, 0.0};
+  tampered.objective = 0.5;
+  const CertifyReport report = CertifySolution(model_, tampered);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(SelfCertifyTest, CatchesObjectiveMismatch) {
+  solver::Solution tampered = solution_;
+  tampered.objective += 0.25;
+  const CertifyReport report = CertifySolution(model_, tampered);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(SelfCertifyTest, CatchesBoundInconsistency) {
+  ASSERT_TRUE(solution_.HasSolution());
+  solver::MipStats fake = stats_;
+  fake.has_best_bound = true;
+  fake.best_bound = 0.5;  // claims no solution can exceed 0.5; incumbent is 1
+  const CertifyReport report = CertifySolution(model_, solution_, &fake);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(SelfCertifyTest, CatchesOptimalFarFromBound) {
+  solver::Solution weak = solution_;
+  weak.status = solver::SolveStatus::kOptimal;
+  weak.values = {0.0, 0.0};
+  weak.objective = 0.0;
+  solver::MipStats fake = stats_;
+  fake.has_best_bound = true;
+  fake.best_bound = 1.0;  // a 0.0 "optimal" incumbent under a bound of 1.0
+  const CertifyReport report = CertifySolution(model_, weak, &fake);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(SelfCertifyTest, InfeasibleStatusCertifiesTrivially) {
+  solver::Solution none;
+  none.status = solver::SolveStatus::kInfeasible;
+  const CertifyReport report = CertifySolution(model_, none);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace medea::verify
