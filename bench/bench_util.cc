@@ -12,7 +12,8 @@
 namespace medea::bench {
 
 DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
-                        LraScheduler& scheduler, std::vector<LraSpec> specs, int batch_size) {
+                        LraScheduler& scheduler, const std::vector<LraSpec>& specs,
+                        int batch_size) {
   DeployResult result;
   std::vector<std::string> shared_seen;
   size_t next = 0;
@@ -22,7 +23,7 @@ DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
     problem.manager = &manager;
     const size_t end = std::min(specs.size(), next + static_cast<size_t>(batch_size));
     for (size_t i = next; i < end; ++i) {
-      LraSpec& spec = specs[i];
+      const LraSpec& spec = specs[i];
       for (const auto& text : spec.shared_constraints) {
         if (std::find(shared_seen.begin(), shared_seen.end(), text) == shared_seen.end()) {
           shared_seen.push_back(text);
@@ -197,7 +198,7 @@ std::string JsonQuote(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(c));
           out += buffer;
         } else {
           out += c;

@@ -31,7 +31,8 @@ struct DeployResult {
 };
 
 DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
-                        LraScheduler& scheduler, std::vector<LraSpec> specs, int batch_size);
+                        LraScheduler& scheduler, const std::vector<LraSpec>& specs,
+                        int batch_size);
 
 // Fills the cluster with short-running "background" task containers until
 // the target memory fraction is reached, spreading least-loaded first.

@@ -1,6 +1,8 @@
 // Copyright (c) Medea reproduction authors.
 // Minimal leveled logging. Disabled below the configured level with zero
-// allocation; no global locks because the simulator is single-threaded.
+// allocation. Thread-safe: the level is atomic and each message is emitted
+// by a single buffered fputs (POSIX stdio locks the stream internally), so
+// concurrent scheduler/heartbeat threads cannot interleave within a line.
 
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_

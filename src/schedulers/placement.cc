@@ -1,19 +1,24 @@
 #include "src/schedulers/placement.h"
 
+#include <atomic>
+
 #include "src/common/logging.h"
 
 namespace medea {
 namespace {
-PlacementAuditor* g_auditor = nullptr;
+// Atomic: the two-scheduler runtime audits plans on the LRA thread while the
+// heartbeat thread audits state mutations. Install/uninstall still happens
+// quiesced (no concurrent pipeline), which SetPlacementAuditor documents.
+std::atomic<PlacementAuditor*> g_auditor{nullptr};
 }  // namespace
 
 PlacementAuditor* SetPlacementAuditor(PlacementAuditor* auditor) {
-  PlacementAuditor* previous = g_auditor;
-  g_auditor = auditor;
-  return previous;
+  return g_auditor.exchange(auditor, std::memory_order_acq_rel);
 }
 
-PlacementAuditor* GetPlacementAuditor() { return g_auditor; }
+PlacementAuditor* GetPlacementAuditor() {
+  return g_auditor.load(std::memory_order_acquire);
+}
 
 bool CommitPlan(const PlacementProblem& problem, const PlacementPlan& plan, ClusterState& state,
                 std::vector<bool>* committed_lras) {

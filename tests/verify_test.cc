@@ -46,7 +46,7 @@ class InvariantCheckerTest : public ::testing::Test {
     return problem;
   }
 
-  static PlacementPlan FullPlan(const PlacementProblem& problem,
+  static PlacementPlan FullPlan(const PlacementProblem& /*problem*/,
                                 const std::vector<uint32_t>& nodes) {
     PlacementPlan plan;
     plan.lra_placed = {true};

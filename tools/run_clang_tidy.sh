@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over src/ with the repository's committed .clang-tidy,
+# exactly the way the CI `clang-tidy` job does, so local runs and CI agree.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [path-filter...]
+#
+#   build-dir     directory containing compile_commands.json
+#                 (default: build-tidy, configured on demand with clang)
+#   path-filter   restrict the run to files matching these prefixes
+#                 (default: src/)
+#
+# Every CMake preset exports compile_commands.json, so any configured build
+# tree works as build-dir; the default configures a dedicated clang tree so
+# clang-tidy sees clang's flags (thread-safety annotations included).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tidy}"
+shift || true
+FILTERS=("${@:-src/}")
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "error: $TIDY not found (set CLANG_TIDY=... or install clang-tidy)" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "-- configuring $BUILD_DIR (clang, compile_commands.json export)"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="${CXX:-clang++}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# All translation units under the requested filters, as the compile database
+# knows them (keeps generated/external files out).
+mapfile -t FILES < <(python3 - "$BUILD_DIR" "${FILTERS[@]}" <<'EOF'
+import json, os, sys
+build = sys.argv[1]
+filters = sys.argv[2:]
+root = os.getcwd()
+seen = set()
+for entry in json.load(open(os.path.join(build, "compile_commands.json"))):
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if any(rel.startswith(f) for f in filters) and rel not in seen:
+        seen.add(rel)
+        print(rel)
+EOF
+)
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "error: no translation units matched: ${FILTERS[*]}" >&2
+  exit 2
+fi
+
+echo "-- clang-tidy (${#FILES[@]} files, config=.clang-tidy, build=$BUILD_DIR)"
+STATUS=0
+for f in "${FILES[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS
