@@ -19,46 +19,14 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "src/common/rng.h"
 #include "src/solver/mip.h"
 #include "src/solver/presolve.h"
+#include "src/solver/testing/placement_model.h"
 
 namespace medea::solver {
 namespace {
 
-// A placement-shaped model: `containers` x `nodes` binaries, <=1 row per
-// container, two capacity rows per node, random per-container scores.
-// Capacities are tight (~2-3 containers per node with containers > nodes),
-// so the LP relaxation splits containers across nodes and branch and bound
-// genuinely branches — a root-integral model would measure nothing.
-Model PlacementModel(int containers, int nodes, uint64_t seed) {
-  Rng rng(seed);
-  Model m;
-  std::vector<std::vector<int>> x(static_cast<size_t>(containers));
-  for (int c = 0; c < containers; ++c) {
-    for (int n = 0; n < nodes; ++n) {
-      x[static_cast<size_t>(c)].push_back(m.AddBinary(rng.NextDouble(0.5, 1.5)));
-    }
-  }
-  for (int c = 0; c < containers; ++c) {
-    std::vector<std::pair<int, double>> once;
-    for (int n = 0; n < nodes; ++n) {
-      once.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
-    }
-    m.AddRow(once, RowSense::kLessEqual, 1.0);
-  }
-  for (int n = 0; n < nodes; ++n) {
-    std::vector<std::pair<int, double>> mem, cpu;
-    for (int c = 0; c < containers; ++c) {
-      mem.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)],
-                       rng.NextDouble(1, 4));
-      cpu.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
-    }
-    m.AddRow(mem, RowSense::kLessEqual, 7.0);
-    m.AddRow(cpu, RowSense::kLessEqual, 3.0);
-  }
-  return m;
-}
+using testing::PlacementModel;
 
 void BM_LpRelaxation(::benchmark::State& state) {
   const Model m =

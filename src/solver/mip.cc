@@ -22,6 +22,7 @@ class BranchAndBound {
       deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(options.time_limit_seconds));
     }
+    ApplyBranchingPerturbation();
   }
 
   Solution Run();
@@ -89,6 +90,57 @@ class BranchAndBound {
   // Direction-normalized score: larger is better.
   double Score(double objective) const { return model_.maximize() ? objective : -objective; }
 
+  // Makes the node LP optimum unique so that branching no longer depends on
+  // which vertex of an optimal face the LP solver happens to return — the
+  // warm-started (dual simplex) and cold (dense) node solvers pick different
+  // vertices on the degenerate placement models, which used to send them
+  // down wildly different trees (see MipOptions::branching_perturbation and
+  // docs/solver.md). Each integer variable's objective coefficient gets a
+  // deterministic, index-keyed delta in the improving direction; the deltas
+  // are pairwise distinct (golden-ratio hashing), so no two vertices of the
+  // integer hull tie in the perturbed objective. `perturb_slack_` bounds
+  // |perturbed - true| over the whole box, keeping pruning sound.
+  void ApplyBranchingPerturbation() {
+    if (opts_.branching_perturbation <= 0.0 || model_.num_integer_variables() == 0) {
+      return;
+    }
+    double cmax = 0.0;
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      cmax = std::max(cmax, std::fabs(model_.column(j).objective));
+    }
+    const double base = opts_.branching_perturbation * std::max(1.0, cmax);
+    const double sign = model_.maximize() ? 1.0 : -1.0;
+    original_objective_.resize(static_cast<size_t>(model_.num_variables()));
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      const auto& col = model_.column(j);
+      original_objective_[static_cast<size_t>(j)] = col.objective;
+      if (col.type == VarType::kContinuous || !std::isfinite(col.lower) ||
+          !std::isfinite(col.upper)) {
+        continue;  // unbounded columns would make the slack term infinite
+      }
+      // Distinct deterministic value in (base/4, base], keyed by index only —
+      // identical for every solver configuration.
+      const double frac = std::fmod(static_cast<double>(j + 1) * 0.6180339887498949, 1.0);
+      const double delta = base * (0.25 + 0.75 * frac);
+      model_.SetObjectiveCoefficient(j, col.objective + sign * delta);
+      perturb_slack_ += delta * std::max(std::fabs(col.lower), std::fabs(col.upper));
+    }
+    perturbed_ = perturb_slack_ > 0.0;
+  }
+
+  // Objective of `x` under the ORIGINAL (unperturbed) coefficients —
+  // incumbents are scored and reported in the caller's objective.
+  double TrueObjective(const std::vector<double>& x) const {
+    if (!perturbed_) {
+      return model_.Objective(x);
+    }
+    double objective = 0.0;
+    for (size_t j = 0; j < original_objective_.size(); ++j) {
+      objective += original_objective_[j] * x[j];
+    }
+    return objective;
+  }
+
   // Finds the integer variable whose LP value is farthest from integral.
   // Returns -1 if the point is integral.
   int MostFractional(const std::vector<double>& x) const;
@@ -126,23 +178,42 @@ class BranchAndBound {
   bool have_root_bound_ = false;
   double root_bound_score_ = kInfinity;
   double pruned_bound_max_ = -kInfinity;
+  // Branching-perturbation state (ApplyBranchingPerturbation): the original
+  // objective coefficients, and a bound on |perturbed - true| objective over
+  // the variable box, added to every node bound to keep pruning sound.
+  bool perturbed_ = false;
+  std::vector<double> original_objective_;
+  double perturb_slack_ = 0.0;
 };
 
 int BranchAndBound::MostFractional(const std::vector<double>& x) const {
-  int best = -1;
+  // Two passes: find the maximum fractionality, then take the LOWEST index
+  // within a tolerance of it. A single `frac > best` scan would let last-bit
+  // evaluation noise between the warm-started and dense node solvers pick
+  // different variables when two fractionalities are (mathematically) equal,
+  // and the trees would diverge from that node on.
   double best_frac = opts_.integrality_tol;
   for (int j = 0; j < model_.num_variables(); ++j) {
     if (model_.column(j).type == VarType::kContinuous) {
       continue;
     }
     const double v = x[static_cast<size_t>(j)];
-    const double frac = std::fabs(v - std::round(v));
-    if (frac > best_frac) {
-      best_frac = frac;
-      best = j;
+    best_frac = std::max(best_frac, std::fabs(v - std::round(v)));
+  }
+  if (best_frac <= opts_.integrality_tol) {
+    return -1;
+  }
+  constexpr double kTieTol = 1e-9;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (model_.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = x[static_cast<size_t>(j)];
+    if (std::fabs(v - std::round(v)) >= best_frac - kTieTol) {
+      return j;
     }
   }
-  return best;
+  return -1;  // unreachable
 }
 
 void BranchAndBound::TryRounding(const std::vector<double>& x) {
@@ -177,7 +248,7 @@ void BranchAndBound::TryRounding(const std::vector<double>& x) {
   }
   if (repaired.status == SolveStatus::kOptimal &&
       model_.IsFeasible(repaired.values, 1e-5)) {
-    MaybeUpdateIncumbent(repaired.values, model_.Objective(repaired.values));
+    MaybeUpdateIncumbent(repaired.values, TrueObjective(repaired.values));
   }
 }
 
@@ -227,7 +298,9 @@ void BranchAndBound::Dfs(int depth) {
     }
     return;
   }
-  const double bound = Score(lp.objective);
+  // Node bound in the TRUE objective: the perturbed LP bound can understate
+  // or overstate the true score by at most perturb_slack_.
+  const double bound = Score(lp.objective) + perturb_slack_;
   if (depth == 0) {
     have_root_bound_ = true;
     root_bound_score_ = bound;
@@ -241,7 +314,7 @@ void BranchAndBound::Dfs(int depth) {
 
   const int branch_var = MostFractional(lp.values);
   if (branch_var < 0) {
-    MaybeUpdateIncumbent(lp.values, lp.objective);
+    MaybeUpdateIncumbent(lp.values, TrueObjective(lp.values));
     return;
   }
   // Round-and-repair heuristic: at the root and periodically during the
@@ -299,7 +372,7 @@ Solution BranchAndBound::Run() {
   if (have_incumbent_) {
     solution.status = search_complete_ ? SolveStatus::kOptimal : SolveStatus::kFeasible;
     solution.values = best_x_;
-    solution.objective = model_.Objective(best_x_);
+    solution.objective = TrueObjective(best_x_);
   } else {
     solution.status = search_complete_ ? SolveStatus::kInfeasible : SolveStatus::kTimeLimit;
   }

@@ -45,6 +45,21 @@ struct MipOptions {
   // (src/solver/incremental_lp.h) instead of a cold dense solve per node.
   // Results are identical up to tolerances; see docs/solver.md.
   bool use_incremental_lp = true;
+  // Deterministic, basis-independent branching: the search internally adds a
+  // tiny deterministic perturbation (this value, relative to the largest
+  // objective coefficient) to every integer variable's objective
+  // coefficient, making the node LP optimum unique. Placement models are
+  // highly degenerate — they have many alternate optimal vertices — and the
+  // warm-started (dual simplex) and cold (dense) node solvers land on
+  // *different* vertices of the same optimal face, so MostFractional would
+  // branch differently and the two configurations could explore trees of
+  // wildly different size (the BENCH_solver_micro 12x6 explosion; see
+  // docs/solver.md). With the perturbation both land on the same vertex and
+  // the trees coincide. Incumbents are always scored and returned in the
+  // ORIGINAL objective; pruning and dual bounds account for the perturbation
+  // with a rigorous slack term, so bounds stay sound (merely up to the slack
+  // looser). 0 disables.
+  double branching_perturbation = 1e-9;
   // Self-certification (src/verify): after the search, re-verify the
   // returned incumbent against the Model (bounds, rows, integrality) and
   // abort on mismatch. Enabled by the verify layer's audit hook so that

@@ -1,0 +1,69 @@
+// Copyright (c) Medea reproduction authors.
+// Synthetic placement-shaped MIP generator shared by the solver
+// micro-benchmark (bench/bench_solver_micro.cc) and the warm-vs-cold
+// determinism regression test (tests/solver_determinism_test.cc), so the
+// test pins down exactly the models the benchmark measures.
+
+#ifndef SRC_SOLVER_TESTING_PLACEMENT_MODEL_H_
+#define SRC_SOLVER_TESTING_PLACEMENT_MODEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/solver/model.h"
+
+namespace medea::solver::testing {
+
+// A placement-shaped model: `containers` x `nodes` binaries, <=1 row per
+// container, two capacity rows per node, random per-container scores.
+// Capacities are tight (~2-3 containers per node with containers > nodes),
+// so the LP relaxation splits containers across nodes and branch and bound
+// genuinely branches — a root-integral model would measure nothing. The
+// model is also highly degenerate (many alternate LP optima), which is what
+// historically made branching depend on the node LP solver's choice of
+// vertex; see MipOptions::branching_perturbation.
+inline Model PlacementModel(int containers, int nodes, uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<size_t>(containers));
+  for (int c = 0; c < containers; ++c) {
+    for (int n = 0; n < nodes; ++n) {
+      x[static_cast<size_t>(c)].push_back(m.AddBinary(rng.NextDouble(0.5, 1.5)));
+    }
+  }
+  for (int c = 0; c < containers; ++c) {
+    std::vector<std::pair<int, double>> once;
+    for (int n = 0; n < nodes; ++n) {
+      once.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+    }
+    m.AddRow(once, RowSense::kLessEqual, 1.0);
+  }
+  for (int n = 0; n < nodes; ++n) {
+    std::vector<std::pair<int, double>> mem, cpu;
+    for (int c = 0; c < containers; ++c) {
+      mem.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)],
+                       rng.NextDouble(1, 4));
+      cpu.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+    }
+    m.AddRow(mem, RowSense::kLessEqual, 7.0);
+    m.AddRow(cpu, RowSense::kLessEqual, 3.0);
+  }
+  return m;
+}
+
+// The size/seed grid of the micro-benchmark's cold-vs-warm comparison
+// harness (BENCH_solver_micro.json).
+inline const std::vector<std::pair<int, int>>& MicroBenchSizes() {
+  static const std::vector<std::pair<int, int>> kSizes = {{10, 5}, {12, 6}, {16, 8}, {20, 10}};
+  return kSizes;
+}
+inline const std::vector<uint64_t>& MicroBenchSeeds() {
+  static const std::vector<uint64_t> kSeeds = {3, 5, 7, 11, 13};
+  return kSeeds;
+}
+
+}  // namespace medea::solver::testing
+
+#endif  // SRC_SOLVER_TESTING_PLACEMENT_MODEL_H_
