@@ -8,6 +8,12 @@
 //                   [--hbase N] [--tensorflow N] [--gridmix-frac F]
 //                   [--interval MS] [--minutes M] [--migration MS]
 //                   [--conflict resubmit|kill|reserve] [--seed S]
+//                   [--runtime] [--runtime-wall-ms MS]
+//
+// With --runtime the scenario is replayed through the real concurrent
+// TwoSchedulerRuntime (src/runtime/) — actual scheduler + heartbeat
+// threads, wall-clock compressed to --runtime-wall-ms — instead of the
+// deterministic discrete-event simulator.
 //
 // Example:
 //   ./cluster_sim_cli --nodes 200 --hbase 12 --tensorflow 8
@@ -20,10 +26,12 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/core/violation.h"
 #include "src/schedulers/greedy.h"
 #include "src/schedulers/ilp_scheduler.h"
 #include "src/schedulers/jkube.h"
 #include "src/schedulers/yarn.h"
+#include "src/sim/runtime_driver.h"
 #include "src/sim/scenario.h"
 #include "src/sim/simulation.h"
 #include "src/workload/gridmix.h"
@@ -46,6 +54,11 @@ struct Options {
   SimTimeMs migration_ms = 0;
   std::string conflict = "resubmit";
   uint64_t seed = 42;
+  // Concurrent mode: drive the same workload through the two-thread
+  // TwoSchedulerRuntime instead of the event simulator, compressing the
+  // simulated horizon into ~`runtime_wall_ms` of wall time.
+  bool runtime_mode = false;
+  SimTimeMs runtime_wall_ms = 3000;
 };
 
 std::unique_ptr<LraScheduler> MakeLraScheduler(const Options& options) {
@@ -112,6 +125,10 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.conflict = next();
     } else if (flag == "--seed") {
       options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--runtime") {
+      options.runtime_mode = true;
+    } else if (flag == "--runtime-wall-ms") {
+      options.runtime_wall_ms = std::atol(next());
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -120,6 +137,104 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     }
   }
   return true;
+}
+
+// --runtime: same workload, but replayed in wall-clock time against the
+// concurrent TwoSchedulerRuntime (LRA scheduler thread + heartbeat thread).
+// The simulated horizon is compressed into ~runtime_wall_ms.
+int RunRuntimeMode(const Options& options) {
+  runtime::RuntimeConfig config;
+  config.num_nodes = options.nodes;
+  config.num_racks = options.racks;
+  config.num_upgrade_domains = options.racks;
+  config.num_service_units = options.service_units;
+  const SimTimeMs horizon = static_cast<SimTimeMs>(options.minutes) * 60000;
+  const SimTimeMs wall = std::max<SimTimeMs>(options.runtime_wall_ms, 100);
+  const double compress = std::max(1.0, static_cast<double>(horizon) / static_cast<double>(wall));
+  if (options.migration_ms > 0) {
+    config.migration_every_heartbeats = std::max<int>(
+        1, static_cast<int>(static_cast<double>(options.migration_ms) / compress /
+                            static_cast<double>(config.heartbeat_period.count())));
+  }
+  RuntimeDriver driver(config, MakeLraScheduler(options));
+
+  const auto compressed = [&](SimTimeMs t) {
+    return static_cast<SimTimeMs>(static_cast<double>(t) / compress);
+  };
+
+  // GridMix batch stream, durations compressed to the wall-clock scale.
+  GridMixGenerator gridmix(GridMixConfig{}, options.seed);
+  Rng arrivals(options.seed + 1);
+  const Resource total_capacity =
+      config.node_capacity * static_cast<int64_t>(config.num_nodes);
+  auto jobs = gridmix.JobsForMemoryFraction(total_capacity, options.gridmix_frac);
+  SimTimeMs t = 0;
+  for (auto& job : jobs) {
+    t += static_cast<SimTimeMs>(arrivals.NextExponential(
+        static_cast<double>(jobs.size()) / static_cast<double>(horizon / 2)));
+    for (TaskRequest& task : job) {
+      task.duration_ms = std::max<SimTimeMs>(1, compressed(task.duration_ms));
+    }
+    driver.At(compressed(std::min(t, horizon - 1)),
+              [job = std::move(job)](runtime::TwoSchedulerRuntime& rt) mutable {
+                rt.SubmitTaskJob(std::move(job));
+              });
+  }
+
+  // LRAs arriving through the first half of the run.
+  uint32_t app = 1;
+  Rng lra_arrivals(options.seed + 2);
+  for (int i = 0; i < options.hbase; ++i) {
+    const ApplicationId id(app++);
+    driver.At(compressed(static_cast<SimTimeMs>(
+                  lra_arrivals.NextBounded(static_cast<uint64_t>(horizon / 2)))),
+              [id](runtime::TwoSchedulerRuntime& rt) {
+                rt.SubmitLra(rt.BuildSpec(
+                    [&](TagPool& tags) { return MakeHBaseInstance(id, tags, 10); }));
+              });
+  }
+  for (int i = 0; i < options.tensorflow; ++i) {
+    const ApplicationId id(app++);
+    driver.At(compressed(static_cast<SimTimeMs>(
+                  lra_arrivals.NextBounded(static_cast<uint64_t>(horizon / 2)))),
+              [id](runtime::TwoSchedulerRuntime& rt) {
+                rt.SubmitLra(rt.BuildSpec(
+                    [&](TagPool& tags) { return MakeTensorFlowInstance(id, tags, 8, 2); }));
+              });
+  }
+
+  const runtime::RuntimeMetrics metrics = driver.Run(wall);
+
+  ViolationReport report;
+  double memory_utilization = 0.0;
+  double fragmented = 0.0;
+  driver.runtime().WithStateLocked([&](const ClusterState& state,
+                                       const ConstraintManager& manager) {
+    report = ConstraintEvaluator::EvaluateAll(state, manager);
+    const Resource total = state.TotalCapacity();
+    memory_utilization = total.memory_mb == 0
+                             ? 0.0
+                             : static_cast<double>(state.TotalUsed().memory_mb) /
+                                   static_cast<double>(total.memory_mb);
+    fragmented = state.FragmentedNodeFraction(Resource(2048, 1));
+  });
+
+  std::printf("=== %s (concurrent runtime) on %zu nodes, %lld ms wall ===\n",
+              options.scheduler.c_str(), options.nodes, static_cast<long long>(wall));
+  std::printf("LRA cycles / heartbeats:  %d / %d\n", metrics.lra_cycles, metrics.heartbeats);
+  std::printf("LRAs placed/rejected:     %d / %d (resubmissions %d, conflicts %d, stale "
+              "plans %d)\n",
+              metrics.lras_placed, metrics.lras_rejected, metrics.lra_resubmissions,
+              metrics.commit_conflicts, metrics.stale_plans);
+  std::printf("tasks completed:          %d\n", metrics.tasks_completed);
+  if (options.migration_ms > 0) {
+    std::printf("containers migrated:      %d\n", metrics.migrations);
+  }
+  std::printf("constraint violations:    %d / %d subjects (%.1f%%)\n", report.violated_subjects,
+              report.total_subjects, 100.0 * report.ViolationFraction());
+  std::printf("memory utilization:       %.0f%%\n", 100.0 * memory_utilization);
+  std::printf("fragmented nodes:         %.1f%%\n", 100.0 * fragmented);
+  return 0;
 }
 
 }  // namespace
@@ -142,9 +257,14 @@ int main(int argc, char** argv) {
     std::printf("usage: %s [--nodes N] [--scheduler NAME] [--hbase N] [--tensorflow N]\n"
                 "          [--gridmix-frac F] [--interval MS] [--minutes M]\n"
                 "          [--migration MS] [--conflict resubmit|kill|reserve] [--seed S]\n"
+                "          [--runtime] [--runtime-wall-ms MS]\n"
                 "       %s --scenario FILE\n",
                 argv[0], argv[0]);
     return 2;
+  }
+
+  if (options.runtime_mode) {
+    return RunRuntimeMode(options);
   }
 
   SimConfig config;

@@ -1,0 +1,78 @@
+// Copyright (c) Medea reproduction authors.
+// Clang Thread Safety Analysis attribute macros.
+//
+// The concurrency layer (src/common/sync/mutex.h) and everything built on it
+// (src/runtime) annotate which mutex guards which field and which functions
+// require/acquire/release which capability. Under Clang the whole tree
+// compiles with `-Wthread-safety -Werror=thread-safety`, turning lock
+// discipline violations — reading a GUARDED_BY field without the lock,
+// releasing a mutex that was never acquired, double-locking — into build
+// failures. On other compilers every macro expands to nothing and the code
+// is ordinary C++.
+//
+// The macro set follows the canonical mutex.h example from the Clang
+// documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+// Conventions for annotating new code are in docs/static_analysis.md.
+
+#ifndef SRC_COMMON_SYNC_ANNOTATIONS_H_
+#define SRC_COMMON_SYNC_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MEDEA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MEDEA_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// Declares that a class is a capability (lockable type). The string is the
+// name used in analysis diagnostics, e.g. CAPABILITY("mutex").
+#define MEDEA_CAPABILITY(x) MEDEA_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII object that acquires a capability in its constructor and
+// releases it in its destructor.
+#define MEDEA_SCOPED_CAPABILITY MEDEA_THREAD_ANNOTATION(scoped_lockable)
+
+// Declares that a field or variable is protected by the given capability:
+// reads require the capability held (shared or exclusive), writes require
+// it held exclusively.
+#define MEDEA_GUARDED_BY(x) MEDEA_THREAD_ANNOTATION(guarded_by(x))
+
+// Like GUARDED_BY, for the data pointed to by a pointer.
+#define MEDEA_PT_GUARDED_BY(x) MEDEA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Declares that the calling thread must hold the given capability
+// (exclusively / shared) when calling the function.
+#define MEDEA_REQUIRES(...) \
+  MEDEA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MEDEA_REQUIRES_SHARED(...) \
+  MEDEA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Declares that the function acquires / releases the capability.
+#define MEDEA_ACQUIRE(...) MEDEA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MEDEA_ACQUIRE_SHARED(...) \
+  MEDEA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MEDEA_RELEASE(...) MEDEA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MEDEA_RELEASE_SHARED(...) \
+  MEDEA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Declares that the function must NOT be called with the capability held
+// (non-reentrant locking, condvar wait targets, ...).
+#define MEDEA_EXCLUDES(...) MEDEA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Try-acquire: first argument is the value returned on success.
+#define MEDEA_TRY_ACQUIRE(...) \
+  MEDEA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Declares that the function returns a reference to the given capability
+// (lock accessors).
+#define MEDEA_RETURN_CAPABILITY(x) MEDEA_THREAD_ANNOTATION(lock_returned(x))
+
+// Asserts at runtime that the capability is held, teaching the analysis the
+// same (for call chains the analysis cannot see through).
+#define MEDEA_ASSERT_CAPABILITY(x) MEDEA_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch: disables analysis for one function (e.g. the Mutex
+// implementation itself, or deliberately racy test helpers).
+#define MEDEA_NO_THREAD_SAFETY_ANALYSIS \
+  MEDEA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_COMMON_SYNC_ANNOTATIONS_H_

@@ -1,0 +1,35 @@
+#include "src/common/sync/thread.h"
+
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace medea::sync {
+
+Thread::Thread(std::string name, std::function<void()> body)
+    : name_(std::move(name)), thread_(std::move(body)) {
+#if defined(__linux__)
+  // Linux caps thread names at 15 characters + NUL.
+  std::string short_name = name_.substr(0, 15);
+  pthread_setname_np(thread_.native_handle(), short_name.c_str());
+#endif
+}
+
+Thread& Thread::operator=(Thread&& other) noexcept {
+  if (this != &other) {
+    Join();
+    name_ = std::move(other.name_);
+    thread_ = std::move(other.thread_);
+  }
+  return *this;
+}
+
+void Thread::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace medea::sync

@@ -1,0 +1,29 @@
+#include "src/sim/runtime_driver.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace medea {
+
+runtime::RuntimeMetrics RuntimeDriver::Run(SimTimeMs horizon_ms,
+                                           std::chrono::milliseconds idle_grace) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  runtime_.Start();
+  for (auto& [time, action] : events_) {
+    const SimTimeMs now = runtime_.NowMs();
+    if (time > now) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(time - now));
+    }
+    action(runtime_);
+  }
+  const SimTimeMs now = runtime_.NowMs();
+  if (horizon_ms > now) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(horizon_ms - now));
+  }
+  runtime_.WaitLraIdle(idle_grace);
+  runtime_.Stop();
+  return runtime_.metrics();
+}
+
+}  // namespace medea

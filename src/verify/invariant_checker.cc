@@ -607,7 +607,12 @@ ScopedInvariantAudit::~ScopedInvariantAudit() { SetPlacementAuditor(previous_); 
 
 void ScopedInvariantAudit::OnPlan(const PlacementProblem& problem, const PlacementPlan& plan,
                                   const std::string& scheduler) {
-  ++plans_audited_;
+  {
+    sync::MutexLock lock(&mu_);
+    ++plans_audited_;
+  }
+  // The check itself runs unlocked: it only reads the problem/plan the
+  // calling thread owns, and options_ is immutable after construction.
   const InvariantReport report = InvariantChecker::CheckPlan(problem, plan, options_);
   if (report.ok()) {
     return;
@@ -618,11 +623,15 @@ void ScopedInvariantAudit::OnPlan(const PlacementProblem& problem, const Placeme
     std::fprintf(stderr, "%s\n", failure.c_str());
     MEDEA_CHECK(false);
   }
+  sync::MutexLock lock(&mu_);
   failures_.push_back(failure);
 }
 
 void ScopedInvariantAudit::OnStateMutation(const ClusterState& state, const char* where) {
-  ++states_audited_;
+  {
+    sync::MutexLock lock(&mu_);
+    ++states_audited_;
+  }
   const InvariantReport report = InvariantChecker::CheckState(state, nullptr, options_);
   if (report.ok()) {
     return;
@@ -633,6 +642,7 @@ void ScopedInvariantAudit::OnStateMutation(const ClusterState& state, const char
     std::fprintf(stderr, "%s\n", failure.c_str());
     MEDEA_CHECK(false);
   }
+  sync::MutexLock lock(&mu_);
   failures_.push_back(failure);
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/cluster/cluster_state.h"
+#include "src/common/sync/mutex.h"
 #include "src/core/constraint_manager.h"
 #include "src/schedulers/placement.h"
 
@@ -127,7 +128,9 @@ class InvariantChecker {
 // every plan a scheduler produces and on every simulator state mutation.
 // With abort_on_violation (the default, debug-assert semantics) the process
 // aborts with a full report on the first violation; otherwise failures are
-// collected for tests to inspect.
+// collected for tests to inspect. Internally synchronized: the two-scheduler
+// runtime audits plans on its LRA thread and state mutations on its
+// heartbeat thread.
 class ScopedInvariantAudit : public PlacementAuditor {
  public:
   explicit ScopedInvariantAudit(bool abort_on_violation = true,
@@ -141,17 +144,27 @@ class ScopedInvariantAudit : public PlacementAuditor {
               const std::string& scheduler) override;
   void OnStateMutation(const ClusterState& state, const char* where) override;
 
-  int plans_audited() const { return plans_audited_; }
-  int states_audited() const { return states_audited_; }
-  const std::vector<std::string>& failures() const { return failures_; }
+  int plans_audited() const {
+    sync::MutexLock lock(&mu_);
+    return plans_audited_;
+  }
+  int states_audited() const {
+    sync::MutexLock lock(&mu_);
+    return states_audited_;
+  }
+  std::vector<std::string> failures() const {
+    sync::MutexLock lock(&mu_);
+    return failures_;
+  }
 
  private:
   PlacementAuditor* previous_;
   bool abort_on_violation_;
   CheckOptions options_;
-  int plans_audited_ = 0;
-  int states_audited_ = 0;
-  std::vector<std::string> failures_;
+  mutable sync::Mutex mu_;
+  int plans_audited_ MEDEA_GUARDED_BY(mu_) = 0;
+  int states_audited_ MEDEA_GUARDED_BY(mu_) = 0;
+  std::vector<std::string> failures_ MEDEA_GUARDED_BY(mu_);
 };
 
 }  // namespace medea::verify

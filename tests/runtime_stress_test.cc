@@ -1,0 +1,197 @@
+// Copyright (c) Medea reproduction authors.
+// Concurrency stress test for the TwoSchedulerRuntime, designed to run under
+// ThreadSanitizer (the `tsan` CMake preset / CI job): several client threads
+// submit LRAs while task jobs churn, nodes fail and recover, and migration
+// cycles run — all racing against the LRA scheduler thread and the heartbeat
+// thread. A ScopedInvariantAudit independently certifies every committed
+// plan and state mutation while the races are in flight, and the final state
+// must pass InvariantChecker::CheckState from first principles.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/two_scheduler_runtime.h"
+#include "src/schedulers/greedy.h"
+#include "src/verify/invariant_checker.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea::runtime {
+namespace {
+
+std::unique_ptr<LraScheduler> MakeScheduler() {
+  SchedulerConfig config;
+  config.node_pool_size = 32;
+  config.seed = 7;
+  return std::make_unique<GreedyScheduler>(GreedyOrdering::kNodeCandidates, config);
+}
+
+RuntimeConfig StressConfig() {
+  RuntimeConfig config;
+  config.num_nodes = 32;
+  config.num_racks = 4;
+  config.num_upgrade_domains = 4;
+  config.num_service_units = 4;
+  config.heartbeat_period = std::chrono::milliseconds(1);
+  config.plan_queue_capacity = 2;  // small, so backpressure actually engages
+  config.max_lra_attempts = 3;
+  config.migration_every_heartbeats = 16;
+  return config;
+}
+
+TEST(RuntimeStressTest, ConcurrentSubmissionsChurnAndFailuresKeepInvariants) {
+  verify::ScopedInvariantAudit audit(/*abort_on_violation=*/false);
+  TwoSchedulerRuntime runtime(StressConfig(), MakeScheduler());
+  runtime.Start();
+
+  constexpr int kSubmitters = 3;
+  // Sized so the run drains within the idle timeout even under TSan's
+  // ~10-20x slowdown on a single core.
+  constexpr int kLrasPerSubmitter = 8;
+  std::atomic<int> submitted{0};
+
+  std::vector<std::thread> workers;
+  // LRA submitters: template-built apps with real tag constraints.
+  for (int s = 0; s < kSubmitters; ++s) {
+    workers.emplace_back([&runtime, &submitted, s] {
+      for (int i = 0; i < kLrasPerSubmitter; ++i) {
+        const ApplicationId app(static_cast<uint32_t>(1 + s * 100 + i));
+        LraSpec spec = runtime.BuildSpec([&](TagPool& tags) {
+          switch (i % 3) {
+            case 0:
+              return MakeHBaseInstance(app, tags, /*num_workers=*/4);
+            case 1:
+              return MakeTensorFlowInstance(app, tags, /*num_workers=*/3, /*num_ps=*/1);
+            default:
+              return MakeGenericLra(app, tags, 3, "svc" + std::to_string(s));
+          }
+        });
+        runtime.SubmitLra(std::move(spec));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  // Task churn: short-lived jobs keep the heartbeat allocating (and
+  // invalidating LRA snapshots, so the stale-plan path is exercised).
+  workers.emplace_back([&runtime] {
+    for (int i = 0; i < 20; ++i) {
+      std::vector<TaskRequest> tasks;
+      for (int t = 0; t < 6; ++t) {
+        tasks.emplace_back(Resource(512, 1), /*duration_ms=*/4 + (i + t) % 7);
+      }
+      runtime.SubmitTaskJob(std::move(tasks));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Chaos: nodes fail and recover while placements are being committed.
+  workers.emplace_back([&runtime] {
+    for (int i = 0; i < 6; ++i) {
+      const NodeId node(static_cast<uint32_t>((i * 5) % 32));
+      runtime.NodeDown(node);
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+      runtime.NodeUp(node);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Readers: concurrent observation must be clean under TSan too.
+  workers.emplace_back([&runtime] {
+    for (int i = 0; i < 40; ++i) {
+      (void)runtime.metrics();
+      (void)runtime.pending_lras();
+      (void)runtime.pending_tasks();
+      (void)runtime.running_tasks();
+      const ClusterState snapshot = runtime.SnapshotState();
+      (void)snapshot.num_containers();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  ASSERT_TRUE(runtime.WaitLraIdle(std::chrono::minutes(3)));
+  runtime.Stop();
+
+  const RuntimeMetrics metrics = runtime.metrics();
+  EXPECT_GT(metrics.lra_cycles, 0);
+  EXPECT_GT(metrics.heartbeats, 0);
+  // Every submission is eventually resolved: placed or rejected.
+  EXPECT_EQ(metrics.lras_placed + metrics.lras_rejected,
+            submitted.load(std::memory_order_relaxed));
+
+  // The concurrent audit saw every commit; none may have violated an
+  // invariant.
+  EXPECT_GT(audit.states_audited(), 0);
+  const std::vector<std::string> failures = audit.failures();
+  EXPECT_TRUE(failures.empty()) << failures.front();
+
+  // And the final state must be internally consistent from first principles.
+  runtime.WithStateLocked([](const ClusterState& state, const ConstraintManager& manager) {
+    const auto report = verify::InvariantChecker::CheckState(state, &manager);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  });
+}
+
+TEST(RuntimeStressTest, BackpressureBlocksProducerUntilConsumerDrains) {
+  PlanQueue queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(PlanEnvelope{}));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(PlanEnvelope{}));  // blocks: queue is full
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  PlanEnvelope envelope;
+  ASSERT_TRUE(queue.TryPop(&envelope));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RuntimeStressTest, CloseUnblocksProducerAndKeepsPendingPoppable) {
+  PlanQueue queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(PlanEnvelope{}));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.Push(PlanEnvelope{}));  // closed while blocked
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  PlanEnvelope envelope;
+  EXPECT_TRUE(queue.TryPop(&envelope));  // pre-close envelope drains
+  EXPECT_FALSE(queue.TryPop(&envelope));
+  EXPECT_FALSE(queue.Push(PlanEnvelope{}));
+}
+
+TEST(RuntimeStressTest, StopDrainsComputedPlans) {
+  RuntimeConfig config = StressConfig();
+  // A slow heartbeat, so Stop() itself must drain whatever the LRA thread
+  // computed but the heartbeat never consumed.
+  config.heartbeat_period = std::chrono::milliseconds(250);
+  TwoSchedulerRuntime runtime(config, MakeScheduler());
+  runtime.Start();
+  for (int i = 0; i < 4; ++i) {
+    const ApplicationId app(static_cast<uint32_t>(1000 + i));
+    runtime.SubmitLra(
+        runtime.BuildSpec([&](TagPool& tags) { return MakeGenericLra(app, tags, 2, "drain"); }));
+  }
+  // Give the LRA thread a moment to compute, then stop before a heartbeat.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  runtime.Stop();
+  const RuntimeMetrics metrics = runtime.metrics();
+  EXPECT_GT(metrics.lras_placed + metrics.lras_rejected + metrics.lra_resubmissions, 0);
+  runtime.WithStateLocked([](const ClusterState& state, const ConstraintManager& manager) {
+    const auto report = verify::InvariantChecker::CheckState(state, &manager);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  });
+}
+
+}  // namespace
+}  // namespace medea::runtime

@@ -1,0 +1,144 @@
+// Copyright (c) Medea reproduction authors.
+// Functional tests for the TwoSchedulerRuntime (src/runtime): the two-thread
+// pipeline places LRAs correctly, constraints are registered and enforced,
+// task jobs run to completion, node failures trigger failover resubmission,
+// and stale plans are revalidated rather than blindly committed. The heavy
+// concurrency torture lives in runtime_stress_test.cc; these tests assert
+// functional behavior with deterministic workloads.
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/two_scheduler_runtime.h"
+#include "src/schedulers/greedy.h"
+#include "src/sim/runtime_driver.h"
+#include "src/verify/invariant_checker.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea::runtime {
+namespace {
+
+std::unique_ptr<LraScheduler> MakeScheduler() {
+  SchedulerConfig config;
+  config.node_pool_size = 24;
+  config.seed = 11;
+  return std::make_unique<GreedyScheduler>(GreedyOrdering::kNodeCandidates, config);
+}
+
+RuntimeConfig SmallConfig() {
+  RuntimeConfig config;
+  config.num_nodes = 24;
+  config.num_racks = 4;
+  config.num_upgrade_domains = 4;
+  config.num_service_units = 4;
+  config.heartbeat_period = std::chrono::milliseconds(1);
+  return config;
+}
+
+TEST(TwoSchedulerRuntimeTest, PlacesSubmittedLras) {
+  TwoSchedulerRuntime runtime(SmallConfig(), MakeScheduler());
+  runtime.Start();
+  for (uint32_t i = 1; i <= 3; ++i) {
+    const ApplicationId app(i);
+    runtime.SubmitLra(runtime.BuildSpec(
+        [&](TagPool& tags) { return MakeHBaseInstance(app, tags, /*num_workers=*/4); }));
+  }
+  ASSERT_TRUE(runtime.WaitLraIdle(std::chrono::seconds(10)));
+  runtime.Stop();
+
+  const RuntimeMetrics metrics = runtime.metrics();
+  EXPECT_EQ(metrics.lras_placed, 3);
+  EXPECT_EQ(metrics.lras_rejected, 0);
+  runtime.WithStateLocked([](const ClusterState& state, const ConstraintManager& manager) {
+    // 4 workers + master + thrift + secondary master per HBase instance.
+    EXPECT_EQ(state.num_long_running_containers(), 3u * 7u);
+    EXPECT_GT(manager.size(), 0u);
+    const auto report = verify::InvariantChecker::CheckState(state, &manager);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  });
+}
+
+TEST(TwoSchedulerRuntimeTest, TaskJobsRunToCompletion) {
+  TwoSchedulerRuntime runtime(SmallConfig(), MakeScheduler());
+  runtime.Start();
+  std::vector<TaskRequest> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back(Resource(1024, 1), /*duration_ms=*/5);
+  }
+  runtime.SubmitTaskJob(std::move(tasks));
+  // Tasks take ~5 ms each and the cluster fits all eight at once.
+  for (int spins = 0; spins < 500 && runtime.metrics().tasks_completed < 8; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  runtime.Stop();
+  EXPECT_EQ(runtime.metrics().tasks_completed, 8);
+  EXPECT_EQ(runtime.running_tasks(), 0u);
+}
+
+TEST(TwoSchedulerRuntimeTest, NodeDownTriggersFailoverReplacement) {
+  TwoSchedulerRuntime runtime(SmallConfig(), MakeScheduler());
+  runtime.Start();
+  const ApplicationId app(42);
+  runtime.SubmitLra(runtime.BuildSpec(
+      [&](TagPool& tags) { return MakeGenericLra(app, tags, 4, "failover-svc"); }));
+  ASSERT_TRUE(runtime.WaitLraIdle(std::chrono::seconds(10)));
+
+  // Find a node hosting one of the app's containers and fail it.
+  NodeId victim = NodeId::Invalid();
+  runtime.WithStateLocked([&](const ClusterState& state, const ConstraintManager&) {
+    for (ContainerId c : state.ContainersOf(app)) {
+      victim = state.FindContainer(c)->node;
+      break;
+    }
+  });
+  ASSERT_TRUE(victim.IsValid());
+  runtime.NodeDown(victim);
+  ASSERT_TRUE(runtime.WaitLraIdle(std::chrono::seconds(10)));
+  runtime.Stop();
+
+  const RuntimeMetrics metrics = runtime.metrics();
+  EXPECT_GT(metrics.lra_containers_lost, 0);
+  EXPECT_GT(metrics.failover_replacements, 0);
+  runtime.WithStateLocked([&](const ClusterState& state, const ConstraintManager& manager) {
+    // The app is back to full strength on the surviving nodes.
+    EXPECT_EQ(state.ContainersOf(app).size(), 4u);
+    for (ContainerId c : state.ContainersOf(app)) {
+      EXPECT_NE(state.FindContainer(c)->node.value, victim.value);
+    }
+    const auto report = verify::InvariantChecker::CheckState(state, &manager);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  });
+}
+
+TEST(TwoSchedulerRuntimeTest, OperatorConstraintDeduplicatesAndValidates) {
+  TwoSchedulerRuntime runtime(SmallConfig(), MakeScheduler());
+  const std::string text = "{hbase-worker, {hbase-worker, 0, 1}, node}";
+  ASSERT_TRUE(runtime.AddOperatorConstraint(text).ok());
+  ASSERT_TRUE(runtime.AddOperatorConstraint(text).ok());  // deduplicated
+  EXPECT_FALSE(runtime.AddOperatorConstraint("not a constraint").ok());
+  runtime.WithStateLocked([](const ClusterState&, const ConstraintManager& manager) {
+    EXPECT_EQ(manager.size(), 1u);
+  });
+}
+
+TEST(RuntimeDriverTest, ReplaysTimedWorkload) {
+  RuntimeDriver driver(SmallConfig(), MakeScheduler());
+  for (uint32_t i = 1; i <= 2; ++i) {
+    const ApplicationId app(i);
+    driver.At(static_cast<SimTimeMs>(i) * 10, [app](TwoSchedulerRuntime& rt) {
+      rt.SubmitLra(
+          rt.BuildSpec([&](TagPool& tags) { return MakeGenericLra(app, tags, 2, "driver"); }));
+    });
+  }
+  driver.At(5, [](TwoSchedulerRuntime& rt) {
+    rt.SubmitTaskJob({TaskRequest(Resource(512, 1), 5), TaskRequest(Resource(512, 1), 5)});
+  });
+  const RuntimeMetrics metrics = driver.Run(/*horizon_ms=*/60);
+  EXPECT_EQ(metrics.lras_placed, 2);
+  EXPECT_EQ(metrics.tasks_completed, 2);
+}
+
+}  // namespace
+}  // namespace medea::runtime

@@ -1,0 +1,33 @@
+// Copyright (c) Medea reproduction authors.
+// NEGATIVE compile test: this translation unit must FAIL to compile under
+//   clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety -I<repo>
+// because `Broken::Bump` writes a MEDEA_GUARDED_BY(mu_) field without
+// holding the mutex. CMake registers it (Clang builds only) as a WILL_FAIL
+// ctest; if the thread-safety gate ever silently stops working, this test
+// starts "passing" to the compiler and the ctest run goes red.
+//
+// It is NOT part of any library or normal target, and on GCC (annotations
+// are no-ops there) it compiles cleanly — which is exactly why the gate
+// must run on Clang.
+
+#include "src/common/sync/mutex.h"
+
+namespace medea::sync {
+
+class Broken {
+ public:
+  void Bump() {
+    ++counter_;  // error: writing variable 'counter_' requires holding mutex 'mu_'
+  }
+
+ private:
+  Mutex mu_;
+  int counter_ MEDEA_GUARDED_BY(mu_) = 0;
+};
+
+inline void Use() {
+  Broken broken;
+  broken.Bump();
+}
+
+}  // namespace medea::sync
