@@ -73,6 +73,9 @@ void RunCase(::benchmark::State& bench_state, const std::string& scheduler_name,
   config.ilp_time_limit_seconds = 2.0;
   auto scheduler = MakeScheduler(scheduler_name, config);
 
+  // Each case reads its own samples from the shared obs registry: the
+  // schedulers record every Place() into `sched.place_ms.<name>`.
+  ResetBenchRegistry();
   for (auto _ : bench_state) {
     const PlacementPlan plan = scheduler->Place(problem);
     ::benchmark::DoNotOptimize(plan.assignments.data());
@@ -87,6 +90,12 @@ void RunCase(::benchmark::State& bench_state, const std::string& scheduler_name,
       bench_state.counters["lp_ms"] = mip.lp_time_seconds * 1e3;
     }
   }
+  // Latency distribution as measured by the shared MetricsRegistry, not a
+  // bench-private stopwatch (Fig. 11a's headline numbers).
+  const auto place = HistogramSnapshot("sched.place_ms." + scheduler->name());
+  bench_state.counters["obs_n"] = static_cast<double>(place.count);
+  bench_state.counters["obs_p50_ms"] = place.p50;
+  bench_state.counters["obs_p99_ms"] = place.p99;
 }
 
 void RegisterAll() {

@@ -83,9 +83,17 @@ std::vector<Unit> Arrivals(int instances, int task_batches) {
   return units;
 }
 
+// One design's outcome: the queueing-inclusive total plus the per-solve
+// latency distribution as recorded by the shared obs registry.
+struct DesignResult {
+  double total_lra_latency_s = 0.0;
+  obs::LatencyHistogram::Snapshot solve;
+};
+
 // Runs one design; returns the total LRA scheduling latency (s): the sum
 // over LRAs of (queueing behind earlier solver work + own solve).
-double RunDesign(bool single_scheduler, double services_fraction) {
+DesignResult RunDesign(bool single_scheduler, double services_fraction) {
+  ResetBenchRegistry();
   ClusterState state = MakeCluster();
   ConstraintManager manager(state.groups_ptr());
   MedeaIlpScheduler ilp(single_scheduler ? FullModelConfig() : Config());
@@ -160,19 +168,25 @@ double RunDesign(bool single_scheduler, double services_fraction) {
       }
     }
   }
-  return total_lra_latency_ms / 1000.0;
+  // The solver's own per-Place() distribution comes from the registry (the
+  // ILP scheduler records every solve into sched.place_ms.Medea-ILP).
+  return DesignResult{total_lra_latency_ms / 1000.0,
+                      HistogramSnapshot("sched.place_ms.Medea-ILP")};
 }
 
 void Run() {
   PrintHeader("Figure 11b — Two-scheduler benefit: total LRA scheduling latency (s)",
               "single-scheduler ILP-ALL is many times slower (paper: ~9.5x at 20% services)");
 
-  std::printf("%-18s %12s %12s %12s\n", "services (%)", "MEDEA (s)", "ILP-ALL (s)", "ratio");
+  std::printf("%-18s %12s %12s %12s %22s\n", "services (%)", "MEDEA (s)", "ILP-ALL (s)",
+              "ratio", "MEDEA solve p50/p99");
   for (double fraction : {0.20, 0.40, 0.60, 0.80, 1.00}) {
-    const double medea_s = RunDesign(false, fraction);
-    const double ilp_all_s = RunDesign(true, fraction);
-    std::printf("%-18.0f %12.2f %12.2f %11.1fx\n", 100 * fraction, medea_s, ilp_all_s,
-                ilp_all_s / std::max(1e-9, medea_s));
+    const DesignResult medea = RunDesign(false, fraction);
+    const DesignResult ilp_all = RunDesign(true, fraction);
+    std::printf("%-18.0f %12.2f %12.2f %11.1fx %14.0f/%.0f ms\n", 100 * fraction,
+                medea.total_lra_latency_s, ilp_all.total_lra_latency_s,
+                ilp_all.total_lra_latency_s / std::max(1e-9, medea.total_lra_latency_s),
+                medea.solve.p50, medea.solve.p99);
     std::fflush(stdout);
   }
 }

@@ -17,7 +17,7 @@
 namespace medea::bench {
 namespace {
 
-Distribution RunCase(bool with_lra_load, uint64_t seed) {
+obs::LatencyHistogram::Snapshot RunCase(bool with_lra_load, uint64_t seed) {
   SimConfig config;
   config.num_nodes = 150;
   config.num_racks = 10;
@@ -49,19 +49,23 @@ Distribution RunCase(bool with_lra_load, uint64_t seed) {
     }
   }
   sim.RunUntilQuiescent();
-  return sim.task_scheduler().allocation_latency_ms();
+  // Fig. 11c's distribution is read from the shared obs registry: the task
+  // scheduler records every allocation into `tasksched.allocation_latency_ms`.
+  return HistogramSnapshot("tasksched.allocation_latency_ms");
 }
 
 void Run() {
   PrintHeader("Figure 11c — Task scheduling latency (ms) on the Google trace at 200x",
               "Medea (with +10% LRA load) matches YARN across the distribution");
 
-  const Distribution medea = RunCase(true, 42);
-  const Distribution yarn = RunCase(false, 42);
+  ResetBenchRegistry();
+  const auto medea = RunCase(true, 42);
+  ResetBenchRegistry();
+  const auto yarn = RunCase(false, 42);
   std::printf("%-10s %12s %10s   (n=%zu / %zu tasks)\n", "scheduler", "box (ms)", "mean",
-              medea.Count(), yarn.Count());
-  std::printf("%-10s %22s %10.0f\n", "MEDEA", FmtBox(medea).c_str(), medea.Mean());
-  std::printf("%-10s %22s %10.0f\n", "YARN", FmtBox(yarn).c_str(), yarn.Mean());
+              medea.count, yarn.count);
+  std::printf("%-10s %22s %10.0f\n", "MEDEA", FmtBox(medea).c_str(), medea.MeanMs());
+  std::printf("%-10s %22s %10.0f\n", "YARN", FmtBox(yarn).c_str(), yarn.MeanMs());
 }
 
 }  // namespace

@@ -37,8 +37,7 @@ DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
       problem.lras.push_back(spec.request);
     }
     const PlacementPlan plan = scheduler.Place(problem);
-    result.total_latency_ms += plan.latency_ms;
-    result.cycle_latency_ms.Add(plan.latency_ms);
+    obs::Observe("bench.deploy_cycle_ms", plan.latency_ms);
     std::vector<bool> committed;
     CommitPlan(problem, plan, state, &committed);
     for (size_t i = 0; i < problem.lras.size(); ++i) {
@@ -52,6 +51,15 @@ DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
     next = end;
   }
   return result;
+}
+
+void ResetBenchRegistry() {
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Default().Reset();
+}
+
+obs::LatencyHistogram::Snapshot HistogramSnapshot(const std::string& name) {
+  return obs::MetricsRegistry::Default().HistogramNamed(name).TakeSnapshot();
 }
 
 int FillWithTasks(ClusterState& state, double memory_fraction, const Resource& task_demand) {
@@ -174,6 +182,16 @@ std::string FmtBox(const Distribution& d) {
   char buffer[128];
   std::snprintf(buffer, sizeof(buffer), "%.0f/%.0f/%.0f (%.0f..%.0f)", box.p25, box.p50,
                 box.p75, box.p5, box.p99);
+  return buffer;
+}
+
+std::string FmtBox(const obs::LatencyHistogram::Snapshot& s) {
+  if (s.count == 0) {
+    return "-";
+  }
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%.0f/%.0f/%.0f (%.0f..%.0f)", s.PercentileMs(25.0),
+                s.p50, s.PercentileMs(75.0), s.PercentileMs(5.0), s.p99);
   return buffer;
 }
 

@@ -15,6 +15,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/core/violation.h"
+#include "src/obs/metrics.h"
 #include "src/schedulers/placement.h"
 #include "src/workload/lra_templates.h"
 
@@ -22,17 +23,30 @@ namespace medea::bench {
 
 // Deploys `specs` through `scheduler` in batches of `batch_size`,
 // registering each spec's constraints and committing each plan directly
-// against `state`. Returns per-deployment statistics.
+// against `state`. Placement/rejection counts come back in the result;
+// latency goes through the shared obs registry — each cycle's wall time is
+// recorded into the `bench.deploy_cycle_ms` histogram (plus the scheduler's
+// own `sched.place_ms.<name>`), so benches read distributions with
+// HistogramSnapshot() instead of keeping private stopwatches.
 struct DeployResult {
   int placed = 0;
   int rejected = 0;
-  double total_latency_ms = 0.0;
-  Distribution cycle_latency_ms;
 };
 
 DeployResult DeployLras(ClusterState& state, ConstraintManager& manager,
                         LraScheduler& scheduler, const std::vector<LraSpec>& specs,
                         int batch_size);
+
+// ---- Shared metrics registry -----------------------------------------------
+
+// Turns the obs layer on (idempotent) and zeroes the process-wide registry,
+// so the calling bench case reads only its own samples. Call at the start
+// of each measured case.
+void ResetBenchRegistry();
+
+// Snapshot of a registry latency histogram by name (empty snapshot with
+// zeroed percentiles if nothing was recorded under that name).
+obs::LatencyHistogram::Snapshot HistogramSnapshot(const std::string& name);
 
 // Fills the cluster with short-running "background" task containers until
 // the target memory fraction is reached, spreading least-loaded first.
@@ -67,6 +81,10 @@ std::string Fmt(double value, int precision = 2);
 
 // Formats a box plot as "p25/p50/p75 (p5..p99)".
 std::string FmtBox(const Distribution& d);
+
+// Same shape, from an obs histogram snapshot (bucket-interpolated
+// percentiles).
+std::string FmtBox(const obs::LatencyHistogram::Snapshot& s);
 
 // ---- JSON result files -----------------------------------------------------
 

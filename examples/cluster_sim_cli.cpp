@@ -9,11 +9,18 @@
 //                   [--interval MS] [--minutes M] [--migration MS]
 //                   [--conflict resubmit|kill|reserve] [--seed S]
 //                   [--runtime] [--runtime-wall-ms MS]
+//                   [--metrics-out FILE] [--trace-out FILE]
 //
 // With --runtime the scenario is replayed through the real concurrent
 // TwoSchedulerRuntime (src/runtime/) — actual scheduler + heartbeat
 // threads, wall-clock compressed to --runtime-wall-ms — instead of the
 // deterministic discrete-event simulator.
+//
+// --metrics-out writes a JSON-lines snapshot of the process-wide
+// MetricsRegistry (src/obs) at exit; --trace-out writes a Chrome
+// trace_event file loadable in chrome://tracing or https://ui.perfetto.dev
+// (see docs/observability.md). Either flag turns the instrumentation on;
+// without them the obs layer stays disabled and costs nothing.
 //
 // Example:
 //   ./cluster_sim_cli --nodes 200 --hbase 12 --tensorflow 8
@@ -27,6 +34,8 @@
 
 #include "src/common/rng.h"
 #include "src/core/violation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/schedulers/greedy.h"
 #include "src/schedulers/ilp_scheduler.h"
 #include "src/schedulers/jkube.h"
@@ -59,6 +68,9 @@ struct Options {
   // simulated horizon into ~`runtime_wall_ms` of wall time.
   bool runtime_mode = false;
   SimTimeMs runtime_wall_ms = 3000;
+  // Observability sinks: enabling either turns the src/obs layer on.
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 std::unique_ptr<LraScheduler> MakeLraScheduler(const Options& options) {
@@ -129,6 +141,10 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.runtime_mode = true;
     } else if (flag == "--runtime-wall-ms") {
       options.runtime_wall_ms = std::atol(next());
+    } else if (flag == "--metrics-out") {
+      options.metrics_out = next();
+    } else if (flag == "--trace-out") {
+      options.trace_out = next();
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -138,6 +154,45 @@ bool ParseArgs(int argc, char** argv, Options& options) {
   }
   return true;
 }
+
+// Turns the obs layer on when a sink flag was given and flushes the
+// exporters when the run (either mode) finishes.
+class ObsSinks {
+ public:
+  explicit ObsSinks(const Options& options) : options_(options) {
+    if (!options_.metrics_out.empty()) {
+      obs::EnableMetrics(true);
+    }
+    if (!options_.trace_out.empty()) {
+      obs::TraceRecorder::Default().Enable(1 << 16);
+      obs::SetCurrentThreadName("main");
+    }
+  }
+  ~ObsSinks() {
+    if (!options_.metrics_out.empty()) {
+      const Status status =
+          obs::MetricsRegistry::Default().WriteSnapshotFile(options_.metrics_out);
+      if (status.ok()) {
+        std::printf("metrics snapshot:         %s\n", options_.metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "metrics export failed: %s\n", status.ToString().c_str());
+      }
+    }
+    if (!options_.trace_out.empty()) {
+      const Status status =
+          obs::TraceRecorder::Default().WriteChromeTrace(options_.trace_out);
+      if (status.ok()) {
+        std::printf("chrome trace:             %s (open in ui.perfetto.dev)\n",
+                    options_.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n", status.ToString().c_str());
+      }
+    }
+  }
+
+ private:
+  const Options& options_;
+};
 
 // --runtime: same workload, but replayed in wall-clock time against the
 // concurrent TwoSchedulerRuntime (LRA scheduler thread + heartbeat thread).
@@ -258,10 +313,13 @@ int main(int argc, char** argv) {
                 "          [--gridmix-frac F] [--interval MS] [--minutes M]\n"
                 "          [--migration MS] [--conflict resubmit|kill|reserve] [--seed S]\n"
                 "          [--runtime] [--runtime-wall-ms MS]\n"
+                "          [--metrics-out FILE] [--trace-out FILE]\n"
                 "       %s --scenario FILE\n",
                 argv[0], argv[0]);
     return 2;
   }
+
+  const ObsSinks sinks(options);
 
   if (options.runtime_mode) {
     return RunRuntimeMode(options);

@@ -1,0 +1,266 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace medea::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+}  // namespace
+
+bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void EnableMetrics(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+double LatencyHistogram::BucketUpperMs(size_t i) {
+  if (i + 1 >= kNumBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // upper(i) = 0.001 * 2^(i/2): 1us, ~1.4us, 2us, ... doubling every two
+  // buckets up to ~50 minutes at i = 62.
+  return 0.001 * std::exp2(static_cast<double>(i) / 2.0);
+}
+
+size_t LatencyHistogram::BucketIndex(double ms) {
+  if (!(ms > 0.0)) {  // negatives and NaN land in the first bucket
+    return 0;
+  }
+  // Invert upper(i) >= ms: i = ceil(2 * log2(ms / 0.001)).
+  const double exact = 2.0 * std::log2(ms / 0.001);
+  if (exact <= 0.0) {
+    return 0;
+  }
+  const double rounded = std::ceil(exact - 1e-9);  // boundary values stay inclusive
+  if (rounded >= static_cast<double>(kNumBuckets - 1)) {
+    return kNumBuckets - 1;
+  }
+  return static_cast<size_t>(rounded);
+}
+
+void LatencyHistogram::Record(double ms) {
+  sync::MutexLock lock(&mu_);
+  ++buckets_[BucketIndex(ms)];
+  if (count_ == 0) {
+    min_ms_ = ms;
+    max_ms_ = ms;
+  } else {
+    min_ms_ = std::min(min_ms_, ms);
+    max_ms_ = std::max(max_ms_, ms);
+  }
+  ++count_;
+  sum_ms_ += ms;
+}
+
+double LatencyHistogram::Snapshot::PercentileMs(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Target rank in [1, count]; the percentile is the value of the rank-th
+  // smallest sample, located by walking the cumulative bucket counts.
+  const double rank =
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count)));
+  long long cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const long long before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Linear interpolation inside the bucket; the first and last (open)
+      // buckets have no finite width, so they report their clamp values.
+      const double lower = i == 0 ? 0.0 : BucketUpperMs(i - 1);
+      const double upper = BucketUpperMs(i);
+      double value;
+      if (!std::isfinite(upper)) {
+        value = max_ms;
+      } else {
+        const double within =
+            (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+        value = lower + (upper - lower) * within;
+      }
+      return std::clamp(value, min_ms, max_ms);
+    }
+  }
+  return max_ms;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  {
+    sync::MutexLock lock(&mu_);
+    snapshot.count = static_cast<size_t>(count_);
+    snapshot.sum_ms = sum_ms_;
+    snapshot.min_ms = min_ms_;
+    snapshot.max_ms = max_ms_;
+    snapshot.buckets.assign(buckets_, buckets_ + kNumBuckets);
+  }
+  snapshot.p50 = snapshot.PercentileMs(50.0);
+  snapshot.p95 = snapshot.PercentileMs(95.0);
+  snapshot.p99 = snapshot.PercentileMs(99.0);
+  return snapshot;
+}
+
+void LatencyHistogram::Reset() {
+  sync::MutexLock lock(&mu_);
+  std::fill(buckets_, buckets_ + kNumBuckets, 0LL);
+  count_ = 0;
+  sum_ms_ = 0.0;
+  min_ms_ = 0.0;
+  max_ms_ = 0.0;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instrumented threads may outlive static destruction.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::CounterNamed(std::string_view name) {
+  sync::MutexLock lock(&mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::GaugeNamed(std::string_view name) {
+  sync::MutexLock lock(&mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
+  }
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+LatencyHistogram& MetricsRegistry::HistogramNamed(std::string_view name) {
+  sync::MutexLock lock(&mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
+  }
+  return *histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>())
+              .first->second;
+}
+
+void MetricsRegistry::Reset() {
+  sync::MutexLock lock(&mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJsonLines() const {
+  // Collect name -> metric pointers under the lock; the metric objects are
+  // stable, so their own (atomic / internally locked) reads happen after.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms;
+  {
+    sync::MutexLock lock(&mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, counter.get());
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.emplace_back(name, gauge.get());
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  std::string out;
+  for (const auto& [name, counter] : counters) {
+    out += "{\"kind\":\"counter\",\"name\":" + JsonQuote(name) +
+           ",\"value\":" + std::to_string(counter->value()) + "}\n";
+  }
+  for (const auto& [name, gauge] : gauges) {
+    out += "{\"kind\":\"gauge\",\"name\":" + JsonQuote(name) +
+           ",\"value\":" + JsonNumber(gauge->value()) + "}\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const LatencyHistogram::Snapshot s = histogram->TakeSnapshot();
+    out += "{\"kind\":\"histogram\",\"name\":" + JsonQuote(name) +
+           ",\"count\":" + std::to_string(s.count) +
+           ",\"sum_ms\":" + JsonNumber(s.sum_ms) + ",\"min_ms\":" + JsonNumber(s.min_ms) +
+           ",\"max_ms\":" + JsonNumber(s.max_ms) + ",\"mean_ms\":" + JsonNumber(s.MeanMs()) +
+           ",\"p50\":" + JsonNumber(s.p50) + ",\"p95\":" + JsonNumber(s.p95) +
+           ",\"p99\":" + JsonNumber(s.p99) + "}\n";
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteSnapshotFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open " + path);
+  }
+  const std::string body = SnapshotJsonLines();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  std::fclose(file);
+  if (!ok) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace medea::obs

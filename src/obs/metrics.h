@@ -1,0 +1,221 @@
+// Copyright (c) Medea reproduction authors.
+// Process-wide metrics: counters, gauges, and fixed-bucket latency
+// histograms with percentile snapshots (p50/p95/p99), collected in a
+// MetricsRegistry and exportable as JSON lines.
+//
+// Design goals, in order:
+//  1. Near-zero cost when disabled. Instrumentation sites call the free
+//     helpers (Count / Observe / ScopedLatencyTimer); each first checks the
+//     process-wide `MetricsEnabled()` flag — one relaxed atomic load — and
+//     returns before touching a clock, a mutex, or the registry. Metrics
+//     default to OFF; a sink (cluster_sim_cli --metrics-out, a bench, a
+//     test) turns them on. Tier-1 timings are therefore unaffected.
+//  2. Thread-safe under the same gates as the runtime. All shared state is
+//     guarded by the annotated primitives of src/common/sync, so the Clang
+//     thread-safety analysis (-Werror=thread-safety) and the TSan CI jobs
+//     cover the metrics layer exactly like they cover the two-scheduler
+//     runtime that reports into it. Counters and gauges are plain atomics.
+//  3. Stable handles. Metric objects are heap-allocated and never move or
+//     disappear while the process runs; a reference obtained from the
+//     registry stays valid across concurrent registrations and Reset().
+//
+// Naming convention (see docs/observability.md): lower_snake names joined
+// with dots, `<layer>.<operation>[_<unit>]` — e.g. `solver.node_lp_ms`,
+// `runtime.plan_queue_wait_ms`, `sched.place_ms.Medea-ILP`.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/sync/mutex.h"
+
+namespace medea::obs {
+
+// --- Global enable flag -----------------------------------------------------
+
+// True when a metrics sink is attached. Checked (relaxed) by every
+// instrumentation helper before doing any work.
+bool MetricsEnabled();
+// Flips collection on/off. Enabling is done by sinks (CLI flags, benches,
+// tests); library code never enables metrics on its own.
+void EnableMetrics(bool enabled);
+
+// --- Metric types -----------------------------------------------------------
+
+// Monotonic (or at least additive) event count.
+class Counter {
+ public:
+  void Add(long long delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+// Last-written instantaneous value (queue depth, utilization, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket latency histogram. Buckets are geometric with ratio sqrt(2):
+// bucket i covers (upper(i-1), upper(i)] ms with upper(i) = 0.001 * 2^(i/2),
+// spanning 1 microsecond to ~50 minutes over 64 buckets (the last bucket is
+// open-ended). Percentiles are estimated by linear interpolation within the
+// bucket holding the target rank — resolution is therefore within one
+// bucket, i.e. a factor of sqrt(2) ~ +-20% (see docs/observability.md for
+// why that is enough for the Fig. 11 latency distributions). Exact count,
+// sum, min and max are tracked alongside the buckets.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  // Inclusive upper bound of bucket `i` in milliseconds (infinity for the
+  // last bucket).
+  static double BucketUpperMs(size_t i);
+  // Index of the bucket a sample falls into.
+  static size_t BucketIndex(double ms);
+
+  void Record(double ms);
+
+  // A consistent copy of the histogram state, taken under the lock.
+  struct Snapshot {
+    size_t count = 0;
+    double sum_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<long long> buckets;  // kNumBuckets entries
+
+    double MeanMs() const { return count == 0 ? 0.0 : sum_ms / static_cast<double>(count); }
+    // Percentile estimate for arbitrary p in [0, 100], interpolated within
+    // the owning bucket and clamped to [min_ms, max_ms].
+    double PercentileMs(double p) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  void Reset();
+
+ private:
+  mutable sync::Mutex mu_;
+  long long buckets_[kNumBuckets] MEDEA_GUARDED_BY(mu_) = {};
+  long long count_ MEDEA_GUARDED_BY(mu_) = 0;
+  double sum_ms_ MEDEA_GUARDED_BY(mu_) = 0.0;
+  double min_ms_ MEDEA_GUARDED_BY(mu_) = 0.0;
+  double max_ms_ MEDEA_GUARDED_BY(mu_) = 0.0;
+};
+
+// --- Registry ---------------------------------------------------------------
+
+// Name -> metric map. Metrics are created on first use and live until
+// process exit; references returned by the *Named accessors are stable.
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrumentation helper reports into.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& CounterNamed(std::string_view name);
+  Gauge& GaugeNamed(std::string_view name);
+  LatencyHistogram& HistogramNamed(std::string_view name);
+
+  // Zeroes every registered metric in place (handles stay valid). Benches
+  // call this between cases so each case reports its own distribution.
+  void Reset();
+
+  // One JSON object per line, `"kind"` in {counter, gauge, histogram},
+  // sorted by name — the --metrics-out format:
+  //   {"kind":"histogram","name":"sched.place_ms","count":12,...,"p99":8.1}
+  std::string SnapshotJsonLines() const;
+
+  // Writes SnapshotJsonLines() to `path`.
+  Status WriteSnapshotFile(const std::string& path) const;
+
+ private:
+  mutable sync::Mutex mu_;
+  // std::map: stable node addresses and deterministic (sorted) export order.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MEDEA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ MEDEA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_
+      MEDEA_GUARDED_BY(mu_);
+};
+
+// --- Hot-path helpers -------------------------------------------------------
+//
+// All of these no-op (single relaxed load, no clock read) when metrics are
+// disabled, so they can sit on tier-1 hot paths.
+
+inline void Count(std::string_view name, long long delta = 1) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  MetricsRegistry::Default().CounterNamed(name).Add(delta);
+}
+
+inline void SetGauge(std::string_view name, double value) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  MetricsRegistry::Default().GaugeNamed(name).Set(value);
+}
+
+inline void Observe(std::string_view name, double ms) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  MetricsRegistry::Default().HistogramNamed(name).Record(ms);
+}
+
+// RAII wall-clock timer recording into a latency histogram on destruction.
+// The clock is only read when metrics are enabled at construction time.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(std::string_view name)
+      : enabled_(MetricsEnabled()), name_(name) {
+    if (enabled_) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedLatencyTimer() {
+    if (enabled_) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+      MetricsRegistry::Default().HistogramNamed(name_).Record(ms);
+    }
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  bool enabled_;
+  std::string name_;  // owned: the histogram is resolved at destruction
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace medea::obs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -13,6 +13,7 @@
 #ifndef SRC_RUNTIME_PLAN_QUEUE_H_
 #define SRC_RUNTIME_PLAN_QUEUE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <utility>
@@ -20,6 +21,7 @@
 
 #include "src/common/sync/mutex.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/schedulers/placement.h"
 
 namespace medea::runtime {
@@ -41,6 +43,9 @@ struct PlanEnvelope {
   // mismatch at commit time routes the envelope through the stale-plan
   // revalidation path.
   uint64_t snapshot_version = 0;
+  // Stamped by PlanQueue::Push (only while metrics are enabled) so TryPop
+  // can report the envelope's queue dwell time (runtime.plan_queue_wait_ms).
+  std::chrono::steady_clock::time_point enqueue_time{};
 };
 
 class PlanQueue {
@@ -60,6 +65,11 @@ class PlanQueue {
     if (closed_) {
       return false;
     }
+    if (obs::MetricsEnabled()) {
+      envelope.enqueue_time = std::chrono::steady_clock::now();
+      obs::SetGauge("runtime.plan_queue_depth", static_cast<double>(queue_.size() + 1));
+      obs::Count("runtime.plans_enqueued");
+    }
     queue_.push_back(std::move(envelope));
     not_empty_.Signal();
     return true;
@@ -73,6 +83,14 @@ class PlanQueue {
     }
     *envelope = std::move(queue_.front());
     queue_.pop_front();
+    if (obs::MetricsEnabled() &&
+        envelope->enqueue_time != std::chrono::steady_clock::time_point{}) {
+      obs::Observe("runtime.plan_queue_wait_ms",
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - envelope->enqueue_time)
+                       .count());
+      obs::SetGauge("runtime.plan_queue_depth", static_cast<double>(queue_.size()));
+    }
     not_full_.Signal();
     return true;
   }

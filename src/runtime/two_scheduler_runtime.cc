@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace medea::runtime {
 
@@ -117,6 +119,8 @@ Status TwoSchedulerRuntime::AddOperatorConstraint(const std::string& text) {
 
 void TwoSchedulerRuntime::NodeDown(NodeId node) {
   sync::MutexLock lock(&mu_);
+  const obs::ScopedSpan failover_span("runtime.node_down_failover", "runtime");
+  obs::Count("runtime.node_down_events");
   const SimTimeMs now = NowMs();
   // Snapshot first: releases mutate the node's container list.
   const std::vector<ContainerId> containers(state_.node(node).containers().begin(),
@@ -201,6 +205,7 @@ size_t TwoSchedulerRuntime::running_tasks() const {
 }
 
 void TwoSchedulerRuntime::LraThreadLoop() {
+  obs::SetCurrentThreadName("medea-lra");
   while (true) {
     PlanEnvelope envelope;
     // The snapshots the scheduler will run against, taken under the lock.
@@ -214,18 +219,25 @@ void TwoSchedulerRuntime::LraThreadLoop() {
       if (stop_) {
         return;
       }
+      const obs::ScopedSpan snapshot_span("runtime.lra_snapshot", "runtime");
+      const obs::ScopedLatencyTimer snapshot_timer("runtime.lra_snapshot_ms");
       size_t batch = pending_lras_.size();
       if (config_.max_lras_per_cycle > 0) {
         batch = std::min(batch, static_cast<size_t>(config_.max_lras_per_cycle));
       }
+      const SimTimeMs batch_now = NowMs();
       for (size_t i = 0; i < batch; ++i) {
         PendingLra& lra = pending_lras_.front();
+        // Fig. 11b's queuing delay: submit -> picked up by a scheduling cycle.
+        obs::Observe("runtime.lra_queue_wait_ms",
+                     static_cast<double>(batch_now - lra.submit_ms));
         envelope.lras.push_back(std::move(lra.request));
         envelope.attempts.push_back(lra.attempts);
         envelope.submit_ms.push_back(lra.submit_ms);
         envelope.is_failover.push_back(lra.is_failover);
         pending_lras_.pop_front();
       }
+      obs::Count("runtime.lras_batched", static_cast<long long>(batch));
       envelope.snapshot_version = state_version_;
       snapshot_state.emplace(state_);
       snapshot_manager.emplace(manager_);
@@ -238,8 +250,17 @@ void TwoSchedulerRuntime::LraThreadLoop() {
     problem.lras = envelope.lras;
     problem.state = &*snapshot_state;
     problem.manager = &*snapshot_manager;
-    envelope.plan = lra_scheduler_->Place(problem);
-    const bool pushed = plan_queue_.Push(std::move(envelope));
+    {
+      const obs::ScopedSpan cycle_span("runtime.lra_cycle", "runtime");
+      const obs::ScopedLatencyTimer cycle_timer("runtime.lra_cycle_ms");
+      envelope.plan = lra_scheduler_->Place(problem);
+    }
+    // The Push blocks under backpressure; its span makes a full plan queue
+    // directly visible in the trace.
+    const bool pushed = [&] {
+      const obs::ScopedSpan push_span("runtime.plan_queue_push", "runtime");
+      return plan_queue_.Push(std::move(envelope));
+    }();
     {
       sync::MutexLock lock(&mu_);
       lra_cycle_in_flight_ = false;
@@ -252,6 +273,7 @@ void TwoSchedulerRuntime::LraThreadLoop() {
 }
 
 void TwoSchedulerRuntime::HeartbeatLoop() {
+  obs::SetCurrentThreadName("medea-heartbeat");
   while (true) {
     sync::MutexLock lock(&mu_);
     if (heartbeat_stop_) {
@@ -261,6 +283,8 @@ void TwoSchedulerRuntime::HeartbeatLoop() {
     if (heartbeat_stop_) {
       return;
     }
+    const obs::ScopedSpan beat_span("runtime.heartbeat", "runtime");
+    const obs::ScopedLatencyTimer beat_timer("runtime.heartbeat_ms");
     const SimTimeMs now = NowMs();
     ++metrics_.heartbeats;
     CompleteDueTasks(now);
@@ -271,7 +295,11 @@ void TwoSchedulerRuntime::HeartbeatLoop() {
       envelope = PlanEnvelope{};
     }
     // Task-based heartbeat: allocate as much of the queue as fits.
-    const auto allocations = task_sched_.Tick(now);
+    std::vector<TaskScheduler::TaskAllocation> allocations;
+    {
+      const obs::ScopedSpan tick_span("runtime.task_tick", "runtime");
+      allocations = task_sched_.Tick(now);
+    }
     if (!allocations.empty()) {
       ++state_version_;
       AuditStateMutation(state_, "runtime-task-tick");
@@ -283,10 +311,12 @@ void TwoSchedulerRuntime::HeartbeatLoop() {
     if (config_.migration_every_heartbeats > 0 &&
         metrics_.heartbeats % config_.migration_every_heartbeats == 0 &&
         state_.num_long_running_containers() > 0) {
+      const obs::ScopedSpan migration_span("runtime.migration", "runtime");
       const MigrationPlanner planner(config_.migration);
       const MigrationPlan plan = planner.Plan(state_, manager_);
       const int moved = MigrationPlanner::Apply(plan, state_);
       metrics_.migrations += moved;
+      obs::Count("runtime.migrations", moved);
       if (moved > 0) {
         ++state_version_;
         AuditStateMutation(state_, "runtime-migration");
@@ -337,20 +367,26 @@ bool TwoSchedulerRuntime::RevalidateLra(const PlanEnvelope& envelope, size_t lra
 }
 
 void TwoSchedulerRuntime::CommitEnvelope(PlanEnvelope envelope) {
+  const obs::ScopedSpan commit_span("runtime.commit", "runtime");
+  const obs::ScopedLatencyTimer commit_timer("runtime.commit_ms");
   const bool stale = envelope.snapshot_version != state_version_;
   if (stale) {
     ++metrics_.stale_plans;
+    obs::Count("runtime.stale_plans");
   }
   PlacementPlan plan = envelope.plan;
   if (stale) {
     // Cheap revalidation pre-pass: demote LRAs whose planned nodes no longer
     // fit, so the atomic commit below doesn't do allocate-then-rollback work
     // for plans that are visibly dead.
+    const obs::ScopedSpan revalidate_span("runtime.revalidate", "runtime");
+    const obs::ScopedLatencyTimer revalidate_timer("runtime.revalidate_ms");
     for (size_t i = 0; i < envelope.lras.size(); ++i) {
       const bool planned = i < plan.lra_placed.size() && plan.lra_placed[i];
       if (planned && !RevalidateLra(envelope, i)) {
         plan.lra_placed[i] = false;
         ++metrics_.stale_lras_revalidated;
+        obs::Count("runtime.stale_lras_revalidated");
       }
     }
   }
@@ -363,6 +399,7 @@ void TwoSchedulerRuntime::CommitEnvelope(PlanEnvelope envelope) {
   ++state_version_;
   AuditStateMutation(state_, "runtime-lra-commit");
   ++metrics_.plans_committed;
+  obs::Count("runtime.plans_committed");
 
   for (size_t i = 0; i < envelope.lras.size(); ++i) {
     const bool originally_planned =
@@ -372,13 +409,19 @@ void TwoSchedulerRuntime::CommitEnvelope(PlanEnvelope envelope) {
     if (landed) {
       if (envelope.is_failover[i]) {
         ++metrics_.failover_replacements;
+        obs::Count("runtime.failover_replacements");
       } else {
         ++metrics_.lras_placed;
+        obs::Count("runtime.lras_placed");
       }
+      // End-to-end placement latency: submission -> committed on the cluster.
+      obs::Observe("runtime.lra_commit_latency_ms",
+                   static_cast<double>(NowMs() - envelope.submit_ms[i]));
       continue;
     }
     if (originally_planned) {
       ++metrics_.commit_conflicts;  // plan existed but the cluster moved on
+      obs::Count("runtime.commit_conflicts");
     }
     RequeueOrReject(PendingLra{std::move(envelope.lras[i]), envelope.submit_ms[i],
                                envelope.attempts[i] + 1, envelope.is_failover[i]});

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/schedulers/scoring.h"
 
 namespace medea {
@@ -39,6 +41,7 @@ std::unordered_map<uint32_t, int> TagPopularity(const RelevantConstraints& relev
 }  // namespace
 
 PlacementPlan GreedyScheduler::Place(const PlacementProblem& problem) {
+  const obs::ScopedSpan place_span("greedy.place", "sched");
   const auto start = std::chrono::steady_clock::now();
   PlacementPlan plan;
   plan.lra_placed.assign(problem.lras.size(), false);
@@ -47,7 +50,15 @@ PlacementPlan GreedyScheduler::Place(const PlacementProblem& problem) {
   const RelevantConstraints relevant = FindRelevantConstraints(problem);
   const auto relevant_all = relevant.All();
   const CandidateSelector selector(config_);
-  const CandidatePool pool = selector.BuildPool(problem, relevant);
+  const CandidatePool pool = [&] {
+    const obs::ScopedSpan pool_span("greedy.build_pool", "sched");
+    const obs::ScopedLatencyTimer pool_timer("sched.pool_build_ms");
+    return selector.BuildPool(problem, relevant);
+  }();
+  // Pruning/scoring volume, reported once per cycle (plain locals on the
+  // per-candidate path; see docs/observability.md).
+  long long candidates_scored = 0;
+  long long candidates_pruned = 0;
 
   ClusterState scratch = *problem.state;
   SubjectIndex index(scratch, relevant_all);
@@ -130,11 +141,15 @@ PlacementPlan GreedyScheduler::Place(const PlacementProblem& problem) {
     if (lra_failed[lra]) {
       continue;
     }
+    const obs::ScopedLatencyTimer container_timer("sched.container_place_ms");
     const ContainerRequest& req = container_of(p);
     auto candidates = selector.ForContainer(problem, pool, p.flat_index, static_cast<int>(pending.size()), req.demand);
     // The selector checked capacity against the pre-cycle state; re-check
     // against the scratch state that reflects this cycle's placements.
+    const size_t before_capacity_filter = candidates.size();
     std::erase_if(candidates, [&](NodeId n) { return !scratch.node(n).CanFit(req.demand); });
+    candidates_pruned += static_cast<long long>(before_capacity_filter - candidates.size());
+    candidates_scored += static_cast<long long>(candidates.size());
     NodeId best = NodeId::Invalid();
     double best_score = 1e300;
     double best_load = 0.0;
@@ -189,6 +204,12 @@ PlacementPlan GreedyScheduler::Place(const PlacementProblem& problem) {
   plan.latency_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+  if (obs::MetricsEnabled()) {
+    obs::Observe("sched.place_ms." + name(), plan.latency_ms);
+    obs::Count("sched.candidates_scored", candidates_scored);
+    obs::Count("sched.candidates_pruned", candidates_pruned);
+    obs::Count("sched.containers_placed", static_cast<long long>(plan.assignments.size()));
+  }
   AuditPlan(problem, plan, name());
   return plan;
 }

@@ -7,6 +7,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/schedulers/candidates.h"
 #include "src/schedulers/greedy.h"
 #include "src/solver/lp_writer.h"
@@ -584,6 +586,7 @@ void IlpBuilder::Build() {
 }  // namespace
 
 PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
+  const obs::ScopedSpan place_span("ilp.place", "sched");
   const auto start = std::chrono::steady_clock::now();
   PlacementPlan plan;
   plan.lra_placed.assign(problem.lras.size(), false);
@@ -591,7 +594,11 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
   last_stats_ = LastSolveStats{};
 
   IlpBuilder builder(problem, config_);
-  builder.Build();
+  {
+    const obs::ScopedSpan build_span("ilp.build_model", "sched");
+    const obs::ScopedLatencyTimer build_timer("sched.ilp_build_model_ms");
+    builder.Build();
+  }
 
   if (!config_.ilp_dump_directory.empty()) {
     const std::string path = StrFormat("%s/medea_cycle_%d.lp",
@@ -614,6 +621,7 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
   // selector, same flat container order); the solver repairs the continuous
   // violation/fragmentation variables with one LP.
   if (config_.ilp_warm_start) {
+    const obs::ScopedSpan warm_span("ilp.warm_start", "sched");
     GreedyScheduler greedy(GreedyOrdering::kSerial, config_, /*impact_aware=*/true);
     const PlacementPlan greedy_plan = greedy.Place(problem);
     std::vector<double> warm(static_cast<size_t>(builder.model().num_variables()), 0.0);
@@ -668,6 +676,10 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
     plan.latency_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
+    if (obs::MetricsEnabled()) {
+      obs::Observe("sched.place_ms." + name(), plan.latency_ms);
+      obs::Count("sched.ilp_solve_failures");
+    }
     AuditPlan(problem, plan, name());
     return plan;
   }
@@ -699,6 +711,10 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
   plan.latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  if (obs::MetricsEnabled()) {
+    obs::Observe("sched.place_ms." + name(), plan.latency_ms);
+    obs::Count("sched.containers_placed", static_cast<long long>(plan.assignments.size()));
+  }
   AuditPlan(problem, plan, name());
   return plan;
 }

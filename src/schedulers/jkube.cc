@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "src/core/violation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/schedulers/candidates.h"
 
 namespace medea {
@@ -115,6 +117,9 @@ const std::vector<std::vector<NodeId>> SatisfactionTable::kNoSets = {};
 }  // namespace
 
 PlacementPlan JKubeScheduler::Place(const PlacementProblem& problem) {
+  const obs::ScopedSpan place_span("jkube.place", "sched");
+  long long candidates_scored = 0;
+  long long candidates_pruned = 0;
   const auto start = std::chrono::steady_clock::now();
   PlacementPlan plan;
   plan.lra_placed.assign(problem.lras.size(), false);
@@ -155,6 +160,7 @@ PlacementPlan JKubeScheduler::Place(const PlacementProblem& problem) {
         }
       }
 
+      const obs::ScopedLatencyTimer container_timer("sched.container_place_ms");
       NodeId best = NodeId::Invalid();
       double best_score = -1e300;
       // Score every node in the cluster (filter + priority pass).
@@ -162,8 +168,10 @@ PlacementPlan JKubeScheduler::Place(const PlacementProblem& problem) {
         const NodeId n(static_cast<uint32_t>(raw));
         const Node& node = scratch.node(n);
         if (!node.available() || !node.CanFit(req.demand)) {
+          ++candidates_pruned;
           continue;
         }
+        ++candidates_scored;
         // LeastRequestedPriority: 10 * free fraction.
         const double load = node.used().DominantShareOf(node.capacity());
         double score = 10.0 * (1.0 - load);
@@ -204,6 +212,12 @@ PlacementPlan JKubeScheduler::Place(const PlacementProblem& problem) {
   plan.latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  if (obs::MetricsEnabled()) {
+    obs::Observe("sched.place_ms." + name(), plan.latency_ms);
+    obs::Count("sched.candidates_scored", candidates_scored);
+    obs::Count("sched.candidates_pruned", candidates_pruned);
+    obs::Count("sched.containers_placed", static_cast<long long>(plan.assignments.size()));
+  }
   AuditPlan(problem, plan, name());
   return plan;
 }

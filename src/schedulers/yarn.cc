@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace medea {
 
 PlacementPlan YarnScheduler::Place(const PlacementProblem& problem) {
+  const obs::ScopedSpan place_span("yarn.place", "sched");
+  long long candidates_scored = 0;
+  long long candidates_pruned = 0;
   const auto start = std::chrono::steady_clock::now();
   PlacementPlan plan;
   plan.lra_placed.assign(problem.lras.size(), false);
@@ -18,14 +24,18 @@ PlacementPlan YarnScheduler::Place(const PlacementProblem& problem) {
     bool failed = false;
     std::vector<Assignment> lra_assignments;
     for (size_t j = 0; j < lra.containers.size(); ++j) {
+      const obs::ScopedLatencyTimer container_timer("sched.container_place_ms");
       const ContainerRequest& req = lra.containers[j];
       std::vector<NodeId> feasible;
       for (size_t raw = 0; raw < scratch.num_nodes(); ++raw) {
         const NodeId n(static_cast<uint32_t>(raw));
         if (scratch.node(n).available() && scratch.node(n).CanFit(req.demand)) {
           feasible.push_back(n);
+        } else {
+          ++candidates_pruned;
         }
       }
+      candidates_scored += static_cast<long long>(feasible.size());
       if (feasible.empty()) {
         failed = true;
         break;
@@ -61,6 +71,12 @@ PlacementPlan YarnScheduler::Place(const PlacementProblem& problem) {
   plan.latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+  if (obs::MetricsEnabled()) {
+    obs::Observe("sched.place_ms." + name(), plan.latency_ms);
+    obs::Count("sched.candidates_scored", candidates_scored);
+    obs::Count("sched.candidates_pruned", candidates_pruned);
+    obs::Count("sched.containers_placed", static_cast<long long>(plan.assignments.size()));
+  }
   AuditPlan(problem, plan, name());
   return plan;
 }

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace medea {
 
@@ -315,11 +317,40 @@ void Simulation::RunTaskTick() {
 }
 
 void Simulation::RunUntil(SimTimeMs t) {
+  // Stable counter name per event type (sim.events.<type>).
+  const auto event_counter_name = [](EventType type) -> const char* {
+    switch (type) {
+      case EventType::kSubmitLra:
+        return "sim.events.submit_lra";
+      case EventType::kSubmitTaskJob:
+        return "sim.events.submit_task_job";
+      case EventType::kRemoveLra:
+        return "sim.events.remove_lra";
+      case EventType::kLraCycle:
+        return "sim.events.lra_cycle";
+      case EventType::kMigrationCycle:
+        return "sim.events.migration_cycle";
+      case EventType::kMetricsSample:
+        return "sim.events.metrics_sample";
+      case EventType::kNodeDown:
+        return "sim.events.node_down";
+      case EventType::kNodeUp:
+        return "sim.events.node_up";
+      case EventType::kTaskTick:
+        return "sim.events.task_tick";
+      case EventType::kTaskComplete:
+        return "sim.events.task_complete";
+    }
+    return "sim.events.unknown";
+  };
   while (!events_.empty() && events_.top().time <= t) {
     const Event event = events_.top();
     events_.pop();
     MEDEA_CHECK(event.time >= now_);
     now_ = event.time;
+    obs::Count(event_counter_name(event.type));
+    const obs::ScopedSpan dispatch_span("sim.event_dispatch", "sim");
+    const obs::ScopedLatencyTimer dispatch_timer("sim.event_dispatch_ms");
     switch (event.type) {
       case EventType::kSubmitLra: {
         LraSpec& spec = lra_payloads_[static_cast<size_t>(event.payload_index)];

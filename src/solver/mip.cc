@@ -1,5 +1,7 @@
 #include "src/solver/mip.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/solver/incremental_lp.h"
 #include "src/solver/presolve.h"
 
@@ -80,10 +82,13 @@ class BranchAndBound {
         ++stats_->cold_restarts;
       }
     }
+    const double elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
     if (stats_ != nullptr) {
       ++stats_->lp_solves;
-      stats_->lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+      stats_->lp_time_seconds += elapsed_seconds;
     }
+    obs::Observe("solver.node_lp_ms", elapsed_seconds * 1000.0);
     return lp;
   }
 
@@ -421,7 +426,9 @@ void CertifyIncumbent(const Model& model, const MipOptions& options, const Solut
 
 }  // namespace
 
-Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats) {
+namespace {
+
+Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* stats) {
   if (stats != nullptr) {
     *stats = MipStats{};
   }
@@ -437,7 +444,7 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
         presolve_stats.bounds_tightened > 0) {
       MipOptions reduced_options = options;
       reduced_options.presolve = false;
-      return SolveMip(reduced, reduced_options, stats);
+      return SolveMipImpl(reduced, reduced_options, stats);
     }
   }
   if (model.num_integer_variables() == 0) {
@@ -461,6 +468,27 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
   BranchAndBound bnb(model, options, stats);
   Solution solution = bnb.Run();
   CertifyIncumbent(model, options, solution);
+  return solution;
+}
+
+}  // namespace
+
+Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats) {
+  obs::ScopedSpan span("solver.solve_mip", "solver");
+  obs::ScopedLatencyTimer timer("solver.solve_mip_ms");
+  // When metrics are on, collect MipStats even if the caller passed none so
+  // the aggregate counters below can be fed from a single source of truth.
+  MipStats local_stats;
+  MipStats* effective_stats =
+      stats != nullptr ? stats : (obs::MetricsEnabled() ? &local_stats : nullptr);
+  Solution solution = SolveMipImpl(model, options, effective_stats);
+  if (effective_stats != nullptr && obs::MetricsEnabled()) {
+    obs::Count("solver.nodes_explored", effective_stats->nodes_explored);
+    obs::Count("solver.lp_solves", effective_stats->lp_solves);
+    obs::Count("solver.pivots", effective_stats->total_pivots);
+    obs::Count("solver.warm_start_hits", effective_stats->warm_start_hits);
+    obs::Count("solver.cold_restarts", effective_stats->cold_restarts);
+  }
   return solution;
 }
 

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/two_scheduler_runtime.h"
 #include "src/schedulers/greedy.h"
 #include "src/verify/invariant_checker.h"
@@ -44,6 +46,13 @@ RuntimeConfig StressConfig() {
 }
 
 TEST(RuntimeStressTest, ConcurrentSubmissionsChurnAndFailuresKeepInvariants) {
+  // The obs registry and trace ring are hammered by the instrumented runtime
+  // threads throughout this test, so the TSan run covers the metrics layer
+  // against the exact workload that reports into it.
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Default().Reset();
+  obs::TraceRecorder::Default().Enable(1 << 12);
+
   verify::ScopedInvariantAudit audit(/*abort_on_violation=*/false);
   TwoSchedulerRuntime runtime(StressConfig(), MakeScheduler());
   runtime.Start();
@@ -136,6 +145,18 @@ TEST(RuntimeStressTest, ConcurrentSubmissionsChurnAndFailuresKeepInvariants) {
     const auto report = verify::InvariantChecker::CheckState(state, &manager);
     EXPECT_TRUE(report.ok()) << report.ToString();
   });
+
+  // The instrumented hot paths actually reported: both runtime threads left
+  // spans in the ring and the commit path counted every placement.
+  EXPECT_GT(obs::MetricsRegistry::Default()
+                .CounterNamed("runtime.plans_committed")
+                .value(),
+            0);
+  EXPECT_EQ(obs::MetricsRegistry::Default().CounterNamed("runtime.lras_placed").value(),
+            metrics.lras_placed);
+  EXPECT_FALSE(obs::TraceRecorder::Default().Snapshot().empty());
+  obs::EnableMetrics(false);
+  obs::TraceRecorder::Default().Disable();
 }
 
 TEST(RuntimeStressTest, BackpressureBlocksProducerUntilConsumerDrains) {

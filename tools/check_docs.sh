@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Documentation gate (run from anywhere; CI runs it on every push):
+#   1. Every relative markdown link in README.md and docs/*.md must resolve
+#      to an existing file (anchors and external URLs are ignored).
+#   2. docs/architecture.md must mention every top-level directory under
+#      src/ — adding a subsystem without documenting it fails CI.
+# Exits nonzero with one line per problem.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+failures=0
+fail() {
+  echo "check_docs: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. Relative links resolve ----------------------------------------------
+
+# Markdown files covered by the gate.
+doc_files=(README.md)
+while IFS= read -r f; do
+  doc_files+=("$f")
+done < <(find docs -name '*.md' | sort)
+
+for doc in "${doc_files[@]}"; do
+  doc_dir="$(dirname "$doc")"
+  # Inline links: [text](target). Reference definitions and autolinks with a
+  # scheme (http:, https:, mailto:) are external and skipped.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing #anchor, if any.
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$doc_dir/$path" ] && [ ! -e "$path" ]; then
+      fail "$doc: broken relative link -> $target"
+    fi
+  done < <(grep -oE '\]\([^)" ]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. architecture.md covers every src/ subsystem -------------------------
+
+arch=docs/architecture.md
+if [ ! -f "$arch" ]; then
+  fail "$arch is missing"
+else
+  for dir in src/*/; do
+    name="$(basename "$dir")"
+    if ! grep -q "src/$name" "$arch"; then
+      fail "$arch: does not mention src/$name"
+    fi
+  done
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_docs: $failures problem(s)" >&2
+  exit 1
+fi
+echo "check_docs: OK (${#doc_files[@]} files checked, all src/ dirs covered)"
