@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -90,12 +91,13 @@ struct RunResult {
   Solution solution;
 };
 
-RunResult RunOnce(const Model& m, bool incremental) {
+RunResult RunOnce(const Model& m, bool incremental, int threads = 1) {
   MipOptions options;
   options.time_limit_seconds = 0.0;  // run each search to completion
   options.relative_gap = 0.0;
   options.absolute_gap = 1e-9;
   options.use_incremental_lp = incremental;
+  options.num_threads = threads;
   RunResult r;
   const auto start = std::chrono::steady_clock::now();
   r.solution = SolveMip(m, options, &r.stats);
@@ -123,6 +125,82 @@ void EmitRun(bench::JsonRecords& out, const std::string& label, uint64_t seed,
       .Field("warm_start_hits", r.stats.warm_start_hits)
       .Field("cold_restarts", r.stats.cold_restarts)
       .End();
+}
+
+// ---- Thread sweep: parallel branch and bound ------------------------------
+//
+// For every model size, runs the warm-started search at 1/2/4/8 worker
+// threads (seeds summed, searches run to completion with exact gaps, so all
+// configurations must certify the same objective) and records wall time,
+// nodes explored, steals and the speedup over the serial run. The
+// "hardware_threads" env record lets tools/check_bench.py skip the speedup
+// floor on machines with fewer cores than workers (a 4-thread search cannot
+// beat serial on a 1-core container).
+int RunThreadSweep(bench::JsonRecords& out) {
+  bench::PrintHeader("Solver micro: parallel branch and bound thread sweep",
+                     "identical certified objectives at every thread count");
+  bench::PrintRow({"model", "threads", "wall ms", "nodes", "steals", "speedup", "objective"});
+
+  const std::vector<std::pair<int, int>> kSizes = {{10, 5}, {12, 6}, {16, 8}, {20, 10}};
+  const std::vector<uint64_t> kSeeds = {3, 5, 7, 11, 13};
+  const std::vector<int> kThreads = {1, 2, 4, 8};
+  out.Begin()
+      .Field("kind", "env")
+      .Field("hardware_threads",
+             static_cast<long long>(std::thread::hardware_concurrency()))
+      .End();
+
+  int failures = 0;
+  for (const auto& [containers, nodes] : kSizes) {
+    const std::string label = std::to_string(containers) + "x" + std::to_string(nodes);
+    std::vector<double> serial_objective(kSeeds.size(), 0.0);
+    double serial_wall = 0.0;
+    int model_vars = 0;
+    for (const int threads : kThreads) {
+      double wall = 0.0;
+      long long nodes_explored = 0;
+      long long steals = 0;
+      bool objectives_match = true;
+      for (size_t s = 0; s < kSeeds.size(); ++s) {
+        const Model m = PlacementModel(containers, nodes, kSeeds[s]);
+        model_vars = m.num_variables();
+        const RunResult r = RunOnce(m, /*incremental=*/true, threads);
+        wall += r.wall_seconds;
+        nodes_explored += r.stats.nodes_explored;
+        steals += r.stats.steals;
+        if (threads == 1) {
+          serial_objective[s] = r.solution.objective;
+        }
+        objectives_match = objectives_match &&
+                           r.solution.status == SolveStatus::kOptimal &&
+                           std::fabs(r.solution.objective - serial_objective[s]) < 1e-6;
+      }
+      if (threads == 1) {
+        serial_wall = wall;
+      }
+      const double speedup = wall > 0.0 ? serial_wall / wall : 0.0;
+      out.Begin()
+          .Field("kind", "threads")
+          .Field("model", label)
+          .Field("vars", model_vars)
+          .Field("threads", static_cast<long long>(threads))
+          .Field("seeds", static_cast<long long>(kSeeds.size()))
+          .Field("wall_seconds", wall)
+          .Field("nodes_explored", nodes_explored)
+          .Field("steals", steals)
+          .Field("speedup_vs_serial", speedup)
+          .Field("objectives_match", objectives_match)
+          .End();
+      bench::PrintRow({label, std::to_string(threads), bench::Fmt(wall * 1e3),
+                       std::to_string(nodes_explored), std::to_string(steals),
+                       bench::Fmt(speedup) + "x",
+                       objectives_match ? "match" : "MISMATCH"});
+      if (!objectives_match) {
+        ++failures;
+      }
+    }
+  }
+  return failures;
 }
 
 int RunComparison() {
@@ -216,6 +294,7 @@ int RunComparison() {
       .End();
   bench::PrintRow({"TOTAL", "ratio", bench::Fmt(total_wall_ratio) + "x", "", "",
                    bench::Fmt(total_pivot_ratio) + "x", "", ""});
+  failures += RunThreadSweep(out);
   if (!out.WriteFile("BENCH_solver_micro.json")) {
     ++failures;
   }

@@ -9,7 +9,12 @@
 //                   [--interval MS] [--minutes M] [--migration MS]
 //                   [--conflict resubmit|kill|reserve] [--seed S]
 //                   [--runtime] [--runtime-wall-ms MS]
+//                   [--solver-threads N]
 //                   [--metrics-out FILE] [--trace-out FILE]
+//
+// --solver-threads N (default 1) runs each ILP scheduling cycle's
+// branch-and-bound with N worker threads (parallel tree search with work
+// stealing; see docs/solver.md). Only the medea-ilp scheduler uses it.
 //
 // With --runtime the scenario is replayed through the real concurrent
 // TwoSchedulerRuntime (src/runtime/) — actual scheduler + heartbeat
@@ -68,6 +73,9 @@ struct Options {
   // simulated horizon into ~`runtime_wall_ms` of wall time.
   bool runtime_mode = false;
   SimTimeMs runtime_wall_ms = 3000;
+  // Branch-and-bound worker threads for the ILP scheduler's per-cycle solve
+  // (SchedulerConfig::solver_threads). Must be >= 1.
+  int solver_threads = 1;
   // Observability sinks: enabling either turns the src/obs layer on.
   std::string metrics_out;
   std::string trace_out;
@@ -77,6 +85,7 @@ std::unique_ptr<LraScheduler> MakeLraScheduler(const Options& options) {
   SchedulerConfig config;
   config.node_pool_size = static_cast<int>(std::min<size_t>(options.nodes, 96));
   config.ilp_time_limit_seconds = 1.0;
+  config.solver_threads = options.solver_threads;
   config.seed = options.seed;
   if (options.scheduler == "medea-ilp") {
     return std::make_unique<MedeaIlpScheduler>(config);
@@ -141,6 +150,15 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.runtime_mode = true;
     } else if (flag == "--runtime-wall-ms") {
       options.runtime_wall_ms = std::atol(next());
+    } else if (flag == "--solver-threads") {
+      options.solver_threads = std::atoi(next());
+      if (options.solver_threads < 1) {
+        std::fprintf(stderr,
+                     "--solver-threads must be a positive integer, got '%s' "
+                     "(1 = serial branch and bound)\n",
+                     argv[i]);
+        std::exit(2);
+      }
     } else if (flag == "--metrics-out") {
       options.metrics_out = next();
     } else if (flag == "--trace-out") {
@@ -313,6 +331,7 @@ int main(int argc, char** argv) {
                 "          [--gridmix-frac F] [--interval MS] [--minutes M]\n"
                 "          [--migration MS] [--conflict resubmit|kill|reserve] [--seed S]\n"
                 "          [--runtime] [--runtime-wall-ms MS]\n"
+                "          [--solver-threads N]\n"
                 "          [--metrics-out FILE] [--trace-out FILE]\n"
                 "       %s --scenario FILE\n",
                 argv[0], argv[0]);

@@ -1,0 +1,91 @@
+// Copyright (c) Medea reproduction authors.
+// Annotated work-stealing deque for owner-dives / thief-steals scheduling.
+//
+// One WorkStealingDeque per worker: the owner pushes and pops at the TOP
+// (LIFO — depth-first diving, maximum data-structure and warm-start reuse),
+// while idle workers steal from the BOTTOM (FIFO — the oldest entry, which
+// in a branch-and-bound dive is the shallowest node and therefore the
+// biggest stolen subtree). Stealing uses TryLock so a thief scanning many
+// victims never convoys behind a busy owner; the owner's own operations
+// take the lock unconditionally.
+//
+// Same annotation discipline as the rest of src/common/sync: the deque is
+// MEDEA_GUARDED_BY its mutex, so lock misuse is a compile error on Clang
+// (-Werror=thread-safety) and the TSan CI leg covers the dynamic side.
+
+#ifndef SRC_COMMON_SYNC_WORK_QUEUE_H_
+#define SRC_COMMON_SYNC_WORK_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "src/common/sync/mutex.h"
+
+namespace medea::sync {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  WorkStealingDeque() = default;
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner: push onto the top of the stack.
+  void PushTop(T item) MEDEA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    items_.push_back(std::move(item));
+  }
+
+  // Owner: pop the most recently pushed item (LIFO).
+  bool PopTop(T* out) MEDEA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.back());
+    items_.pop_back();
+    return true;
+  }
+
+  // Owner: pop the oldest item (e.g. to offload it to a global queue).
+  bool PopBottom(T* out) MEDEA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Thief: try to take the oldest item. Returns false when the deque is
+  // empty OR momentarily locked by its owner — thieves just move on to the
+  // next victim instead of blocking.
+  bool TrySteal(T* out) MEDEA_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) {
+      return false;
+    }
+    bool stolen = false;
+    if (!items_.empty()) {
+      *out = std::move(items_.front());
+      items_.pop_front();
+      stolen = true;
+    }
+    mu_.Unlock();
+    return stolen;
+  }
+
+  size_t Size() const MEDEA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::deque<T> items_ MEDEA_GUARDED_BY(mu_);
+};
+
+}  // namespace medea::sync
+
+#endif  // SRC_COMMON_SYNC_WORK_QUEUE_H_

@@ -611,6 +611,10 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
 
   solver::MipOptions options;
   options.time_limit_seconds = config_.ilp_time_limit_seconds;
+  // Parallel branch and bound (SchedulerConfig::solver_threads /
+  // --solver-threads): same certified objective, lower wall-clock per cycle
+  // on multi-core hosts.
+  options.num_threads = config_.solver_threads;
   // Under an installed audit hook, have the solver re-certify any incumbent
   // it returns against the model (bounds, rows, integrality).
   options.certify = GetPlacementAuditor() != nullptr;

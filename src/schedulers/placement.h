@@ -161,6 +161,11 @@ struct SchedulerConfig {
   Resource rmin = Resource(2048, 1);
   // ILP solve budget per cycle.
   double ilp_time_limit_seconds = 2.0;
+  // Branch-and-bound worker threads for the cycle ILP
+  // (MipOptions::num_threads). 1 = serial; >1 explores the tree with a
+  // work-stealing worker pool — same certified objective, lower wall-clock
+  // on multi-core hosts. Exposed on the CLI as --solver-threads.
+  int solver_threads = 1;
   // Seed the branch-and-bound with the Serial greedy's plan (strongly
   // recommended; placement models are too symmetric to dive cold). Exposed
   // for the warm-start ablation.

@@ -1,0 +1,217 @@
+// Copyright (c) Medea reproduction authors.
+// Internals shared by the serial (mip.cc) and parallel (mip_parallel.cc)
+// branch-and-bound engines: the shared atomic search budget, the
+// deterministic branching perturbation, and the branching-variable rule.
+// Not installed; solver-internal only.
+
+#ifndef SRC_SOLVER_BNB_INTERNAL_H_
+#define SRC_SOLVER_BNB_INTERNAL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/solver/mip.h"
+#include "src/solver/model.h"
+#include "src/solver/simplex.h"
+
+namespace medea::solver::internal {
+
+using Clock = std::chrono::steady_clock;
+
+// Fraction of the remaining global budget a single node LP may consume.
+// Deriving the per-LP cap from the remaining budget *at dispatch time* —
+// instead of handing every LP the entire remainder — keeps one degenerate
+// early LP from starving every later node of wall-clock (the search carries
+// on with the other 75% after cutting the offender off).
+inline constexpr double kNodeLpBudgetShare = 0.25;
+
+// Wall-clock deadline + node-cap accounting for one SolveMip call. A single
+// instance is shared by every worker of a parallel search (and used as-is by
+// the serial search): nodes are claimed from one atomic counter, and the
+// hit_time_limit / hit_node_limit verdicts latch exactly once no matter how
+// many workers observe exhaustion concurrently.
+class SearchBudget {
+ public:
+  explicit SearchBudget(const MipOptions& options)
+      : deadline_set_(options.time_limit_seconds > 0),
+        user_lp_limit_set_(options.lp.time_limit_seconds > 0),
+        max_nodes_(options.max_nodes > 0
+                       ? static_cast<long long>(options.max_nodes)
+                       : std::numeric_limits<long long>::max()) {
+    if (deadline_set_) {
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(options.time_limit_seconds));
+    }
+  }
+
+  bool TimeUp() const { return deadline_set_ && Clock::now() >= deadline_; }
+
+  // Claims one search node against the shared cap. Returns false when the
+  // cap is exhausted; the first failing claim latches hit_node_limit.
+  bool ClaimNode() {
+    if (nodes_claimed_.fetch_add(1, std::memory_order_relaxed) >= max_nodes_) {
+      hit_node_limit_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  // Latches hit_time_limit if the global deadline has actually passed (an LP
+  // cut off by its fair-share cap is NOT a global timeout). Returns whether
+  // the deadline has passed.
+  bool LatchTimeLimitIfExpired() {
+    if (!TimeUp()) {
+      return false;
+    }
+    hit_time_limit_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  // A node relaxation came back kTimeLimit. Latches hit_time_limit when the
+  // global deadline has passed, and also when the USER'S OWN LpOptions time
+  // limit was in force (they asked for that cutoff, so the solve must report
+  // it). An expiry caused only by the fair-share cap is neither: the search
+  // carries on with the remaining budget and the node counts as an
+  // lp_failure. Returns whether the global deadline has passed — only then
+  // should the whole search stop.
+  bool OnNodeLpTimeLimit() {
+    const bool deadline_passed = LatchTimeLimitIfExpired();
+    if (user_lp_limit_set_) {
+      hit_time_limit_.store(true, std::memory_order_relaxed);
+    }
+    return deadline_passed;
+  }
+
+  // LP options for one node relaxation: the time budget is clipped to a fair
+  // share (kNodeLpBudgetShare) of the remaining global budget at dispatch
+  // time. An already-expired budget maps to a ~zero (not zero: zero means
+  // unlimited) LP deadline, so post-deadline nodes fail their first deadline
+  // check instead of each getting a fresh grace period.
+  LpOptions NodeLpOptions(const LpOptions& base) const {
+    LpOptions lp = base;
+    if (deadline_set_) {
+      const double remaining =
+          std::chrono::duration<double>(deadline_ - Clock::now()).count();
+      const double capped = std::max(1e-9, remaining * kNodeLpBudgetShare);
+      lp.time_limit_seconds =
+          lp.time_limit_seconds > 0 ? std::min(lp.time_limit_seconds, capped) : capped;
+    }
+    return lp;
+  }
+
+  bool hit_time_limit() const { return hit_time_limit_.load(std::memory_order_relaxed); }
+  bool hit_node_limit() const { return hit_node_limit_.load(std::memory_order_relaxed); }
+
+ private:
+  const bool deadline_set_;
+  const bool user_lp_limit_set_;
+  const long long max_nodes_;
+  Clock::time_point deadline_;
+  std::atomic<long long> nodes_claimed_{0};
+  std::atomic<bool> hit_time_limit_{false};
+  std::atomic<bool> hit_node_limit_{false};
+};
+
+// The deterministic branching perturbation (MipOptions::branching_perturbation
+// and docs/solver.md): makes the node LP optimum unique so branching no
+// longer depends on which vertex of an optimal face a node LP solver happens
+// to return. Applied once per search to the shared root model; every worker
+// of a parallel search copies the already-perturbed model, so all node
+// solvers — across workers and across warm/cold configurations — land on the
+// same vertices. `slack` bounds |perturbed - true| objective over the whole
+// variable box; adding it to every node bound keeps pruning sound.
+struct Perturbation {
+  bool active = false;
+  std::vector<double> original_objective;
+  double slack = 0.0;
+
+  // Perturbs `model` in place (integer variables only, deterministic
+  // index-keyed deltas in the improving direction, pairwise distinct via
+  // golden-ratio hashing) and records the original coefficients.
+  void Apply(Model& model, const MipOptions& options) {
+    if (options.branching_perturbation <= 0.0 || model.num_integer_variables() == 0) {
+      return;
+    }
+    double cmax = 0.0;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      cmax = std::max(cmax, std::fabs(model.column(j).objective));
+    }
+    const double base = options.branching_perturbation * std::max(1.0, cmax);
+    const double sign = model.maximize() ? 1.0 : -1.0;
+    original_objective.resize(static_cast<size_t>(model.num_variables()));
+    for (int j = 0; j < model.num_variables(); ++j) {
+      const auto& col = model.column(j);
+      original_objective[static_cast<size_t>(j)] = col.objective;
+      if (col.type == VarType::kContinuous || !std::isfinite(col.lower) ||
+          !std::isfinite(col.upper)) {
+        continue;  // unbounded columns would make the slack term infinite
+      }
+      // Distinct deterministic value in (base/4, base], keyed by index only —
+      // identical for every solver configuration and worker count.
+      const double frac = std::fmod(static_cast<double>(j + 1) * 0.6180339887498949, 1.0);
+      const double delta = base * (0.25 + 0.75 * frac);
+      model.SetObjectiveCoefficient(j, col.objective + sign * delta);
+      slack += delta * std::max(std::fabs(col.lower), std::fabs(col.upper));
+    }
+    active = slack > 0.0;
+  }
+
+  // Objective of `x` under the ORIGINAL (unperturbed) coefficients —
+  // incumbents are scored and reported in the caller's objective.
+  double TrueObjective(const Model& model, const std::vector<double>& x) const {
+    if (!active) {
+      return model.Objective(x);
+    }
+    double objective = 0.0;
+    for (size_t j = 0; j < original_objective.size(); ++j) {
+      objective += original_objective[j] * x[j];
+    }
+    return objective;
+  }
+};
+
+// Finds the integer variable whose LP value is farthest from integral;
+// -1 if the point is integral. Two passes: find the maximum fractionality,
+// then take the LOWEST index within a tolerance of it. A single
+// `frac > best` scan would let last-bit evaluation noise between node LP
+// solvers pick different variables when two fractionalities are
+// (mathematically) equal, and trees would diverge from that node on.
+inline int MostFractionalVar(const Model& model, const std::vector<double>& x,
+                             double integrality_tol) {
+  double best_frac = integrality_tol;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = x[static_cast<size_t>(j)];
+    best_frac = std::max(best_frac, std::fabs(v - std::round(v)));
+  }
+  if (best_frac <= integrality_tol) {
+    return -1;
+  }
+  constexpr double kTieTol = 1e-9;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = x[static_cast<size_t>(j)];
+    if (std::fabs(v - std::round(v)) >= best_frac - kTieTol) {
+      return j;
+    }
+  }
+  return -1;  // unreachable
+}
+
+// Parallel branch and bound (mip_parallel.cc) over a shared work-stealing
+// frontier. Preconditions (enforced by the dispatcher in mip.cc): the model
+// has integer variables, options.num_threads >= 2 and !options.deterministic.
+// A complete run returns the same certified objective as the serial search.
+Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStats* stats);
+
+}  // namespace medea::solver::internal
+
+#endif  // SRC_SOLVER_BNB_INTERNAL_H_

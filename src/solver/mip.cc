@@ -1,7 +1,9 @@
 #include "src/solver/mip.h"
 
+#include "src/common/result.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/solver/bnb_internal.h"
 #include "src/solver/incremental_lp.h"
 #include "src/solver/presolve.h"
 
@@ -16,39 +18,28 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Worker-thread cap for the parallel search; see MipOptions::num_threads.
+constexpr int kMaxSolverThreads = 64;
+
+// Effective worker count: deterministic mode forfeits parallelism for a
+// reproducible (serial) tree; see MipOptions::deterministic.
+int EffectiveThreads(const MipOptions& options) {
+  if (options.deterministic) {
+    return 1;
+  }
+  return std::clamp(options.num_threads, 1, kMaxSolverThreads);
+}
+
 class BranchAndBound {
  public:
   BranchAndBound(const Model& model, const MipOptions& options, MipStats* stats)
-      : model_(model), opts_(options), stats_(stats), deadline_set_(options.time_limit_seconds > 0) {
-    if (deadline_set_) {
-      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                     std::chrono::duration<double>(options.time_limit_seconds));
-    }
-    ApplyBranchingPerturbation();
+      : model_(model), opts_(options), stats_(stats), budget_(options) {
+    perturb_.Apply(model_, opts_);
   }
 
   Solution Run();
 
  private:
-  bool TimeUp() const { return deadline_set_ && Clock::now() >= deadline_; }
-
-  // LP options with the time budget clipped to the remaining MIP budget, so
-  // a single degenerate LP cannot blow through the solver deadline. An
-  // already-expired budget maps to a ~zero (not zero: zero means unlimited)
-  // LP deadline, so post-deadline nodes fail their first deadline check
-  // instead of each getting a fresh grace period.
-  LpOptions BudgetedLpOptions() const {
-    LpOptions lp = opts_.lp;
-    if (deadline_set_) {
-      const double remaining =
-          std::chrono::duration<double>(deadline_ - Clock::now()).count();
-      const double capped = std::max(1e-9, remaining);
-      lp.time_limit_seconds =
-          lp.time_limit_seconds > 0 ? std::min(lp.time_limit_seconds, capped) : capped;
-    }
-    return lp;
-  }
-
   // Applies a branching bound change to the model copy and, when active, the
   // incremental solver (which holds its own copy and basis).
   void SetVarBounds(VarIndex j, double lower, double upper) {
@@ -64,7 +55,7 @@ class BranchAndBound {
     const auto start = Clock::now();
     Solution lp;
     if (inc_ != nullptr) {
-      lp = inc_->Solve(BudgetedLpOptions());
+      lp = inc_->Solve(budget_.NodeLpOptions(opts_.lp));
       if (stats_ != nullptr) {
         const auto& info = inc_->last_info();
         stats_->total_pivots += info.pivots;
@@ -76,7 +67,7 @@ class BranchAndBound {
       }
     } else {
       LpStats lp_stats;
-      lp = SolveLp(model_, BudgetedLpOptions(), &lp_stats);
+      lp = SolveLp(model_, budget_.NodeLpOptions(opts_.lp), &lp_stats);
       if (stats_ != nullptr) {
         stats_->total_pivots += lp_stats.iterations;
         ++stats_->cold_restarts;
@@ -95,60 +86,11 @@ class BranchAndBound {
   // Direction-normalized score: larger is better.
   double Score(double objective) const { return model_.maximize() ? objective : -objective; }
 
-  // Makes the node LP optimum unique so that branching no longer depends on
-  // which vertex of an optimal face the LP solver happens to return — the
-  // warm-started (dual simplex) and cold (dense) node solvers pick different
-  // vertices on the degenerate placement models, which used to send them
-  // down wildly different trees (see MipOptions::branching_perturbation and
-  // docs/solver.md). Each integer variable's objective coefficient gets a
-  // deterministic, index-keyed delta in the improving direction; the deltas
-  // are pairwise distinct (golden-ratio hashing), so no two vertices of the
-  // integer hull tie in the perturbed objective. `perturb_slack_` bounds
-  // |perturbed - true| over the whole box, keeping pruning sound.
-  void ApplyBranchingPerturbation() {
-    if (opts_.branching_perturbation <= 0.0 || model_.num_integer_variables() == 0) {
-      return;
-    }
-    double cmax = 0.0;
-    for (int j = 0; j < model_.num_variables(); ++j) {
-      cmax = std::max(cmax, std::fabs(model_.column(j).objective));
-    }
-    const double base = opts_.branching_perturbation * std::max(1.0, cmax);
-    const double sign = model_.maximize() ? 1.0 : -1.0;
-    original_objective_.resize(static_cast<size_t>(model_.num_variables()));
-    for (int j = 0; j < model_.num_variables(); ++j) {
-      const auto& col = model_.column(j);
-      original_objective_[static_cast<size_t>(j)] = col.objective;
-      if (col.type == VarType::kContinuous || !std::isfinite(col.lower) ||
-          !std::isfinite(col.upper)) {
-        continue;  // unbounded columns would make the slack term infinite
-      }
-      // Distinct deterministic value in (base/4, base], keyed by index only —
-      // identical for every solver configuration.
-      const double frac = std::fmod(static_cast<double>(j + 1) * 0.6180339887498949, 1.0);
-      const double delta = base * (0.25 + 0.75 * frac);
-      model_.SetObjectiveCoefficient(j, col.objective + sign * delta);
-      perturb_slack_ += delta * std::max(std::fabs(col.lower), std::fabs(col.upper));
-    }
-    perturbed_ = perturb_slack_ > 0.0;
-  }
-
-  // Objective of `x` under the ORIGINAL (unperturbed) coefficients —
-  // incumbents are scored and reported in the caller's objective.
-  double TrueObjective(const std::vector<double>& x) const {
-    if (!perturbed_) {
-      return model_.Objective(x);
-    }
-    double objective = 0.0;
-    for (size_t j = 0; j < original_objective_.size(); ++j) {
-      objective += original_objective_[j] * x[j];
-    }
-    return objective;
-  }
-
   // Finds the integer variable whose LP value is farthest from integral.
   // Returns -1 if the point is integral.
-  int MostFractional(const std::vector<double>& x) const;
+  int MostFractional(const std::vector<double>& x) const {
+    return internal::MostFractionalVar(model_, x, opts_.integrality_tol);
+  }
 
   // Tries rounding `x` to the nearest integers; installs as incumbent if
   // feasible.
@@ -168,8 +110,9 @@ class BranchAndBound {
   std::unique_ptr<IncrementalLpSolver> inc_;
   const MipOptions& opts_;
   MipStats* stats_;
-  bool deadline_set_ = false;
-  Clock::time_point deadline_;
+  // Wall-clock / node-cap accounting (shared-atomic class, trivially used
+  // single-threaded here; the hit_* verdicts latch exactly once).
+  internal::SearchBudget budget_;
 
   bool have_incumbent_ = false;
   std::vector<double> best_x_;
@@ -183,43 +126,11 @@ class BranchAndBound {
   bool have_root_bound_ = false;
   double root_bound_score_ = kInfinity;
   double pruned_bound_max_ = -kInfinity;
-  // Branching-perturbation state (ApplyBranchingPerturbation): the original
+  // Branching-perturbation state (internal::Perturbation): original
   // objective coefficients, and a bound on |perturbed - true| objective over
   // the variable box, added to every node bound to keep pruning sound.
-  bool perturbed_ = false;
-  std::vector<double> original_objective_;
-  double perturb_slack_ = 0.0;
+  internal::Perturbation perturb_;
 };
-
-int BranchAndBound::MostFractional(const std::vector<double>& x) const {
-  // Two passes: find the maximum fractionality, then take the LOWEST index
-  // within a tolerance of it. A single `frac > best` scan would let last-bit
-  // evaluation noise between the warm-started and dense node solvers pick
-  // different variables when two fractionalities are (mathematically) equal,
-  // and the trees would diverge from that node on.
-  double best_frac = opts_.integrality_tol;
-  for (int j = 0; j < model_.num_variables(); ++j) {
-    if (model_.column(j).type == VarType::kContinuous) {
-      continue;
-    }
-    const double v = x[static_cast<size_t>(j)];
-    best_frac = std::max(best_frac, std::fabs(v - std::round(v)));
-  }
-  if (best_frac <= opts_.integrality_tol) {
-    return -1;
-  }
-  constexpr double kTieTol = 1e-9;
-  for (int j = 0; j < model_.num_variables(); ++j) {
-    if (model_.column(j).type == VarType::kContinuous) {
-      continue;
-    }
-    const double v = x[static_cast<size_t>(j)];
-    if (std::fabs(v - std::round(v)) >= best_frac - kTieTol) {
-      return j;
-    }
-  }
-  return -1;  // unreachable
-}
 
 void BranchAndBound::TryRounding(const std::vector<double>& x) {
   // Round-and-repair: fix every integer variable at its rounded LP value and
@@ -241,7 +152,7 @@ void BranchAndBound::TryRounding(const std::vector<double>& x) {
   }
   const auto start = Clock::now();
   LpStats lp_stats;
-  const Solution repaired = SolveLp(model_, BudgetedLpOptions(), &lp_stats);
+  const Solution repaired = SolveLp(model_, budget_.NodeLpOptions(opts_.lp), &lp_stats);
   for (int j = 0; j < model_.num_variables(); ++j) {
     model_.SetBounds(j, saved[static_cast<size_t>(j)].first,
                      saved[static_cast<size_t>(j)].second);
@@ -253,7 +164,7 @@ void BranchAndBound::TryRounding(const std::vector<double>& x) {
   }
   if (repaired.status == SolveStatus::kOptimal &&
       model_.IsFeasible(repaired.values, 1e-5)) {
-    MaybeUpdateIncumbent(repaired.values, TrueObjective(repaired.values));
+    MaybeUpdateIncumbent(repaired.values, perturb_.TrueObjective(model_, repaired.values));
   }
 }
 
@@ -267,18 +178,12 @@ void BranchAndBound::MaybeUpdateIncumbent(const std::vector<double>& x, double o
 }
 
 void BranchAndBound::Dfs(int depth) {
-  if (TimeUp()) {
+  if (budget_.LatchTimeLimitIfExpired()) {
     search_complete_ = false;
-    if (stats_ != nullptr) {
-      stats_->hit_time_limit = true;
-    }
     return;
   }
-  if (opts_.max_nodes > 0 && nodes_ >= opts_.max_nodes) {
+  if (!budget_.ClaimNode()) {
     search_complete_ = false;
-    if (stats_ != nullptr) {
-      stats_->hit_node_limit = true;
-    }
     return;
   }
   ++nodes_;
@@ -291,21 +196,23 @@ void BranchAndBound::Dfs(int depth) {
     return;
   }
   if (lp.status != SolveStatus::kOptimal) {
-    // No usable verdict (unbounded, iteration limit, or the LP's clipped
+    // No usable verdict (unbounded, iteration limit, or the LP's fair-share
     // time budget expired — lp.values may be empty). Treat as unexplorable;
-    // keep the search sound by marking incomplete.
+    // keep the search sound by marking incomplete. An LP cut off by its
+    // fair-share cap is only a *global* timeout if the deadline has really
+    // passed — otherwise the search carries on with the remaining budget.
     search_complete_ = false;
     if (stats_ != nullptr) {
       ++stats_->lp_failures;
-      if (lp.status == SolveStatus::kTimeLimit) {
-        stats_->hit_time_limit = true;
-      }
+    }
+    if (lp.status == SolveStatus::kTimeLimit) {
+      budget_.OnNodeLpTimeLimit();
     }
     return;
   }
   // Node bound in the TRUE objective: the perturbed LP bound can understate
-  // or overstate the true score by at most perturb_slack_.
-  const double bound = Score(lp.objective) + perturb_slack_;
+  // or overstate the true score by at most perturb_.slack.
+  const double bound = Score(lp.objective) + perturb_.slack;
   if (depth == 0) {
     have_root_bound_ = true;
     root_bound_score_ = bound;
@@ -319,7 +226,7 @@ void BranchAndBound::Dfs(int depth) {
 
   const int branch_var = MostFractional(lp.values);
   if (branch_var < 0) {
-    MaybeUpdateIncumbent(lp.values, TrueObjective(lp.values));
+    MaybeUpdateIncumbent(lp.values, perturb_.TrueObjective(model_, lp.values));
     return;
   }
   // Round-and-repair heuristic: at the root and periodically during the
@@ -358,7 +265,7 @@ void BranchAndBound::Dfs(int depth) {
     }
     Dfs(depth + 1);
     SetVarBounds(branch_var, old_lower, old_upper);
-    if (TimeUp()) {
+    if (budget_.LatchTimeLimitIfExpired()) {
       search_complete_ = false;
       return;
     }
@@ -377,11 +284,13 @@ Solution BranchAndBound::Run() {
   if (have_incumbent_) {
     solution.status = search_complete_ ? SolveStatus::kOptimal : SolveStatus::kFeasible;
     solution.values = best_x_;
-    solution.objective = TrueObjective(best_x_);
+    solution.objective = perturb_.TrueObjective(model_, best_x_);
   } else {
     solution.status = search_complete_ ? SolveStatus::kInfeasible : SolveStatus::kTimeLimit;
   }
   if (stats_ != nullptr) {
+    stats_->hit_time_limit = budget_.hit_time_limit();
+    stats_->hit_node_limit = budget_.hit_node_limit();
     // A complete search proves the optimum is at most the best explored or
     // gap-pruned score; a budget-limited one can only claim the root bound.
     double bound_score = kInfinity;
@@ -404,7 +313,8 @@ Solution BranchAndBound::Run() {
 // MipOptions::certify: re-verify a returned incumbent against the model —
 // primal feasibility of every row/bound plus integrality of every integer
 // variable — and abort the process on mismatch (a wrong incumbent means the
-// search itself is broken; nothing downstream can be trusted).
+// search itself is broken; nothing downstream can be trusted). Runs on the
+// final incumbent of serial and parallel searches alike.
 void CertifyIncumbent(const Model& model, const MipOptions& options, const Solution& solution) {
   if (!options.certify || !solution.HasSolution()) {
     return;
@@ -423,10 +333,6 @@ void CertifyIncumbent(const Model& model, const MipOptions& options, const Solut
     MEDEA_CHECK(std::fabs(v - std::round(v)) <= 1e-5);
   }
 }
-
-}  // namespace
-
-namespace {
 
 Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* stats) {
   if (stats != nullptr) {
@@ -465,8 +371,16 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
     CertifyIncumbent(model, options, solution);
     return solution;
   }
-  BranchAndBound bnb(model, options, stats);
-  Solution solution = bnb.Run();
+  const int threads = EffectiveThreads(options);
+  Solution solution;
+  if (threads > 1) {
+    MipOptions parallel_options = options;
+    parallel_options.num_threads = threads;
+    solution = internal::SolveMipParallel(model, parallel_options, stats);
+  } else {
+    BranchAndBound bnb(model, options, stats);
+    solution = bnb.Run();
+  }
   CertifyIncumbent(model, options, solution);
   return solution;
 }
@@ -488,6 +402,14 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
     obs::Count("solver.pivots", effective_stats->total_pivots);
     obs::Count("solver.warm_start_hits", effective_stats->warm_start_hits);
     obs::Count("solver.cold_restarts", effective_stats->cold_restarts);
+    if (effective_stats->threads_used > 1) {
+      obs::SetGauge("solver.threads", effective_stats->threads_used);
+      obs::Count("solver.worker.steals", effective_stats->steals);
+      for (const MipStats::WorkerStats& w : effective_stats->per_worker) {
+        obs::Observe("solver.worker.nodes",
+                     static_cast<double>(w.nodes_explored));
+      }
+    }
   }
   return solution;
 }

@@ -1,0 +1,657 @@
+// Copyright (c) Medea reproduction authors.
+// Parallel branch and bound: a pool of workers (MipOptions::num_threads)
+// explores the tree over a shared frontier.
+//
+// Frontier design (docs/solver.md has the long version):
+//   - Each worker owns a LIFO diving stack (sync::WorkStealingDeque). Diving
+//     — always expanding the node you just created — is what makes the
+//     incremental LP warm start pay off, so a worker keeps its own children
+//     and steals only when its stack runs dry.
+//   - A global best-bound heap seeds idle workers with the most promising
+//     open subtree. Workers feed it lazily: the "far" branching child is
+//     offered to the heap only while the heap is hungry (fewer entries than
+//     workers); otherwise it stays on the local stack. This bounds heap
+//     contention while guaranteeing that a starving worker finds work that
+//     is worth diving into.
+//   - Thieves take the OLDEST (shallowest) entry of a victim's stack — the
+//     largest stolen subtree — and use TryLock so scanning victims never
+//     blocks behind a busy owner.
+//
+// Shared state:
+//   - The incumbent lives under the annotated Mutex; the hot pruning check
+//     reads a relaxed std::atomic<double> snapshot of its score, so pruning
+//     never takes a lock.
+//   - Node and wall-clock budgets are one shared internal::SearchBudget:
+//     nodes are claimed from a single atomic counter and hit_time_limit /
+//     hit_node_limit latch exactly once no matter which worker trips them.
+//   - Tree nodes carry their bound-change path as a shared_ptr chain
+//     (PathLink); a worker moving between nodes rewinds its model to the
+//     common prefix and replays the suffix, preserving most of the
+//     incremental solver's basis across moves.
+//
+// Termination: `outstanding_` counts created-but-unfinished nodes. It is
+// incremented before a child is published and decremented exactly once when
+// a node finishes; the worker that drops it to zero wakes everyone up.
+// Budget exhaustion sets `stopped_` instead, abandoning open nodes (the
+// search is then incomplete, exactly like the serial cutoff).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sync/mutex.h"
+#include "src/common/sync/thread.h"
+#include "src/common/sync/work_queue.h"
+#include "src/obs/trace.h"
+#include "src/solver/bnb_internal.h"
+#include "src/solver/incremental_lp.h"
+#include "src/solver/mip.h"
+
+namespace medea::solver::internal {
+namespace {
+
+constexpr int kMaxWorkers = 64;
+constexpr auto kIdleWait = std::chrono::microseconds(500);
+
+// One branching bound change. parent_* is the variable's box before the
+// change, so a worker can undo the step when rewinding its model.
+struct BoundStep {
+  int var = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+  double parent_lower = 0.0;
+  double parent_upper = 0.0;
+};
+
+struct PathLink;
+using PathPtr = std::shared_ptr<const PathLink>;
+
+// Immutable parent-chain encoding of a node's bound changes from the root.
+// Nodes share prefixes structurally, so publishing a child costs one
+// allocation regardless of depth, and chains free themselves when the last
+// referencing node (or a worker's current-position anchor) lets go.
+struct PathLink {
+  PathLink(PathPtr parent_in, const BoundStep& step_in)
+      : parent(std::move(parent_in)), step(step_in) {}
+  PathPtr parent;
+  BoundStep step;
+};
+
+struct TreeNode {
+  PathPtr path;                    // null = root
+  double bound_score = kInfinity;  // parent's LP bound (score space) + slack
+  int depth = 0;
+  std::uint64_t seq = 0;  // creation order; heap tie-break (oldest first)
+};
+
+// Max-heap order: best bound first, then oldest.
+struct NodeOrder {
+  bool operator()(const TreeNode& a, const TreeNode& b) const {
+    if (a.bound_score != b.bound_score) {
+      return a.bound_score < b.bound_score;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+struct SharedState {
+  sync::Mutex mu;
+  sync::CondVar work_or_done;
+
+  // Global best-bound frontier (std::push_heap/pop_heap over the vector).
+  std::vector<TreeNode> heap MEDEA_GUARDED_BY(mu);
+
+  // Incumbent. Direction-normalized score (larger is better); the values
+  // vector is only read after the workers join.
+  bool have_incumbent MEDEA_GUARDED_BY(mu) = false;
+  double best_score MEDEA_GUARDED_BY(mu) = -kInfinity;
+  std::vector<double> best_x MEDEA_GUARDED_BY(mu);
+
+  // Root LP bound, recorded by whichever worker processed the root.
+  bool have_root_bound MEDEA_GUARDED_BY(mu) = false;
+  double root_bound_score MEDEA_GUARDED_BY(mu) = 0.0;
+
+  // Lock-free snapshot of best_score for the hot pruning check. Updated
+  // under `mu` together with the incumbent; read relaxed — a stale value
+  // merely delays one prune by one node.
+  std::atomic<double> incumbent_score{-kInfinity};
+
+  std::atomic<long long> outstanding{0};
+  std::atomic<bool> stopped{false};
+  std::atomic<bool> search_complete{true};
+  std::atomic<std::uint64_t> next_seq{1};
+
+  bool PopGlobal(TreeNode* out) MEDEA_EXCLUDES(mu) {
+    sync::MutexLock lock(&mu);
+    if (heap.empty()) {
+      return false;
+    }
+    std::pop_heap(heap.begin(), heap.end(), NodeOrder{});
+    *out = std::move(heap.back());
+    heap.pop_back();
+    return true;
+  }
+
+  void PushGlobal(TreeNode node) MEDEA_EXCLUDES(mu) {
+    sync::MutexLock lock(&mu);
+    heap.push_back(std::move(node));
+    std::push_heap(heap.begin(), heap.end(), NodeOrder{});
+    work_or_done.Signal();
+  }
+
+  // Takes `node` only while the heap is hungry (fewer entries than
+  // workers). Returns whether it was consumed.
+  bool PushGlobalIfHungry(TreeNode* node, int workers) MEDEA_EXCLUDES(mu) {
+    sync::MutexLock lock(&mu);
+    if (heap.size() >= static_cast<size_t>(workers)) {
+      return false;
+    }
+    heap.push_back(std::move(*node));
+    std::push_heap(heap.begin(), heap.end(), NodeOrder{});
+    work_or_done.Signal();
+    return true;
+  }
+
+  void OfferIncumbent(const std::vector<double>& x, double score) MEDEA_EXCLUDES(mu) {
+    sync::MutexLock lock(&mu);
+    if (!have_incumbent || score > best_score) {
+      have_incumbent = true;
+      best_score = score;
+      best_x = x;
+      incumbent_score.store(score, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordRootBound(double bound_score) MEDEA_EXCLUDES(mu) {
+    sync::MutexLock lock(&mu);
+    have_root_bound = true;
+    root_bound_score = bound_score;
+  }
+
+  // Budget exhausted (time or nodes): abandon open nodes, wake everyone.
+  void Stop() MEDEA_EXCLUDES(mu) {
+    search_complete.store(false, std::memory_order_relaxed);
+    stopped.store(true, std::memory_order_relaxed);
+    sync::MutexLock lock(&mu);
+    work_or_done.SignalAll();
+  }
+};
+
+// Per-worker counters, merged into MipStats after the join.
+struct LocalStats {
+  long long nodes = 0;
+  long long lp_solves = 0;
+  long long lp_failures = 0;
+  long long pivots = 0;
+  long long warm_start_hits = 0;
+  long long cold_restarts = 0;
+  long long steals = 0;
+  double lp_time_seconds = 0.0;
+};
+
+class Worker {
+ public:
+  Worker(int id, int num_workers, const Model& root_model, const MipOptions& options,
+         const Perturbation* perturb, SearchBudget* budget, SharedState* shared)
+      : id_(id),
+        num_workers_(num_workers),
+        model_(root_model),
+        opts_(options),
+        perturb_(perturb),
+        budget_(budget),
+        shared_(shared) {}
+
+  void set_peers(const std::vector<std::unique_ptr<Worker>>* peers) { peers_ = peers; }
+
+  void Run() {
+    obs::ScopedSpan span("solver.worker", "solver");
+    if (obs::TraceRecorder::Default().enabled()) {
+      obs::SetCurrentThreadName("medea-mip-" + std::to_string(id_));
+    }
+    if (opts_.use_incremental_lp) {
+      inc_ = std::make_unique<IncrementalLpSolver>(model_);
+    }
+    TreeNode node;
+    while (GetWork(&node)) {
+      ProcessNode(node);
+      node.path.reset();  // release the chain reference before the count
+      FinishNode();
+    }
+  }
+
+  const LocalStats& local_stats() const { return local_; }
+  double pruned_bound_max() const { return pruned_bound_max_; }
+
+ private:
+  friend class WorkerPeek;
+
+  double Score(double objective) const { return model_.maximize() ? objective : -objective; }
+
+  // Pruning gap against the lock-free incumbent snapshot. Returns true when
+  // `bound_score` cannot improve on the incumbent (within tolerance).
+  bool PrunedByIncumbent(double bound_score) {
+    const double inc = shared_->incumbent_score.load(std::memory_order_relaxed);
+    if (inc == -kInfinity) {
+      return false;
+    }
+    const double gap = std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(inc));
+    if (bound_score <= inc + gap) {
+      pruned_bound_max_ = std::max(pruned_bound_max_, bound_score);
+      return true;
+    }
+    return false;
+  }
+
+  void SetVarBounds(int j, double lower, double upper) {
+    model_.SetBounds(j, lower, upper);
+    if (inc_ != nullptr) {
+      inc_->SetBounds(j, lower, upper);
+    }
+  }
+
+  // Repositions this worker's model (and incremental solver) at `target`:
+  // rewind to the longest common prefix with the previously applied path,
+  // then replay the suffix. Keeps the basis warm across sibling moves and
+  // makes steals pay only for the genuinely different part of the path.
+  void MoveToNode(const PathPtr& target) {
+    chain_.clear();
+    for (const PathLink* p = target.get(); p != nullptr; p = p->parent.get()) {
+      chain_.push_back(p);
+    }
+    std::reverse(chain_.begin(), chain_.end());
+    size_t prefix = 0;
+    while (prefix < applied_.size() && prefix < chain_.size() &&
+           applied_[prefix] == chain_[prefix]) {
+      ++prefix;
+    }
+    for (size_t i = applied_.size(); i > prefix; --i) {
+      const BoundStep& s = applied_[i - 1]->step;
+      SetVarBounds(s.var, s.parent_lower, s.parent_upper);
+    }
+    for (size_t i = prefix; i < chain_.size(); ++i) {
+      const BoundStep& s = chain_[i]->step;
+      SetVarBounds(s.var, s.lower, s.upper);
+    }
+    applied_.assign(chain_.begin(), chain_.end());
+    applied_anchor_ = target;  // keeps the raw pointers in applied_ alive
+  }
+
+  Solution NodeLp() {
+    const auto start = Clock::now();
+    Solution lp;
+    if (inc_ != nullptr) {
+      lp = inc_->Solve(budget_->NodeLpOptions(opts_.lp));
+      const auto& info = inc_->last_info();
+      local_.pivots += info.pivots;
+      if (info.warm && !info.dense_fallback) {
+        ++local_.warm_start_hits;
+      } else {
+        ++local_.cold_restarts;
+      }
+    } else {
+      LpStats lp_stats;
+      lp = SolveLp(model_, budget_->NodeLpOptions(opts_.lp), &lp_stats);
+      local_.pivots += lp_stats.iterations;
+      ++local_.cold_restarts;
+    }
+    ++local_.lp_solves;
+    local_.lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+    return lp;
+  }
+
+  // Round-and-repair heuristic on this worker's model (see the serial
+  // version in mip.cc). The temporary all-integers-fixed bounds stay on the
+  // dense path and are not mirrored into the incremental solver.
+  void TryRounding(const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    saved_bounds_.clear();
+    saved_bounds_.reserve(static_cast<size_t>(model_.num_variables()));
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      const auto& col = model_.column(j);
+      saved_bounds_.emplace_back(col.lower, col.upper);
+      if (col.type == VarType::kContinuous) {
+        continue;
+      }
+      const double v =
+          std::clamp(std::round(rounded[static_cast<size_t>(j)]), col.lower, col.upper);
+      model_.SetBounds(j, v, v);
+    }
+    const auto start = Clock::now();
+    LpStats lp_stats;
+    const Solution repaired = SolveLp(model_, budget_->NodeLpOptions(opts_.lp), &lp_stats);
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      model_.SetBounds(j, saved_bounds_[static_cast<size_t>(j)].first,
+                       saved_bounds_[static_cast<size_t>(j)].second);
+    }
+    ++local_.lp_solves;
+    local_.pivots += lp_stats.iterations;
+    local_.lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+    if (repaired.status == SolveStatus::kOptimal && model_.IsFeasible(repaired.values, 1e-5)) {
+      shared_->OfferIncumbent(repaired.values,
+                              Score(perturb_->TrueObjective(model_, repaired.values)));
+    }
+  }
+
+  void ProcessNode(const TreeNode& node) {
+    if (budget_->LatchTimeLimitIfExpired()) {
+      shared_->Stop();
+      return;
+    }
+    // Pre-LP prune on the inherited (parent) bound: sound because the
+    // parent's LP bound dominates every descendant's optimum.
+    if (PrunedByIncumbent(node.bound_score)) {
+      return;
+    }
+    if (!budget_->ClaimNode()) {
+      shared_->Stop();
+      return;
+    }
+    ++local_.nodes;
+    MoveToNode(node.path);
+
+    const Solution lp = NodeLp();
+    if (lp.status == SolveStatus::kInfeasible) {
+      return;
+    }
+    if (lp.status != SolveStatus::kOptimal) {
+      // Same policy as the serial engine: no usable verdict leaves the
+      // search incomplete; an LP cut off by its fair-share cap is a global
+      // timeout only if the deadline truly passed.
+      ++local_.lp_failures;
+      shared_->search_complete.store(false, std::memory_order_relaxed);
+      if (lp.status == SolveStatus::kTimeLimit && budget_->OnNodeLpTimeLimit()) {
+        shared_->Stop();
+      }
+      return;
+    }
+
+    const double bound = Score(lp.objective) + perturb_->slack;
+    if (node.depth == 0) {
+      shared_->RecordRootBound(bound);
+    }
+    if (PrunedByIncumbent(bound)) {
+      return;
+    }
+
+    const int branch_var = MostFractionalVar(model_, lp.values, opts_.integrality_tol);
+    if (branch_var < 0) {
+      shared_->OfferIncumbent(lp.values, Score(perturb_->TrueObjective(model_, lp.values)));
+      return;
+    }
+    if (node.depth == 0 || local_.nodes % 16 == 0) {
+      TryRounding(lp.values);
+      if (PrunedByIncumbent(bound)) {
+        return;
+      }
+    }
+
+    // Branch: build both children, publish the "near" (round-to-nearest)
+    // child onto our own stack top so the next iteration dives into it.
+    const double v = lp.values[static_cast<size_t>(branch_var)];
+    const double floor_v = std::floor(v);
+    const double ceil_v = std::ceil(v);
+    const auto& col = model_.column(branch_var);
+    const double old_lower = col.lower;
+    const double old_upper = col.upper;
+    const bool down_first = (v - floor_v) <= (ceil_v - v);
+
+    TreeNode children[2];
+    int num_children = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool down = (pass == 0) == down_first;
+      BoundStep step;
+      step.var = branch_var;
+      step.parent_lower = old_lower;
+      step.parent_upper = old_upper;
+      if (down) {
+        if (floor_v < old_lower - 1e-12) {
+          continue;
+        }
+        step.lower = old_lower;
+        step.upper = std::min(floor_v, old_upper);
+      } else {
+        if (ceil_v > old_upper + 1e-12) {
+          continue;
+        }
+        step.lower = std::max(ceil_v, old_lower);
+        step.upper = old_upper;
+      }
+      TreeNode& child = children[num_children++];
+      child.path = std::make_shared<PathLink>(node.path, step);
+      child.bound_score = bound;
+      child.depth = node.depth + 1;
+      child.seq = shared_->next_seq.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (num_children == 0) {
+      return;
+    }
+    // Publish: count the children as outstanding BEFORE they become
+    // visible, or a fast peer could finish one and see the count hit zero
+    // while its sibling is still being pushed.
+    shared_->outstanding.fetch_add(num_children, std::memory_order_acq_rel);
+    if (num_children == 2) {
+      if (!shared_->PushGlobalIfHungry(&children[1], num_workers_)) {
+        deque_.PushTop(std::move(children[1]));
+      }
+    }
+    deque_.PushTop(std::move(children[0]));
+  }
+
+  void FinishNode() {
+    if (shared_->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      sync::MutexLock lock(&shared_->mu);
+      shared_->work_or_done.SignalAll();
+    }
+  }
+
+  bool TryStealAny(TreeNode* out) {
+    for (int k = 1; k < num_workers_; ++k) {
+      Worker* victim = (*peers_)[static_cast<size_t>((id_ + k) % num_workers_)].get();
+      if (victim->deque_.TrySteal(out)) {
+        ++local_.steals;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Own stack (dive) -> global heap (best open subtree) -> steal -> wait.
+  // Returns false when the search is over (all nodes finished or stopped).
+  bool GetWork(TreeNode* out) {
+    for (;;) {
+      if (shared_->stopped.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      if (deque_.PopTop(out)) {
+        return true;
+      }
+      if (shared_->PopGlobal(out)) {
+        return true;
+      }
+      if (TryStealAny(out)) {
+        return true;
+      }
+      sync::MutexLock lock(&shared_->mu);
+      if (shared_->stopped.load(std::memory_order_relaxed) ||
+          shared_->outstanding.load(std::memory_order_acquire) == 0) {
+        return false;
+      }
+      if (shared_->heap.empty()) {
+        // Timed wait: steals are not signalled, so wake periodically and
+        // rescan the victims.
+        shared_->work_or_done.WaitFor(&shared_->mu, kIdleWait);
+      }
+    }
+  }
+
+  const int id_;
+  const int num_workers_;
+  Model model_;  // worker-private copy of the (perturbed) root model
+  std::unique_ptr<IncrementalLpSolver> inc_;
+  const MipOptions& opts_;
+  const Perturbation* perturb_;
+  SearchBudget* budget_;
+  SharedState* shared_;
+  const std::vector<std::unique_ptr<Worker>>* peers_ = nullptr;
+
+  sync::WorkStealingDeque<TreeNode> deque_;
+  // Current position: raw pointers of the applied path, kept alive by the
+  // shared_ptr anchor (a processed node may drop the only other reference).
+  std::vector<const PathLink*> applied_;
+  PathPtr applied_anchor_;
+  std::vector<const PathLink*> chain_;                  // MoveToNode scratch
+  std::vector<std::pair<double, double>> saved_bounds_;  // TryRounding scratch
+
+  LocalStats local_;
+  double pruned_bound_max_ = -kInfinity;
+};
+
+// Seeds the shared incumbent from MipOptions::warm_start (same
+// fix-and-repair as the serial path), on the main thread before the workers
+// start so every worker prunes against it from node one.
+void SeedWarmStart(const Model& root_model, const MipOptions& options,
+                   const Perturbation& perturb, const SearchBudget& budget,
+                   SharedState* shared, LocalStats* seed_stats) {
+  Model scratch = root_model;
+  for (int j = 0; j < scratch.num_variables(); ++j) {
+    const auto& col = scratch.column(j);
+    if (col.type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = std::clamp(std::round(options.warm_start[static_cast<size_t>(j)]),
+                                col.lower, col.upper);
+    scratch.SetBounds(j, v, v);
+  }
+  const auto start = Clock::now();
+  LpStats lp_stats;
+  const Solution repaired = SolveLp(scratch, budget.NodeLpOptions(options.lp), &lp_stats);
+  ++seed_stats->lp_solves;
+  seed_stats->pivots += lp_stats.iterations;
+  seed_stats->lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+  if (repaired.status == SolveStatus::kOptimal &&
+      root_model.IsFeasible(repaired.values, 1e-5)) {
+    const double objective = perturb.TrueObjective(root_model, repaired.values);
+    shared->OfferIncumbent(repaired.values,
+                           root_model.maximize() ? objective : -objective);
+  }
+}
+
+}  // namespace
+
+Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStats* stats) {
+  const int threads = std::clamp(options.num_threads, 2, kMaxWorkers);
+
+  Model root_model = model;
+  Perturbation perturb;
+  perturb.Apply(root_model, options);
+  SearchBudget budget(options);
+  SharedState shared;
+
+  LocalStats seed_stats;
+  if (static_cast<int>(options.warm_start.size()) == model.num_variables()) {
+    SeedWarmStart(root_model, options, perturb, budget, &shared, &seed_stats);
+  }
+
+  // Root node: empty path, unbounded inherited bound.
+  shared.outstanding.store(1, std::memory_order_relaxed);
+  shared.PushGlobal(TreeNode{});
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers.push_back(std::make_unique<Worker>(i, threads, root_model, options, &perturb,
+                                               &budget, &shared));
+  }
+  for (auto& worker : workers) {
+    worker->set_peers(&workers);
+  }
+  {
+    std::vector<sync::Thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      Worker* worker = workers[static_cast<size_t>(i)].get();
+      pool.emplace_back("medea-mip-" + std::to_string(i), [worker] { worker->Run(); });
+    }
+  }  // joins every worker thread
+
+  // Workers have joined: aggregation below is race-free; locking still
+  // satisfies the guarded-by annotations.
+  double pruned_bound_max = -kInfinity;
+  LocalStats totals = seed_stats;
+  for (const auto& worker : workers) {
+    const LocalStats& w = worker->local_stats();
+    totals.nodes += w.nodes;
+    totals.lp_solves += w.lp_solves;
+    totals.lp_failures += w.lp_failures;
+    totals.pivots += w.pivots;
+    totals.warm_start_hits += w.warm_start_hits;
+    totals.cold_restarts += w.cold_restarts;
+    totals.steals += w.steals;
+    totals.lp_time_seconds += w.lp_time_seconds;
+    pruned_bound_max = std::max(pruned_bound_max, worker->pruned_bound_max());
+  }
+
+  Solution solution;
+  const bool search_complete = shared.search_complete.load(std::memory_order_relaxed) &&
+                               !shared.stopped.load(std::memory_order_relaxed);
+  {
+    sync::MutexLock lock(&shared.mu);
+    if (shared.have_incumbent) {
+      solution.status = search_complete ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+      solution.values = shared.best_x;
+      solution.objective = model.maximize() ? shared.best_score : -shared.best_score;
+    } else {
+      solution.status = search_complete ? SolveStatus::kInfeasible : SolveStatus::kTimeLimit;
+    }
+    if (stats != nullptr) {
+      stats->nodes_explored = static_cast<int>(totals.nodes);
+      stats->lp_solves = static_cast<int>(totals.lp_solves);
+      stats->lp_failures = static_cast<int>(totals.lp_failures);
+      stats->hit_time_limit = budget.hit_time_limit();
+      stats->hit_node_limit = budget.hit_node_limit();
+      stats->lp_time_seconds = totals.lp_time_seconds;
+      stats->total_pivots = totals.pivots;
+      stats->warm_start_hits = static_cast<int>(totals.warm_start_hits);
+      stats->cold_restarts = static_cast<int>(totals.cold_restarts);
+      stats->threads_used = threads;
+      stats->steals = totals.steals;
+      stats->per_worker.clear();
+      stats->per_worker.reserve(workers.size());
+      for (size_t i = 0; i < workers.size(); ++i) {
+        const LocalStats& w = workers[i]->local_stats();
+        MipStats::WorkerStats ws;
+        ws.worker = static_cast<int>(i);
+        ws.nodes_explored = w.nodes;
+        ws.total_pivots = w.pivots;
+        ws.steals = w.steals;
+        ws.lp_time_seconds = w.lp_time_seconds;
+        stats->per_worker.push_back(ws);
+      }
+      // Dual-bound bookkeeping, mirroring the serial engine: a complete
+      // search proves the optimum is at most the best explored or pruned
+      // score; an interrupted one can only claim the root relaxation bound.
+      double bound_score = kInfinity;
+      bool have_bound = false;
+      if (search_complete && (shared.have_incumbent || pruned_bound_max > -kInfinity)) {
+        bound_score = std::max(shared.best_score, pruned_bound_max);
+        have_bound = true;
+      } else if (shared.have_root_bound) {
+        bound_score = shared.root_bound_score;
+        have_bound = true;
+      }
+      if (have_bound) {
+        stats->has_best_bound = true;
+        stats->best_bound = model.maximize() ? bound_score : -bound_score;
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace medea::solver::internal

@@ -1,0 +1,189 @@
+// Copyright (c) Medea reproduction authors.
+// ThreadSanitizer stress test for the parallel branch-and-bound solver (the
+// suite name matches the tsan preset's "ThreadTest" ctest filter, so this
+// runs under TSan in CI). Two pressure axes:
+//   1. Internal: a single SolveMip call fanning out to many workers over the
+//      shared frontier / incumbent / budget, with the obs layer enabled so
+//      the per-worker spans and counters race against real tracing.
+//   2. External: multiple threads each running their own parallel solve
+//      concurrently (the production shape once several scheduler instances
+//      share a process), and a parallel-solver ILP scheduler living inside
+//      the TwoSchedulerRuntime next to the scheduler + heartbeat threads.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/sync/work_queue.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/two_scheduler_runtime.h"
+#include "src/schedulers/ilp_scheduler.h"
+#include "src/solver/mip.h"
+#include "src/solver/testing/placement_model.h"
+#include "src/workload/lra_templates.h"
+
+namespace medea {
+namespace {
+
+solver::MipOptions ParallelExact(int threads) {
+  solver::MipOptions options;
+  options.time_limit_seconds = 0.0;
+  options.relative_gap = 0.0;
+  options.absolute_gap = 1e-9;
+  options.certify = true;
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(ParallelSolverThreadTest, ManyWorkersOneSearchUnderInstrumentation) {
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Default().Reset();
+  obs::TraceRecorder::Default().Enable(1 << 12);
+
+  const solver::Model m = solver::testing::PlacementModel(12, 6, 7);
+  solver::MipStats serial_stats;
+  const solver::Solution serial = solver::SolveMip(m, ParallelExact(1), &serial_stats);
+  ASSERT_EQ(serial.status, solver::SolveStatus::kOptimal);
+
+  // 8 workers on however few cores the machine has: maximum preemption, so
+  // TSan sees every interleaving class the frontier can produce.
+  solver::MipStats stats;
+  const solver::Solution parallel = solver::SolveMip(m, ParallelExact(8), &stats);
+  ASSERT_EQ(parallel.status, solver::SolveStatus::kOptimal);
+  EXPECT_NEAR(parallel.objective, serial.objective, 1e-6);
+  EXPECT_EQ(stats.threads_used, 8);
+  EXPECT_EQ(static_cast<int>(stats.per_worker.size()), 8);
+
+  obs::EnableMetrics(false);
+  obs::TraceRecorder::Default().Disable();
+}
+
+TEST(ParallelSolverThreadTest, ConcurrentParallelSolvesDoNotInterfere) {
+  // Each caller thread runs its own multi-worker search; the engines share
+  // nothing but the process-wide obs registry. Every search must still
+  // certify the serial objective for its own model.
+  obs::EnableMetrics(true);
+  constexpr int kCallers = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &mismatches] {
+      const uint64_t seed = 3 + 2 * static_cast<uint64_t>(c);
+      const solver::Model m = solver::testing::PlacementModel(10, 5, seed);
+      const solver::Solution serial = solver::SolveMip(m, ParallelExact(1));
+      const solver::Solution parallel = solver::SolveMip(m, ParallelExact(2));
+      if (serial.status != solver::SolveStatus::kOptimal ||
+          parallel.status != solver::SolveStatus::kOptimal ||
+          std::fabs(serial.objective - parallel.objective) > 1e-6) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  obs::EnableMetrics(false);
+}
+
+TEST(ParallelSolverThreadTest, SolverWorkersCoexistWithRuntimeThreads) {
+  // The ILP scheduler spins up solver workers INSIDE the runtime's LRA
+  // scheduler thread while the heartbeat thread churns — the exact thread
+  // topology of a production deployment (--runtime --solver-threads N).
+  runtime::RuntimeConfig config;
+  config.num_nodes = 24;
+  config.num_racks = 4;
+  config.num_upgrade_domains = 4;
+  config.num_service_units = 4;
+  config.heartbeat_period = std::chrono::milliseconds(2);
+
+  SchedulerConfig sched_config;
+  sched_config.node_pool_size = 24;
+  sched_config.ilp_time_limit_seconds = 0.5;
+  sched_config.solver_threads = 2;
+  sched_config.seed = 11;
+
+  runtime::TwoSchedulerRuntime runtime(config,
+                                       std::make_unique<MedeaIlpScheduler>(sched_config));
+  runtime.Start();
+  for (int i = 0; i < 4; ++i) {
+    const ApplicationId app(static_cast<uint32_t>(1 + i));
+    runtime.SubmitLra(runtime.BuildSpec([&](TagPool& tags) {
+      return MakeGenericLra(app, tags, 3, "par");
+    }));
+  }
+  ASSERT_TRUE(runtime.WaitLraIdle(std::chrono::minutes(3)));
+  runtime.Stop();
+  const runtime::RuntimeMetrics metrics = runtime.metrics();
+  EXPECT_EQ(metrics.lras_placed + metrics.lras_rejected, 4);
+}
+
+TEST(ParallelSolverThreadTest, WorkStealingDequeSurvivesOwnerThiefRaces) {
+  // Focused hammer on the one new sync primitive: one owner pushing/popping
+  // at the top, several thieves stealing from the bottom; every pushed item
+  // must be consumed exactly once.
+  sync::WorkStealingDeque<int> deque;
+  constexpr int kItems = 2000;
+  constexpr int kThieves = 3;
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int item = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.TrySteal(&item)) {
+          consumed_sum.fetch_add(item, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  long long pushed_sum = 0;
+  std::thread owner([&] {
+    int item = 0;
+    for (int i = 1; i <= kItems; ++i) {
+      deque.PushTop(i);
+      if (i % 3 == 0 && deque.PopTop(&item)) {
+        consumed_sum.fetch_add(item, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Drain whatever the thieves left behind.
+    while (deque.PopTop(&item)) {
+      consumed_sum.fetch_add(item, std::memory_order_relaxed);
+      consumed_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 1; i <= kItems; ++i) {
+    pushed_sum += i;
+  }
+  owner.join();
+  // Let the thieves take one more pass at an (empty) deque, then stop them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) {
+    t.join();
+  }
+  int leftover = 0;
+  while (deque.TrySteal(&leftover)) {
+    consumed_sum.fetch_add(leftover, std::memory_order_relaxed);
+    consumed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(consumed_count.load(), kItems);
+  EXPECT_EQ(consumed_sum.load(), pushed_sum);
+  EXPECT_EQ(deque.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace medea

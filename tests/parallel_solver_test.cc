@@ -1,0 +1,152 @@
+// Copyright (c) Medea reproduction authors.
+// Parallel branch and bound (MipOptions::num_threads): at every thread
+// count, an exact (zero-gap, unlimited-budget) search must certify the same
+// objective as the serial search — the tree SHAPE may differ (incumbent
+// timing is scheduling-dependent), the proven optimum may not. Also covers
+// the parallel engine's edge cases: infeasible models, root-integral
+// models, budget cutoffs and the per-worker statistics contract.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/solver/mip.h"
+#include "src/solver/model.h"
+#include "src/solver/testing/placement_model.h"
+#include "src/verify/self_certify.h"
+
+namespace medea::solver {
+namespace {
+
+MipOptions ExactOptions(int threads) {
+  MipOptions options;
+  options.time_limit_seconds = 0.0;  // run to completion
+  options.relative_gap = 0.0;
+  options.absolute_gap = 1e-9;
+  options.certify = true;  // abort on an infeasible incumbent
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(ParallelSolverTest, AllThreadCountsCertifyTheSerialObjective) {
+  for (const auto& [containers, nodes] : testing::MicroBenchSizes()) {
+    for (const uint64_t seed : testing::MicroBenchSeeds()) {
+      const Model m = testing::PlacementModel(containers, nodes, seed);
+      const std::string label = std::to_string(containers) + "x" +
+                                std::to_string(nodes) + " seed " +
+                                std::to_string(seed);
+
+      MipStats serial_stats;
+      const Solution serial = SolveMip(m, ExactOptions(1), &serial_stats);
+      ASSERT_EQ(serial.status, SolveStatus::kOptimal) << label;
+
+      for (const int threads : {2, 4}) {
+        MipStats stats;
+        const Solution parallel = SolveMip(m, ExactOptions(threads), &stats);
+        ASSERT_EQ(parallel.status, SolveStatus::kOptimal)
+            << label << " threads " << threads;
+        EXPECT_NEAR(parallel.objective, serial.objective, 1e-6)
+            << label << " threads " << threads;
+        // Independent re-verification: feasibility, integrality, recomputed
+        // objective and incumbent-vs-dual-bound consistency.
+        verify::CertifyOptions certify_options;
+        certify_options.absolute_gap = 1e-9;
+        certify_options.relative_gap = 0.0;
+        const verify::CertifyReport report =
+            verify::CertifySolution(m, parallel, &stats, certify_options);
+        EXPECT_TRUE(report.ok())
+            << label << " threads " << threads << ": " << report.ToString();
+
+        // Per-worker statistics contract: one entry per worker, and the
+        // breakdown must sum to the headline counters.
+        EXPECT_EQ(stats.threads_used, threads) << label;
+        ASSERT_EQ(static_cast<int>(stats.per_worker.size()), threads) << label;
+        long long worker_nodes = 0;
+        long long worker_pivots = 0;
+        long long worker_steals = 0;
+        for (const MipStats::WorkerStats& w : stats.per_worker) {
+          worker_nodes += w.nodes_explored;
+          worker_pivots += w.total_pivots;
+          worker_steals += w.steals;
+        }
+        EXPECT_EQ(worker_nodes, stats.nodes_explored) << label;
+        EXPECT_EQ(worker_steals, stats.steals) << label;
+        EXPECT_FALSE(stats.hit_time_limit) << label;
+        EXPECT_FALSE(stats.hit_node_limit) << label;
+      }
+    }
+  }
+}
+
+TEST(ParallelSolverTest, InfeasibleModelIsProvenInfeasibleInParallel) {
+  Model m;
+  const VarIndex x = m.AddBinary(1.0, "x");
+  const VarIndex y = m.AddBinary(1.0, "y");
+  m.AddRow({{x, 1.0}, {y, 1.0}}, RowSense::kGreaterEqual, 3.0);  // max 2
+  m.SetMaximize(true);
+  MipOptions options = ExactOptions(4);
+  options.presolve = false;  // make branch and bound prove it, not presolve
+  const Solution solution = SolveMip(m, options);
+  EXPECT_EQ(solution.status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(solution.HasSolution());
+}
+
+TEST(ParallelSolverTest, RootIntegralModelSolvesWithoutBranching) {
+  // LP relaxation is integral at the root: the parallel search must settle
+  // it in a single node without deadlocking on an empty frontier.
+  Model m;
+  const VarIndex x = m.AddBinary(2.0, "x");
+  const VarIndex y = m.AddBinary(1.0, "y");
+  m.AddRow({{x, 1.0}}, RowSense::kLessEqual, 1.0);
+  m.SetMaximize(true);
+  MipStats stats;
+  const Solution solution = SolveMip(m, ExactOptions(4), &stats);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-9);
+}
+
+TEST(ParallelSolverTest, NodeLimitLatchesExactlyOnceAcrossWorkers) {
+  const Model m = testing::PlacementModel(16, 8, 11);
+  MipOptions options = ExactOptions(4);
+  options.certify = false;  // a cutoff incumbent need not be optimal
+  options.max_nodes = 8;
+  MipStats stats;
+  const Solution solution = SolveMip(m, options, &stats);
+  EXPECT_TRUE(stats.hit_node_limit);
+  EXPECT_FALSE(stats.hit_time_limit);
+  // An interrupted search never claims optimality.
+  EXPECT_NE(solution.status, SolveStatus::kOptimal);
+}
+
+TEST(ParallelSolverTest, TimeLimitProducesAnytimeBehaviour) {
+  const Model m = testing::PlacementModel(20, 10, 11);
+  MipOptions options = ExactOptions(4);
+  options.certify = false;
+  options.time_limit_seconds = 0.05;
+  MipStats stats;
+  const Solution solution = SolveMip(m, options, &stats);
+  // Either the tiny budget was enough (optimal) or the search was cut off —
+  // evidenced by the latched deadline flag or by node LPs clipped to their
+  // fair share of the dwindling budget (docs/solver.md "Time limits") — and
+  // any returned incumbent must still be feasible.
+  if (solution.status != SolveStatus::kOptimal) {
+    EXPECT_TRUE(stats.hit_time_limit || stats.lp_failures > 0);
+  }
+  if (solution.HasSolution()) {
+    EXPECT_TRUE(m.IsFeasible(solution.values, 1e-5));
+  }
+}
+
+TEST(ParallelSolverTest, OversizedThreadCountIsClamped) {
+  const Model m = testing::PlacementModel(10, 5, 3);
+  MipOptions options = ExactOptions(1000);
+  MipStats stats;
+  const Solution solution = SolveMip(m, options, &stats);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_LE(stats.threads_used, 64);
+  EXPECT_GT(stats.threads_used, 1);
+}
+
+}  // namespace
+}  // namespace medea::solver

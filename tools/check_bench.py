@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for BENCH_solver_micro.json.
+
+Parses the JSON written by bench_solver_micro's comparison harness and fails
+(exit 1) when a recorded performance floor is breached:
+
+  * correctness (always enforced):
+      - every cold/warm "summary" and every thread-sweep "threads" record
+        must report objectives_match == true;
+  * warm-start win (always enforced):
+      - the "total" record's pivot_reduction must stay >= --min-pivot-reduction
+        (the warm-started incremental simplex is the repo's headline solver
+        optimization; see docs/solver.md);
+  * parallel win (enforced only on capable hardware):
+      - the 4-thread speedup over serial on the LARGEST model must stay
+        >= --min-parallel-speedup, but only when the machine that produced
+        the file had at least 4 hardware threads (the bench emits a
+        {"kind": "env", "hardware_threads": N} record). A 4-worker search
+        cannot beat serial on a 1- or 2-core container, and pretending
+        otherwise would make the gate flaky instead of protective.
+
+Usage:
+  tools/check_bench.py [--file BENCH_solver_micro.json]
+                       [--min-pivot-reduction 5.0]
+                       [--min-parallel-speedup 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", default="BENCH_solver_micro.json")
+    parser.add_argument(
+        "--min-pivot-reduction",
+        type=float,
+        default=5.0,
+        help="floor for the total warm-start pivot reduction (recorded: ~10x)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=2.0,
+        help="floor for the 4-thread wall speedup on the largest model "
+        "(enforced only when the producing machine had >= 4 hardware threads)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench: cannot read {args.file}: {err}")
+        return 1
+
+    failures = []
+
+    # --- correctness: every configuration agreed on the certified objective.
+    for record in records:
+        if record.get("kind") in ("summary", "threads") and not record.get(
+            "objectives_match", False
+        ):
+            failures.append(
+                f"objectives mismatch in {record.get('kind')} record for model "
+                f"{record.get('model')} (threads={record.get('threads', 'n/a')})"
+            )
+
+    # --- warm-start floor.
+    totals = [r for r in records if r.get("kind") == "total"]
+    if not totals:
+        failures.append("no 'total' record found (bench harness did not run?)")
+    else:
+        pivot_reduction = totals[-1].get("pivot_reduction", 0.0)
+        print(f"check_bench: warm-start pivot reduction {pivot_reduction:.2f}x "
+              f"(floor {args.min_pivot_reduction:.2f}x)")
+        if pivot_reduction < args.min_pivot_reduction:
+            failures.append(
+                f"warm-start pivot reduction {pivot_reduction:.2f}x fell below "
+                f"the {args.min_pivot_reduction:.2f}x floor"
+            )
+
+    # --- parallel floor, on capable hardware only.
+    env = [r for r in records if r.get("kind") == "env"]
+    hardware_threads = env[-1].get("hardware_threads", 0) if env else 0
+    sweep = [r for r in records if r.get("kind") == "threads"]
+    if not sweep:
+        failures.append("no thread-sweep records found (bench harness too old?)")
+    else:
+        largest = max(r.get("vars", 0) for r in sweep)
+        four = [
+            r for r in sweep if r.get("vars") == largest and r.get("threads") == 4
+        ]
+        if not four:
+            failures.append("no 4-thread record for the largest model")
+        else:
+            speedup = four[-1].get("speedup_vs_serial", 0.0)
+            if hardware_threads >= 4:
+                print(f"check_bench: 4-thread speedup on largest model "
+                      f"{speedup:.2f}x (floor {args.min_parallel_speedup:.2f}x, "
+                      f"hardware_threads={hardware_threads})")
+                if speedup < args.min_parallel_speedup:
+                    failures.append(
+                        f"4-thread speedup {speedup:.2f}x on the largest model "
+                        f"fell below the {args.min_parallel_speedup:.2f}x floor"
+                    )
+            else:
+                print(f"check_bench: skipping parallel speedup floor — producing "
+                      f"machine had only {hardware_threads} hardware thread(s); "
+                      f"observed 4-thread speedup {speedup:.2f}x")
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL: {failure}")
+        return 1
+    print("check_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
