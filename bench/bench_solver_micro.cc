@@ -21,12 +21,12 @@
 
 #include "bench/bench_util.h"
 #include "src/solver/mip.h"
-#include "src/solver/presolve.h"
 #include "src/solver/testing/placement_model.h"
 
 namespace medea::solver {
 namespace {
 
+using testing::DecomposablePlacementModel;
 using testing::PlacementModel;
 
 void BM_LpRelaxation(::benchmark::State& state) {
@@ -57,16 +57,6 @@ void BM_BranchAndBound(::benchmark::State& state) {
   }
 }
 
-void BM_Presolve(::benchmark::State& state) {
-  const Model m =
-      PlacementModel(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 7);
-  for (auto _ : state) {
-    PresolveStats stats;
-    const Model reduced = Presolved(m, &stats);
-    ::benchmark::DoNotOptimize(reduced.num_rows());
-  }
-}
-
 BENCHMARK(BM_LpRelaxation)
     ->Args({8, 4})
     ->Args({16, 8})
@@ -81,7 +71,6 @@ BENCHMARK(BM_BranchAndBound)
     ->Args({16, 8, 0})
     ->Args({16, 8, 1})
     ->Unit(::benchmark::kMillisecond);
-BENCHMARK(BM_Presolve)->Args({26, 13})->Args({40, 20})->Unit(::benchmark::kMillisecond);
 
 // ---- Cold-vs-warm comparison + BENCH_solver_micro.json ---------------------
 
@@ -91,13 +80,14 @@ struct RunResult {
   Solution solution;
 };
 
-RunResult RunOnce(const Model& m, bool incremental, int threads = 1) {
+RunResult RunOnce(const Model& m, bool incremental, int threads = 1, bool decompose = false) {
   MipOptions options;
   options.time_limit_seconds = 0.0;  // run each search to completion
   options.relative_gap = 0.0;
   options.absolute_gap = 1e-9;
   options.use_incremental_lp = incremental;
   options.num_threads = threads;
+  options.decompose = decompose;
   RunResult r;
   const auto start = std::chrono::steady_clock::now();
   r.solution = SolveMip(m, options, &r.stats);
@@ -124,6 +114,11 @@ void EmitRun(bench::JsonRecords& out, const std::string& label, uint64_t seed,
       .Field("total_pivots", r.stats.total_pivots)
       .Field("warm_start_hits", r.stats.warm_start_hits)
       .Field("cold_restarts", r.stats.cold_restarts)
+      // Presolve reductions now ride along in MipStats (no separate
+      // Presolved() re-run needed to report them).
+      .Field("presolve_singleton_rows", r.stats.presolve.singleton_rows)
+      .Field("presolve_redundant_rows", r.stats.presolve.redundant_rows)
+      .Field("presolve_bounds_tightened", r.stats.presolve.bounds_tightened)
       .End();
 }
 
@@ -198,6 +193,96 @@ int RunThreadSweep(bench::JsonRecords& out) {
       if (!objectives_match) {
         ++failures;
       }
+    }
+  }
+  return failures;
+}
+
+// ---- Decomposition sweep: monolithic vs component-decomposed --------------
+//
+// Block-diagonal placement models (sparse tag graphs: containers only have
+// candidate nodes inside their own block) solved twice at 4 worker threads
+// with exact gaps — once monolithically, once with MipOptions::decompose —
+// and the certified objectives compared. Branch and bound is exponential in
+// the component size, so the decomposed path's k small trees beat the one
+// big tree by orders of magnitude; tools/check_bench.py enforces a speedup
+// floor and the component-count sanity (components == blocks) on the
+// emitted "decompose" records.
+int RunDecompositionSweep(bench::JsonRecords& out) {
+  bench::PrintHeader("Solver micro: monolithic vs component-decomposed",
+                     "decomposed solves of block-diagonal models must certify the "
+                     "monolithic objective, >= 5x faster");
+  bench::PrintRow({"model", "blocks", "mono ms", "dec ms", "speedup", "components",
+                   "objective"});
+
+  struct Tier {
+    int containers;
+    int nodes;
+    int blocks;
+  };
+  const std::vector<Tier> kTiers = {{40, 20, 5}, {80, 40, 10}};
+  // Seeds where the monolithic search completes within the node cap (the
+  // comparison needs both sides to certify optimality).
+  const std::vector<uint64_t> kSeeds = {3, 5, 13};
+
+  int failures = 0;
+  for (const Tier& tier : kTiers) {
+    const std::string label =
+        std::to_string(tier.containers) + "x" + std::to_string(tier.nodes);
+    double mono_wall = 0.0;
+    double dec_wall = 0.0;
+    long long mono_nodes = 0;
+    long long dec_nodes = 0;
+    int components = 0;
+    int relax_accepted = 0;
+    int relax_rejected = 0;
+    int model_vars = 0;
+    bool objectives_match = true;
+    bool components_ok = true;
+    for (const uint64_t seed : kSeeds) {
+      const Model m =
+          DecomposablePlacementModel(tier.containers, tier.nodes, tier.blocks, seed);
+      model_vars = m.num_variables();
+      const RunResult mono = RunOnce(m, /*incremental=*/true, /*threads=*/4);
+      const RunResult dec =
+          RunOnce(m, /*incremental=*/true, /*threads=*/4, /*decompose=*/true);
+      mono_wall += mono.wall_seconds;
+      dec_wall += dec.wall_seconds;
+      mono_nodes += mono.stats.nodes_explored;
+      dec_nodes += dec.stats.nodes_explored;
+      components = dec.stats.components;
+      relax_accepted += dec.stats.relax_round_accepted;
+      relax_rejected += dec.stats.relax_round_rejected;
+      objectives_match = objectives_match &&
+                         mono.solution.status == SolveStatus::kOptimal &&
+                         dec.solution.status == SolveStatus::kOptimal &&
+                         std::fabs(mono.solution.objective - dec.solution.objective) < 1e-6;
+      components_ok = components_ok && dec.stats.components == tier.blocks;
+    }
+    const double speedup = dec_wall > 0.0 ? mono_wall / dec_wall : 0.0;
+    out.Begin()
+        .Field("kind", "decompose")
+        .Field("model", label)
+        .Field("vars", model_vars)
+        .Field("blocks", static_cast<long long>(tier.blocks))
+        .Field("components", components)
+        .Field("components_ok", components_ok)
+        .Field("seeds", static_cast<long long>(kSeeds.size()))
+        .Field("mono_wall_seconds", mono_wall)
+        .Field("decomposed_wall_seconds", dec_wall)
+        .Field("mono_nodes", mono_nodes)
+        .Field("decomposed_nodes", dec_nodes)
+        .Field("relax_round_accepted", relax_accepted)
+        .Field("relax_round_rejected", relax_rejected)
+        .Field("speedup_vs_mono", speedup)
+        .Field("objectives_match", objectives_match)
+        .End();
+    bench::PrintRow({label, std::to_string(tier.blocks), bench::Fmt(mono_wall * 1e3),
+                     bench::Fmt(dec_wall * 1e3), bench::Fmt(speedup) + "x",
+                     std::to_string(components),
+                     objectives_match ? "match" : "MISMATCH"});
+    if (!objectives_match || !components_ok) {
+      ++failures;
     }
   }
   return failures;
@@ -295,6 +380,7 @@ int RunComparison() {
   bench::PrintRow({"TOTAL", "ratio", bench::Fmt(total_wall_ratio) + "x", "", "",
                    bench::Fmt(total_pivot_ratio) + "x", "", ""});
   failures += RunThreadSweep(out);
+  failures += RunDecompositionSweep(out);
   if (!out.WriteFile("BENCH_solver_micro.json")) {
     ++failures;
   }

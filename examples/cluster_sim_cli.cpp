@@ -9,12 +9,17 @@
 //                   [--interval MS] [--minutes M] [--migration MS]
 //                   [--conflict resubmit|kill|reserve] [--seed S]
 //                   [--runtime] [--runtime-wall-ms MS]
-//                   [--solver-threads N]
+//                   [--solver-threads N] [--solver-decompose]
 //                   [--metrics-out FILE] [--trace-out FILE]
 //
 // --solver-threads N (default 1) runs each ILP scheduling cycle's
 // branch-and-bound with N worker threads (parallel tree search with work
 // stealing; see docs/solver.md). Only the medea-ilp scheduler uses it.
+//
+// --solver-decompose splits each cycle ILP into the connected components of
+// its variable-row incidence graph and solves them as independent sub-MIPs
+// across the worker budget, with a relax-and-round fast lane for large
+// components (see docs/solver.md). Only the medea-ilp scheduler uses it.
 //
 // With --runtime the scenario is replayed through the real concurrent
 // TwoSchedulerRuntime (src/runtime/) — actual scheduler + heartbeat
@@ -76,6 +81,8 @@ struct Options {
   // Branch-and-bound worker threads for the ILP scheduler's per-cycle solve
   // (SchedulerConfig::solver_threads). Must be >= 1.
   int solver_threads = 1;
+  // Component-decomposed cycle ILP (SchedulerConfig::solver_decompose).
+  bool solver_decompose = false;
   // Observability sinks: enabling either turns the src/obs layer on.
   std::string metrics_out;
   std::string trace_out;
@@ -86,6 +93,7 @@ std::unique_ptr<LraScheduler> MakeLraScheduler(const Options& options) {
   config.node_pool_size = static_cast<int>(std::min<size_t>(options.nodes, 96));
   config.ilp_time_limit_seconds = 1.0;
   config.solver_threads = options.solver_threads;
+  config.solver_decompose = options.solver_decompose;
   config.seed = options.seed;
   if (options.scheduler == "medea-ilp") {
     return std::make_unique<MedeaIlpScheduler>(config);
@@ -159,6 +167,8 @@ bool ParseArgs(int argc, char** argv, Options& options) {
                      argv[i]);
         std::exit(2);
       }
+    } else if (flag == "--solver-decompose") {
+      options.solver_decompose = true;
     } else if (flag == "--metrics-out") {
       options.metrics_out = next();
     } else if (flag == "--trace-out") {
@@ -331,7 +341,7 @@ int main(int argc, char** argv) {
                 "          [--gridmix-frac F] [--interval MS] [--minutes M]\n"
                 "          [--migration MS] [--conflict resubmit|kill|reserve] [--seed S]\n"
                 "          [--runtime] [--runtime-wall-ms MS]\n"
-                "          [--solver-threads N]\n"
+                "          [--solver-threads N] [--solver-decompose]\n"
                 "          [--metrics-out FILE] [--trace-out FILE]\n"
                 "       %s --scenario FILE\n",
                 argv[0], argv[0]);

@@ -615,6 +615,10 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
   // --solver-threads): same certified objective, lower wall-clock per cycle
   // on multi-core hosts.
   options.num_threads = config_.solver_threads;
+  // Component decomposition (SchedulerConfig::solver_decompose /
+  // --solver-decompose): sparse tag graphs separate into independent
+  // sub-MIPs, each exponentially cheaper than the stitched model.
+  options.decompose = config_.solver_decompose;
   // Under an installed audit hook, have the solver re-certify any incumbent
   // it returns against the model (bounds, rows, integrality).
   options.certify = GetPlacementAuditor() != nullptr;

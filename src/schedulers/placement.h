@@ -166,6 +166,13 @@ struct SchedulerConfig {
   // work-stealing worker pool — same certified objective, lower wall-clock
   // on multi-core hosts. Exposed on the CLI as --solver-threads.
   int solver_threads = 1;
+  // Component decomposition for the cycle ILP (MipOptions::decompose): split
+  // the placement model into the connected components of its variable-row
+  // incidence graph — disjoint rack/tag neighborhoods — and solve them as
+  // independent sub-MIPs across solver_threads workers, with a
+  // relax-and-round fast lane for large components. Exposed on the CLI as
+  // --solver-decompose; see docs/solver.md.
+  bool solver_decompose = false;
   // Seed the branch-and-bound with the Serial greedy's plan (strongly
   // recommended; placement models are too symmetric to dive cold). Exposed
   // for the warm-start ablation.

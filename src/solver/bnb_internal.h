@@ -22,6 +22,18 @@ namespace medea::solver::internal {
 
 using Clock = std::chrono::steady_clock;
 
+// Worker-thread cap shared by every engine; see MipOptions::num_threads.
+inline constexpr int kMaxSolverThreads = 64;
+
+// Effective worker count: deterministic mode forfeits parallelism for a
+// reproducible (serial) tree; see MipOptions::deterministic.
+inline int EffectiveThreads(const MipOptions& options) {
+  if (options.deterministic) {
+    return 1;
+  }
+  return std::clamp(options.num_threads, 1, kMaxSolverThreads);
+}
+
 // Fraction of the remaining global budget a single node LP may consume.
 // Deriving the per-LP cap from the remaining budget *at dispatch time* —
 // instead of handing every LP the entire remainder — keeps one degenerate
@@ -211,6 +223,14 @@ inline int MostFractionalVar(const Model& model, const std::vector<double>& x,
 // has integer variables, options.num_threads >= 2 and !options.deterministic.
 // A complete run returns the same certified objective as the serial search.
 Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStats* stats);
+
+// The full solve pipeline behind the public SolveMip, without its obs span
+// and counter emission: presolve, the decomposition dispatch, the LP-only
+// path, serial or parallel branch and bound, and incumbent certification.
+// The decomposed path (decompose.cc) re-enters it for component sub-solves
+// (with decompose off), so sub-solve statistics roll up into one MipStats
+// and observability counters are emitted exactly once per public call.
+Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* stats);
 
 }  // namespace medea::solver::internal
 

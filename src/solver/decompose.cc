@@ -1,0 +1,592 @@
+// Copyright (c) Medea reproduction authors.
+// Component-decomposed MIP solving (see decompose.h).
+//
+// Pipeline, entered from SolveMipImpl when MipOptions::decompose is set and
+// the (presolved) model still has integer variables:
+//
+//   1. DecomposeModel: union-find over the variable-row incidence graph.
+//      One component, nothing to gain -> monolithic solve, same engine as
+//      before, only the component accounting recorded.
+//   2. Components are solved largest-first by a pool of
+//      min(num_threads, components) workers pulling from one atomic index.
+//      Each component sub-solve is serial (component-level parallelism
+//      replaces tree-level parallelism) and gets the remaining global
+//      wall-clock budget at dispatch time as its own deadline.
+//   3. Per component: a relax-and-round fast lane (one LP relaxation, then
+//      the root rounding repair from the exact engines applied to a scratch
+//      copy) whose result is accepted only when the solver-side certifier
+//      passes AND the objective is within the pruning gap of the LP dual
+//      bound. Anything else falls back to exact branch and bound for that
+//      component only — with the rounded point as a warm start when it was
+//      feasible, and root reduced-cost fixing enabled.
+//   4. Stitching: per-component solutions map back through Component::vars,
+//      fixed variables contribute their bound value, constant rows are
+//      checked directly. The dual bound is the sum of the per-component
+//      bounds (valid because objective and constraints separate), so
+//      verify::CertifySolution can audit the stitched result exactly like a
+//      monolithic one.
+
+#include "src/solver/decompose.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sync/thread.h"
+#include "src/obs/trace.h"
+#include "src/solver/bnb_internal.h"
+#include "src/solver/simplex.h"
+
+namespace medea::solver {
+namespace {
+
+using internal::Clock;
+
+// Path-halving union-find over variable indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] = parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) {
+      parent_[static_cast<size_t>(b)] = a;
+    }
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Fixed columns are constants: no component membership, no row gluing.
+bool FixedColumn(const Model::Column& col) { return col.lower == col.upper; }
+
+}  // namespace
+
+Decomposition DecomposeModel(const Model& model) {
+  const int n = model.num_variables();
+  const int m = model.num_rows();
+  UnionFind uf(n);
+  for (int r = 0; r < m; ++r) {
+    const auto& row = model.row(r);
+    int anchor = -1;
+    for (const auto& term : row.terms) {
+      if (FixedColumn(model.column(term.first))) {
+        continue;
+      }
+      if (anchor < 0) {
+        anchor = term.first;
+      } else {
+        uf.Union(anchor, term.first);
+      }
+    }
+  }
+
+  Decomposition dec;
+  dec.component_of_var.assign(static_cast<size_t>(n), -1);
+  std::vector<int> comp_of_root(static_cast<size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    const auto& col = model.column(j);
+    if (FixedColumn(col)) {
+      continue;
+    }
+    int& cid = comp_of_root[static_cast<size_t>(uf.Find(j))];
+    if (cid < 0) {
+      cid = static_cast<int>(dec.components.size());
+      dec.components.emplace_back();
+    }
+    dec.component_of_var[static_cast<size_t>(j)] = cid;
+    Component& comp = dec.components[static_cast<size_t>(cid)];
+    comp.vars.push_back(j);
+    if (col.type != VarType::kContinuous) {
+      ++comp.num_integer;
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    const auto& row = model.row(r);
+    int cid = -1;
+    for (const auto& term : row.terms) {
+      cid = dec.component_of_var[static_cast<size_t>(term.first)];
+      if (cid >= 0) {
+        break;
+      }
+    }
+    if (cid < 0) {
+      dec.constant_rows.push_back(r);
+    } else {
+      dec.components[static_cast<size_t>(cid)].rows.push_back(r);
+    }
+  }
+
+  // Largest searches first (see Decomposition::components). Stable sort so
+  // equal-size components keep model order and the result is deterministic.
+  std::vector<int> order(dec.components.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&dec](int a, int b) {
+    const Component& ca = dec.components[static_cast<size_t>(a)];
+    const Component& cb = dec.components[static_cast<size_t>(b)];
+    if (ca.num_integer != cb.num_integer) {
+      return ca.num_integer > cb.num_integer;
+    }
+    return ca.rows.size() > cb.rows.size();
+  });
+  std::vector<Component> sorted;
+  sorted.reserve(dec.components.size());
+  std::vector<int> new_of_old(dec.components.size(), 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    new_of_old[static_cast<size_t>(order[i])] = static_cast<int>(i);
+    sorted.push_back(std::move(dec.components[static_cast<size_t>(order[i])]));
+  }
+  dec.components = std::move(sorted);
+  for (int& c : dec.component_of_var) {
+    if (c >= 0) {
+      c = new_of_old[static_cast<size_t>(c)];
+    }
+  }
+  return dec;
+}
+
+Model ExtractComponent(const Model& model, const Component& comp) {
+  Model sub;
+  sub.SetMaximize(model.maximize());
+  std::vector<int> local(static_cast<size_t>(model.num_variables()), -1);
+  for (size_t i = 0; i < comp.vars.size(); ++i) {
+    const VarIndex v = comp.vars[i];
+    const auto& col = model.column(v);
+    local[static_cast<size_t>(v)] = static_cast<int>(i);
+    const VarIndex added = sub.AddVariable(col.lower, col.upper, col.objective, col.type, col.name);
+    // AddVariable clamps binary bounds to [0,1]; restore the exact incoming
+    // box (branching / presolve may have tightened it already).
+    sub.SetBounds(added, col.lower, col.upper);
+  }
+  for (const RowIndex r : comp.rows) {
+    const auto& row = model.row(r);
+    std::vector<std::pair<VarIndex, double>> terms;
+    terms.reserve(row.terms.size());
+    double rhs = row.rhs;
+    for (const auto& term : row.terms) {
+      const int lv = local[static_cast<size_t>(term.first)];
+      if (lv >= 0) {
+        terms.emplace_back(lv, term.second);
+      } else {
+        // Fixed variable: fold its constant contribution into the rhs.
+        rhs -= term.second * model.column(term.first).lower;
+      }
+    }
+    sub.AddRow(std::move(terms), row.sense, rhs, row.name);
+  }
+  return sub;
+}
+
+bool CheckIncumbent(const Model& model, const std::vector<double>& values,
+                    double feasibility_tol, double integrality_tol) {
+  if (static_cast<int>(values.size()) != model.num_variables()) {
+    return false;
+  }
+  if (!model.IsFeasible(values, feasibility_tol)) {
+    return false;
+  }
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = values[static_cast<size_t>(j)];
+    if (std::fabs(v - std::round(v)) > integrality_tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace internal {
+namespace {
+
+// Accounting of one component solve, merged into the caller's MipStats
+// after the workers join.
+struct ComponentResult {
+  Solution solution;
+  MipStats stats;
+  bool fast_lane_accepted = false;
+  bool fast_lane_rejected = false;
+};
+
+// Folds one component's counters into the aggregate. Dual-bound fields are
+// handled by the stitcher (bounds sum, they do not accumulate).
+void AccumulateStats(const MipStats& in, MipStats* out) {
+  out->nodes_explored += in.nodes_explored;
+  out->lp_solves += in.lp_solves;
+  out->lp_failures += in.lp_failures;
+  out->hit_time_limit = out->hit_time_limit || in.hit_time_limit;
+  out->hit_node_limit = out->hit_node_limit || in.hit_node_limit;
+  out->lp_time_seconds += in.lp_time_seconds;
+  out->total_pivots += in.total_pivots;
+  out->warm_start_hits += in.warm_start_hits;
+  out->cold_restarts += in.cold_restarts;
+  out->presolve.singleton_rows += in.presolve.singleton_rows;
+  out->presolve.redundant_rows += in.presolve.redundant_rows;
+  out->presolve.bounds_tightened += in.presolve.bounds_tightened;
+  out->reduced_cost_fixed += in.reduced_cost_fixed;
+  out->steals += in.steals;
+}
+
+// Analytic solve of a row-less singleton component: push the variable to
+// whichever bound the objective favors.
+Solution SolveFreeVariable(const Model::Column& col, bool maximize) {
+  Solution s;
+  const double cscore = maximize ? col.objective : -col.objective;
+  double lo = col.lower;
+  double hi = col.upper;
+  if (col.type != VarType::kContinuous) {
+    lo = std::ceil(lo - 1e-9);
+    hi = std::floor(hi + 1e-9);
+    if (lo > hi) {
+      s.status = SolveStatus::kInfeasible;
+      return s;
+    }
+  }
+  double v = 0.0;
+  if (cscore > 0.0) {
+    if (!std::isfinite(hi)) {
+      s.status = SolveStatus::kUnbounded;
+      return s;
+    }
+    v = hi;
+  } else if (cscore < 0.0) {
+    if (!std::isfinite(lo)) {
+      s.status = SolveStatus::kUnbounded;
+      return s;
+    }
+    v = lo;
+  } else {
+    v = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0.0);
+  }
+  s.status = SolveStatus::kOptimal;
+  s.values = {v};
+  s.objective = col.objective * v;
+  return s;
+}
+
+enum class FastLane {
+  kAccepted,  // *out holds a certified, within-gap incumbent
+  kRejected,  // fall back to exact branch and bound
+  kVerdict,   // the LP relaxation settled the component (infeasible/unbounded)
+};
+
+// Relax-and-round fast lane on one component sub-model: one LP relaxation,
+// then (if fractional) the exact engines' root rounding repair on a scratch
+// copy. Acceptance requires the solver-side certifier AND an objective
+// within the pruning gap of the LP dual bound. On rejection, a feasible but
+// out-of-gap rounded point is left in *warm to seed the exact search.
+FastLane TryRelaxAndRound(const Model& sub, const MipOptions& options,
+                          const LpOptions& lp_options, MipStats* stats, Solution* out,
+                          std::vector<double>* warm) {
+  auto timed_lp = [&](const Model& m) {
+    const auto start = Clock::now();
+    LpStats lp_stats;
+    const Solution lp = SolveLp(m, lp_options, &lp_stats);
+    ++stats->lp_solves;
+    ++stats->cold_restarts;
+    stats->total_pivots += lp_stats.iterations;
+    stats->lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+    return lp;
+  };
+
+  const Solution relax = timed_lp(sub);
+  if (relax.status == SolveStatus::kInfeasible || relax.status == SolveStatus::kUnbounded) {
+    out->status = relax.status;
+    return FastLane::kVerdict;
+  }
+  if (relax.status != SolveStatus::kOptimal) {
+    return FastLane::kRejected;
+  }
+
+  std::vector<double> candidate;
+  if (MostFractionalVar(sub, relax.values, options.integrality_tol) < 0) {
+    candidate = relax.values;
+  } else {
+    Model scratch = sub;
+    for (int j = 0; j < scratch.num_variables(); ++j) {
+      const auto& col = scratch.column(j);
+      if (col.type == VarType::kContinuous) {
+        continue;
+      }
+      const double v =
+          std::clamp(std::round(relax.values[static_cast<size_t>(j)]), col.lower, col.upper);
+      scratch.SetBounds(j, v, v);
+    }
+    const Solution repaired = timed_lp(scratch);
+    if (repaired.status != SolveStatus::kOptimal) {
+      return FastLane::kRejected;
+    }
+    candidate = repaired.values;
+  }
+  if (!CheckIncumbent(sub, candidate, 1e-5, options.integrality_tol)) {
+    return FastLane::kRejected;
+  }
+
+  const double objective = sub.Objective(candidate);
+  const double score = sub.maximize() ? objective : -objective;
+  const double bound_score = sub.maximize() ? relax.objective : -relax.objective;
+  const double gap =
+      std::max(options.absolute_gap, options.relative_gap * std::fabs(objective));
+  if (bound_score - score > gap) {
+    // Feasible and integral but not provably near-optimal: hand it to the
+    // exact search as a warm start instead.
+    *warm = std::move(candidate);
+    return FastLane::kRejected;
+  }
+  out->status = SolveStatus::kOptimal;
+  out->objective = objective;
+  out->values = std::move(candidate);
+  stats->has_best_bound = true;
+  stats->best_bound = relax.objective;
+  return FastLane::kAccepted;
+}
+
+ComponentResult SolveOneComponent(const Model& model, const Component& comp,
+                                  const MipOptions& options, bool deadline_active,
+                                  Clock::time_point deadline, int num_components) {
+  obs::ScopedSpan span("solver.component", "solver");
+  ComponentResult res;
+  if (comp.rows.empty() && comp.vars.size() == 1) {
+    res.solution = SolveFreeVariable(model.column(comp.vars[0]), model.maximize());
+    if (res.solution.status == SolveStatus::kOptimal) {
+      res.stats.has_best_bound = true;
+      res.stats.best_bound = res.solution.objective;
+    }
+    return res;
+  }
+
+  const Model sub = ExtractComponent(model, comp);
+  MipOptions sub_options = options;
+  sub_options.decompose = false;
+  // The dispatcher certifies the stitched full solution.
+  sub_options.certify = false;
+  // Component-level parallelism replaces tree-level parallelism: with
+  // several components in flight each sub-search stays serial; a model that
+  // yielded one real component plus trivia keeps the full worker budget for
+  // its single tree.
+  sub_options.num_threads = num_components > 1 ? 1 : options.num_threads;
+  // Sub-searches are compared by certified objective only (tree shape is
+  // per-component anyway), so the basis-dependent fixing is pure win here.
+  sub_options.reduced_cost_fixing = true;
+  // Per-component deadline: the remaining global budget at dispatch time.
+  if (deadline_active) {
+    const double remaining =
+        std::chrono::duration<double>(deadline - Clock::now()).count();
+    sub_options.time_limit_seconds = std::max(1e-9, remaining);
+  }
+  sub_options.warm_start.clear();
+  if (static_cast<int>(options.warm_start.size()) == model.num_variables()) {
+    sub_options.warm_start.reserve(comp.vars.size());
+    for (const VarIndex v : comp.vars) {
+      sub_options.warm_start.push_back(options.warm_start[static_cast<size_t>(v)]);
+    }
+  }
+
+  if (options.relax_and_round && sub.num_integer_variables() >= options.relax_round_min_integers) {
+    std::vector<double> warm;
+    LpOptions fast_lp = sub_options.lp;
+    if (deadline_active) {
+      const double remaining = std::max(
+          1e-9, std::chrono::duration<double>(deadline - Clock::now()).count());
+      fast_lp.time_limit_seconds = fast_lp.time_limit_seconds > 0
+                                       ? std::min(fast_lp.time_limit_seconds, remaining)
+                                       : remaining;
+    }
+    const FastLane lane =
+        TryRelaxAndRound(sub, sub_options, fast_lp, &res.stats, &res.solution, &warm);
+    if (lane == FastLane::kAccepted) {
+      res.fast_lane_accepted = true;
+      return res;
+    }
+    if (lane == FastLane::kVerdict) {
+      return res;
+    }
+    res.fast_lane_rejected = true;
+    if (!warm.empty()) {
+      sub_options.warm_start = std::move(warm);
+    }
+  }
+
+  MipStats search_stats;
+  res.solution = SolveMipImpl(sub, sub_options, &search_stats);
+  AccumulateStats(search_stats, &res.stats);
+  if (search_stats.has_best_bound) {
+    res.stats.has_best_bound = true;
+    res.stats.best_bound = search_stats.best_bound;
+  }
+  return res;
+}
+
+}  // namespace
+
+Solution SolveMipDecomposed(const Model& model, const MipOptions& options, MipStats* stats) {
+  const auto start = Clock::now();
+  const bool deadline_active = options.time_limit_seconds > 0;
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(std::max(0.0, options.time_limit_seconds)));
+
+  const Decomposition dec = DecomposeModel(model);
+  const int num_components = static_cast<int>(dec.components.size());
+  int largest = 0;
+  for (const Component& comp : dec.components) {
+    largest = std::max(largest, comp.num_integer);
+  }
+
+  if (num_components <= 1) {
+    // The model did not separate (or is all-fixed): monolithic solve, with
+    // only the component accounting added on top.
+    MipOptions mono = options;
+    mono.decompose = false;
+    Solution solution = SolveMipImpl(model, mono, stats);
+    if (stats != nullptr) {
+      stats->components = num_components;
+      stats->largest_component_integers = largest;
+    }
+    return solution;
+  }
+
+  if (stats != nullptr) {
+    stats->components = num_components;
+    stats->largest_component_integers = largest;
+  }
+
+  Solution solution;
+  // Constant rows reference only fixed variables: check them against the
+  // fixed values directly (1e-5, the certifier's feasibility tolerance).
+  for (const RowIndex r : dec.constant_rows) {
+    const auto& row = model.row(r);
+    double activity = 0.0;
+    for (const auto& term : row.terms) {
+      activity += term.second * model.column(term.first).lower;
+    }
+    const bool ok = row.sense == RowSense::kLessEqual ? activity <= row.rhs + 1e-5
+                    : row.sense == RowSense::kGreaterEqual
+                        ? activity >= row.rhs - 1e-5
+                        : std::fabs(activity - row.rhs) <= 1e-5;
+    if (!ok) {
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+  }
+
+  // Solve components largest-first: a pool of min(threads, components)
+  // workers pulls indices from one atomic counter; each result lands in its
+  // own slot, so the only cross-thread traffic is the counter itself.
+  std::vector<ComponentResult> results(static_cast<size_t>(num_components));
+  const int workers = std::min(EffectiveThreads(options), num_components);
+  std::atomic<int> next{0};
+  auto drain = [&model, &dec, &options, &results, &next, deadline_active, deadline,
+                num_components]() {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_components) {
+        return;
+      }
+      results[static_cast<size_t>(i)] =
+          SolveOneComponent(model, dec.components[static_cast<size_t>(i)], options,
+                            deadline_active, deadline, num_components);
+    }
+  };
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<sync::Thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      pool.emplace_back("medea-comp-" + std::to_string(i), drain);
+    }
+  }  // joins every pool thread
+
+  // Stitch: fixed variables contribute their bound value, component
+  // solutions map back through Component::vars.
+  std::vector<double> values(static_cast<size_t>(model.num_variables()), 0.0);
+  double fixed_objective = 0.0;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto& col = model.column(j);
+    if (dec.component_of_var[static_cast<size_t>(j)] < 0) {
+      values[static_cast<size_t>(j)] = col.lower;
+      fixed_objective += col.objective * col.lower;
+    }
+  }
+  bool all_solved = true;
+  bool all_optimal = true;
+  bool any_infeasible = false;
+  bool any_unbounded = false;
+  bool all_bounded = true;
+  double bound_sum = fixed_objective;
+  for (int i = 0; i < num_components; ++i) {
+    const ComponentResult& res = results[static_cast<size_t>(i)];
+    const Component& comp = dec.components[static_cast<size_t>(i)];
+    if (stats != nullptr) {
+      AccumulateStats(res.stats, stats);
+      stats->relax_round_accepted += res.fast_lane_accepted ? 1 : 0;
+      stats->relax_round_rejected += res.fast_lane_rejected ? 1 : 0;
+    }
+    if (res.solution.status == SolveStatus::kInfeasible) {
+      any_infeasible = true;
+    } else if (res.solution.status == SolveStatus::kUnbounded) {
+      any_unbounded = true;
+    } else if (res.solution.HasSolution()) {
+      for (size_t k = 0; k < comp.vars.size(); ++k) {
+        values[static_cast<size_t>(comp.vars[k])] = res.solution.values[k];
+      }
+      all_optimal = all_optimal && res.solution.status == SolveStatus::kOptimal;
+    } else {
+      all_solved = false;
+    }
+    if (res.stats.has_best_bound) {
+      bound_sum += res.stats.best_bound;
+    } else {
+      all_bounded = false;
+    }
+  }
+  if (stats != nullptr) {
+    stats->threads_used = workers;
+  }
+
+  // Any infeasible component proves the whole model infeasible; any
+  // unbounded one (absent infeasibility) makes it unbounded. A component
+  // with no incumbent at all leaves no full assignment to stitch.
+  if (any_infeasible) {
+    solution.status = SolveStatus::kInfeasible;
+    return solution;
+  }
+  if (any_unbounded) {
+    solution.status = SolveStatus::kUnbounded;
+    return solution;
+  }
+  if (!all_solved) {
+    solution.status = SolveStatus::kTimeLimit;
+    return solution;
+  }
+  solution.status = all_optimal ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+  solution.values = std::move(values);
+  solution.objective = model.Objective(solution.values);
+  if (stats != nullptr && all_bounded) {
+    stats->has_best_bound = true;
+    stats->best_bound = bound_sum;
+  }
+  return solution;
+}
+
+}  // namespace internal
+}  // namespace medea::solver

@@ -765,6 +765,14 @@ Solution IncrementalLpSolver::Extract() const {
   }
   solution.status = SolveStatus::kOptimal;
   solution.objective = model_.Objective(solution.values);
+  // Reduced costs of the structural columns (internal costs are already in
+  // the maximize sense; basic columns report exactly 0).
+  solution.reduced_costs.resize(static_cast<size_t>(n_));
+  for (int j = 0; j < n_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    solution.reduced_costs[sj] =
+        (basic_row_[sj] >= 0 || lower_[sj] == upper_[sj]) ? 0.0 : dj_[sj];
+  }
   return solution;
 }
 

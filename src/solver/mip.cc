@@ -4,6 +4,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/solver/bnb_internal.h"
+#include "src/solver/decompose.h"
 #include "src/solver/incremental_lp.h"
 #include "src/solver/presolve.h"
 
@@ -17,18 +18,6 @@ namespace medea::solver {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-// Worker-thread cap for the parallel search; see MipOptions::num_threads.
-constexpr int kMaxSolverThreads = 64;
-
-// Effective worker count: deterministic mode forfeits parallelism for a
-// reproducible (serial) tree; see MipOptions::deterministic.
-int EffectiveThreads(const MipOptions& options) {
-  if (options.deterministic) {
-    return 1;
-  }
-  return std::clamp(options.num_threads, 1, kMaxSolverThreads);
-}
 
 class BranchAndBound {
  public:
@@ -240,6 +229,44 @@ void BranchAndBound::Dfs(int depth) {
       return;  // the repaired incumbent already matches this node's bound
     }
   }
+  // Root reduced-cost fixing (MipOptions::reduced_cost_fixing): by LP
+  // duality, any feasible point that moves variable j one unit off the
+  // bound its reduced cost d holds it at scores no better than the root
+  // bound plus -|d|. When even that ceiling cannot beat the incumbent by
+  // more than the pruning gap, the variable is fixed at its bound for the
+  // ENTIRE search — the same within-gap solutions the gap test already
+  // forfeits. The bounds are never restored: Dfs(0) is the root invocation,
+  // so nothing outlives the fixes.
+  if (depth == 0 && opts_.reduced_cost_fixing && have_incumbent_ &&
+      lp.reduced_costs.size() == static_cast<size_t>(model_.num_variables())) {
+    const double fix_gap =
+        std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
+    int fixed = 0;
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      const auto& col = model_.column(j);
+      if (col.type == VarType::kContinuous || col.lower >= col.upper || j == branch_var) {
+        continue;
+      }
+      const double rc = lp.reduced_costs[static_cast<size_t>(j)];
+      double fix_at = 0.0;
+      if (rc < 0.0 && bound + rc <= best_score_ + fix_gap) {
+        fix_at = col.lower;  // nonbasic at lower, cannot profitably rise
+      } else if (rc > 0.0 && bound - rc <= best_score_ + fix_gap) {
+        fix_at = col.upper;  // nonbasic at upper, cannot profitably drop
+      } else {
+        continue;
+      }
+      if (!std::isfinite(fix_at) ||
+          std::fabs(fix_at - std::round(fix_at)) > opts_.integrality_tol) {
+        continue;  // only fix at a clean integer bound
+      }
+      SetVarBounds(j, std::round(fix_at), std::round(fix_at));
+      ++fixed;
+    }
+    if (stats_ != nullptr) {
+      stats_->reduced_cost_fixed += fixed;
+    }
+  }
 
   const double v = lp.values[static_cast<size_t>(branch_var)];
   const double floor_v = std::floor(v);
@@ -334,6 +361,10 @@ void CertifyIncumbent(const Model& model, const MipOptions& options, const Solut
   }
 }
 
+}  // namespace
+
+namespace internal {
+
 Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* stats) {
   if (stats != nullptr) {
     *stats = MipStats{};
@@ -342,6 +373,9 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
     PresolveStats presolve_stats;
     const Model reduced = Presolved(model, &presolve_stats);
     if (presolve_stats.proven_infeasible) {
+      if (stats != nullptr) {
+        stats->presolve = presolve_stats;
+      }
       Solution solution;
       solution.status = SolveStatus::kInfeasible;
       return solution;
@@ -350,7 +384,15 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
         presolve_stats.bounds_tightened > 0) {
       MipOptions reduced_options = options;
       reduced_options.presolve = false;
-      return SolveMipImpl(reduced, reduced_options, stats);
+      Solution solution = SolveMipImpl(reduced, reduced_options, stats);
+      // The recursion reset *stats, so fold this pass's reductions in after
+      // it returns (on top of any reductions component sub-presolves found).
+      if (stats != nullptr) {
+        stats->presolve.singleton_rows += presolve_stats.singleton_rows;
+        stats->presolve.redundant_rows += presolve_stats.redundant_rows;
+        stats->presolve.bounds_tightened += presolve_stats.bounds_tightened;
+      }
+      return solution;
     }
   }
   if (model.num_integer_variables() == 0) {
@@ -371,12 +413,17 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
     CertifyIncumbent(model, options, solution);
     return solution;
   }
+  if (options.decompose) {
+    Solution solution = SolveMipDecomposed(model, options, stats);
+    CertifyIncumbent(model, options, solution);
+    return solution;
+  }
   const int threads = EffectiveThreads(options);
   Solution solution;
   if (threads > 1) {
     MipOptions parallel_options = options;
     parallel_options.num_threads = threads;
-    solution = internal::SolveMipParallel(model, parallel_options, stats);
+    solution = SolveMipParallel(model, parallel_options, stats);
   } else {
     BranchAndBound bnb(model, options, stats);
     solution = bnb.Run();
@@ -385,7 +432,7 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
   return solution;
 }
 
-}  // namespace
+}  // namespace internal
 
 Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats) {
   obs::ScopedSpan span("solver.solve_mip", "solver");
@@ -395,13 +442,22 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
   MipStats local_stats;
   MipStats* effective_stats =
       stats != nullptr ? stats : (obs::MetricsEnabled() ? &local_stats : nullptr);
-  Solution solution = SolveMipImpl(model, options, effective_stats);
+  Solution solution = internal::SolveMipImpl(model, options, effective_stats);
   if (effective_stats != nullptr && obs::MetricsEnabled()) {
     obs::Count("solver.nodes_explored", effective_stats->nodes_explored);
     obs::Count("solver.lp_solves", effective_stats->lp_solves);
     obs::Count("solver.pivots", effective_stats->total_pivots);
     obs::Count("solver.warm_start_hits", effective_stats->warm_start_hits);
     obs::Count("solver.cold_restarts", effective_stats->cold_restarts);
+    obs::Count("solver.presolve.singleton_rows", effective_stats->presolve.singleton_rows);
+    obs::Count("solver.presolve.redundant_rows", effective_stats->presolve.redundant_rows);
+    obs::Count("solver.presolve.bounds_tightened", effective_stats->presolve.bounds_tightened);
+    obs::Count("solver.reduced_cost_fixed", effective_stats->reduced_cost_fixed);
+    if (effective_stats->components > 0) {
+      obs::SetGauge("solver.components", effective_stats->components);
+      obs::Count("solver.relax_round.accepted", effective_stats->relax_round_accepted);
+      obs::Count("solver.relax_round.rejected", effective_stats->relax_round_rejected);
+    }
     if (effective_stats->threads_used > 1) {
       obs::SetGauge("solver.threads", effective_stats->threads_used);
       obs::Count("solver.worker.steals", effective_stats->steals);

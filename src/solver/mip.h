@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/solver/model.h"
+#include "src/solver/presolve.h"
 #include "src/solver/simplex.h"
 
 namespace medea::solver {
@@ -85,6 +86,37 @@ struct MipOptions {
   // trade-off, taken to its simple extreme: full reproducibility for zero
   // parallel speedup). Ignored when num_threads <= 1.
   bool deterministic = false;
+  // Component decomposition (src/solver/decompose.h): split the (presolved)
+  // model into the connected components of its variable-row incidence graph
+  // and solve them as independent sub-MIPs, scheduled across num_threads
+  // workers. Placement ILPs with sparse tag graphs routinely separate, and k
+  // small branch-and-bound trees are exponentially cheaper than one big one.
+  // The stitched solution carries the same optimality contract as the
+  // monolithic search (kOptimal only when every component completed within
+  // the configured gaps). Off by default: models that do not separate pay a
+  // single O(nnz) union-find pass for nothing, and tree-shape statistics
+  // stop being comparable with the monolithic engine.
+  bool decompose = false;
+  // Relax-and-round fast lane for decomposed solves: a component with at
+  // least relax_round_min_integers integer variables first solves its LP
+  // relaxation ONCE and rounds with a repair heuristic (the root-rounding
+  // dive generalized; see docs/solver.md). The rounded point is accepted
+  // only when it passes the solver-side certifier (row/bound feasibility +
+  // integrality) AND its objective is within the pruning gap
+  // (absolute_gap/relative_gap) of the LP bound — otherwise the component
+  // falls back to exact branch and bound. Ignored unless decompose is set.
+  bool relax_and_round = true;
+  int relax_round_min_integers = 64;
+  // Reduced-cost fixing at the root node: after the root relaxation and
+  // first incumbent, permanently fix 0/1 (and general integer) variables
+  // whose reduced cost proves no improving solution moves them off their
+  // bound. Off by default: reduced costs are basis-dependent, so fixing
+  // makes the explored tree depend on which optimal basis the node LP
+  // solver happened to reach — the cold/warm tree-identity guarantee of
+  // MipOptions::branching_perturbation (docs/solver.md) would no longer
+  // hold. The decomposed path enables it for its per-component fallback
+  // searches, where only the certified objective is compared.
+  bool reduced_cost_fixing = false;
   LpOptions lp;
 };
 
@@ -108,6 +140,25 @@ struct MipStats {
   // Node relaxations solved cold: the root solve, plus every basis-repair
   // failure that fell back to a from-scratch solve.
   int cold_restarts = 0;
+  // Reductions applied by the presolve pass that preceded the search (all
+  // zeros when MipOptions::presolve was off). Lets callers report presolve
+  // effectiveness without re-running Presolved() on the side.
+  PresolveStats presolve;
+  // Integer variables permanently fixed by root reduced-cost fixing
+  // (MipOptions::reduced_cost_fixing). Summed over all components of a
+  // decomposed solve.
+  int reduced_cost_fixed = 0;
+  // --- Decomposed search (MipOptions::decompose) ---------------------------
+  // Connected components of the variable-row incidence graph (0 when the
+  // decomposed path did not run; 1 means the model did not separate).
+  int components = 0;
+  // Integer-variable count of the largest component.
+  int largest_component_integers = 0;
+  // Components whose relax-and-round candidate passed the certifier and gap
+  // test (no branch and bound needed) vs. components where the fast lane was
+  // attempted and rejected (fell back to exact search).
+  int relax_round_accepted = 0;
+  int relax_round_rejected = 0;
   // Best dual (optimality) bound proven by the search, in the model's
   // objective sense: for a maximization no feasible point can exceed it
   // (minimization: fall below it). A complete search tightens it to the

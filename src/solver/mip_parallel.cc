@@ -192,6 +192,7 @@ struct LocalStats {
   long long warm_start_hits = 0;
   long long cold_restarts = 0;
   long long steals = 0;
+  long long rc_fixed = 0;
   double lp_time_seconds = 0.0;
 };
 
@@ -391,6 +392,54 @@ class Worker {
       }
     }
 
+    // Root reduced-cost fixing (MipOptions::reduced_cost_fixing; soundness
+    // argument in the serial engine, mip.cc). Exactly one worker ever
+    // processes the depth-0 node and no other node exists yet, so the fixes
+    // are raced by nobody. Each fix becomes a BoundStep on the children's
+    // path chain: every descendant — on whichever worker — replays it
+    // through MoveToNode, and this worker's rewind state stays consistent
+    // because the applied path is extended in step.
+    PathPtr branch_parent = node.path;
+    if (node.depth == 0 && opts_.reduced_cost_fixing &&
+        lp.reduced_costs.size() == static_cast<size_t>(model_.num_variables())) {
+      const double inc = shared_->incumbent_score.load(std::memory_order_relaxed);
+      if (inc > -kInfinity) {
+        const double fix_gap =
+            std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(inc));
+        for (int j = 0; j < model_.num_variables(); ++j) {
+          const auto& col = model_.column(j);
+          if (col.type == VarType::kContinuous || col.lower >= col.upper ||
+              j == branch_var) {
+            continue;
+          }
+          const double rc = lp.reduced_costs[static_cast<size_t>(j)];
+          double fix_at = 0.0;
+          if (rc < 0.0 && bound + rc <= inc + fix_gap) {
+            fix_at = col.lower;
+          } else if (rc > 0.0 && bound - rc <= inc + fix_gap) {
+            fix_at = col.upper;
+          } else {
+            continue;
+          }
+          if (!std::isfinite(fix_at) ||
+              std::fabs(fix_at - std::round(fix_at)) > opts_.integrality_tol) {
+            continue;
+          }
+          BoundStep step;
+          step.var = j;
+          step.parent_lower = col.lower;
+          step.parent_upper = col.upper;
+          step.lower = std::round(fix_at);
+          step.upper = step.lower;
+          branch_parent = std::make_shared<PathLink>(branch_parent, step);
+          SetVarBounds(j, step.lower, step.upper);
+          applied_.push_back(branch_parent.get());
+          ++local_.rc_fixed;
+        }
+        applied_anchor_ = branch_parent;
+      }
+    }
+
     // Branch: build both children, publish the "near" (round-to-nearest)
     // child onto our own stack top so the next iteration dives into it.
     const double v = lp.values[static_cast<size_t>(branch_var)];
@@ -423,7 +472,7 @@ class Worker {
         step.upper = old_upper;
       }
       TreeNode& child = children[num_children++];
-      child.path = std::make_shared<PathLink>(node.path, step);
+      child.path = std::make_shared<PathLink>(branch_parent, step);
       child.bound_score = bound;
       child.depth = node.depth + 1;
       child.seq = shared_->next_seq.fetch_add(1, std::memory_order_relaxed);
@@ -593,6 +642,7 @@ Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStat
     totals.warm_start_hits += w.warm_start_hits;
     totals.cold_restarts += w.cold_restarts;
     totals.steals += w.steals;
+    totals.rc_fixed += w.rc_fixed;
     totals.lp_time_seconds += w.lp_time_seconds;
     pruned_bound_max = std::max(pruned_bound_max, worker->pruned_bound_max());
   }
@@ -621,6 +671,7 @@ Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStat
       stats->cold_restarts = static_cast<int>(totals.cold_restarts);
       stats->threads_used = threads;
       stats->steals = totals.steals;
+      stats->reduced_cost_fixed = static_cast<int>(totals.rc_fixed);
       stats->per_worker.clear();
       stats->per_worker.reserve(workers.size());
       for (size_t i = 0; i < workers.size(); ++i) {

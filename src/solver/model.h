@@ -124,6 +124,14 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;
+  // Reduced costs per model variable at an OPTIMAL basis, in the
+  // direction-normalized "score" sense (maximization): raising variable j
+  // off its bound by one unit changes the score bound by reduced_costs[j].
+  // Nonbasic-at-lower columns therefore carry values <= 0, nonbasic-at-upper
+  // >= 0, basic columns 0. Filled only by LP solves that end kOptimal
+  // (empty otherwise); consumed by root reduced-cost fixing in branch and
+  // bound. Fixed columns (lower == upper) report 0.
+  std::vector<double> reduced_costs;
 
   bool HasSolution() const {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;

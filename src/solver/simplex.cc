@@ -442,6 +442,15 @@ Solution SimplexSolver::Solve() {
     }
     solution.status = SolveStatus::kOptimal;
     solution.objective = model_.Objective(solution.values);
+    // No rows: the reduced cost of a variable resting at a bound is its own
+    // (score-sense) objective coefficient.
+    solution.reduced_costs.resize(static_cast<size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      const auto& col = model_.column(j);
+      solution.reduced_costs[static_cast<size_t>(j)] =
+          col.lower == col.upper ? 0.0
+                                 : (model_.maximize() ? col.objective : -col.objective);
+    }
     return solution;
   }
 
@@ -525,6 +534,12 @@ Solution SimplexSolver::Solve() {
   }
   solution.status = SolveStatus::kOptimal;
   solution.objective = model_.Objective(solution.values);
+  solution.reduced_costs.assign(static_cast<size_t>(n_), 0.0);
+  for (int t = 0; t < na_; ++t) {
+    solution.reduced_costs[static_cast<size_t>(orig_of_[static_cast<size_t>(t)])] =
+        status_[static_cast<size_t>(t)] == VarStatus::kBasic ? 0.0
+                                                             : dj_[static_cast<size_t>(t)];
+  }
   return solution;
 }
 

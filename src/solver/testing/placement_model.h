@@ -53,6 +53,47 @@ inline Model PlacementModel(int containers, int nodes, uint64_t seed) {
   return m;
 }
 
+// A placement model with a sparse (block-diagonal) tag graph: `blocks`
+// independent PlacementModel-shaped subproblems of containers/blocks x
+// nodes/blocks each, in one Model. Containers only have candidate nodes
+// inside their own block — disjoint rack/tag neighborhoods — so the
+// variable-row incidence graph separates into exactly `blocks` connected
+// components. Used by the decomposition benchmark tier and the decompose
+// unit tests: the monolithic branch-and-bound tree spans all blocks at
+// once, while the decomposed path solves `blocks` small trees.
+inline Model DecomposablePlacementModel(int containers, int nodes, int blocks, uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  const int cb = containers / blocks;
+  const int nb = nodes / blocks;
+  for (int b = 0; b < blocks; ++b) {
+    std::vector<std::vector<int>> x(static_cast<size_t>(cb));
+    for (int c = 0; c < cb; ++c) {
+      for (int n = 0; n < nb; ++n) {
+        x[static_cast<size_t>(c)].push_back(m.AddBinary(rng.NextDouble(0.5, 1.5)));
+      }
+    }
+    for (int c = 0; c < cb; ++c) {
+      std::vector<std::pair<int, double>> once;
+      for (int n = 0; n < nb; ++n) {
+        once.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+      }
+      m.AddRow(once, RowSense::kLessEqual, 1.0);
+    }
+    for (int n = 0; n < nb; ++n) {
+      std::vector<std::pair<int, double>> mem, cpu;
+      for (int c = 0; c < cb; ++c) {
+        mem.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)],
+                         rng.NextDouble(1, 4));
+        cpu.emplace_back(x[static_cast<size_t>(c)][static_cast<size_t>(n)], 1.0);
+      }
+      m.AddRow(mem, RowSense::kLessEqual, 7.0);
+      m.AddRow(cpu, RowSense::kLessEqual, 3.0);
+    }
+  }
+  return m;
+}
+
 // The size/seed grid of the micro-benchmark's cold-vs-warm comparison
 // harness (BENCH_solver_micro.json).
 inline const std::vector<std::pair<int, int>>& MicroBenchSizes() {

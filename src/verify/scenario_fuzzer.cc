@@ -298,6 +298,9 @@ class FuzzRun {
     if (options_.check_mip && !Saturated()) {
       RunMipLeg(seed, rng);
     }
+    if (options_.check_decompose && !Saturated()) {
+      RunDecomposeLeg(seed, rng);
+    }
     if (options_.run_simulation && !Saturated()) {
       RunSimulationLeg(seed, rng);
     }
@@ -305,9 +308,12 @@ class FuzzRun {
 
   // --- Random MIP models: self-certification + presolve differential --------
 
-  solver::Model BuildRandomModel(Rng& rng) {
-    solver::Model model;
-    model.SetMaximize(rng.NextBool(0.7));
+  // Appends one independent random block (variables + rows touching only
+  // those variables) to `model`. BuildRandomModel appends a single block;
+  // RunDecomposeLeg appends several, producing a block-diagonal model whose
+  // variable-row incidence graph separates into one component per block.
+  void AppendRandomBlock(solver::Model& model, Rng& rng) {
+    const int base = model.num_variables();
     const int num_vars = static_cast<int>(rng.NextInt(3, 8));
     for (int j = 0; j < num_vars; ++j) {
       const double objective = static_cast<double>(rng.NextInt(-10, 10));
@@ -336,8 +342,8 @@ class FuzzRun {
         while (coeff == 0.0) {
           coeff = static_cast<double>(rng.NextInt(-5, 5));
         }
-        terms.emplace_back(static_cast<solver::VarIndex>(rng.NextBounded(
-                               static_cast<uint64_t>(num_vars))),
+        terms.emplace_back(base + static_cast<solver::VarIndex>(rng.NextBounded(
+                                      static_cast<uint64_t>(num_vars))),
                            coeff);
       }
       if (rng.NextBool(0.5)) {
@@ -348,6 +354,12 @@ class FuzzRun {
                      -static_cast<double>(rng.NextInt(0, 15)));
       }
     }
+  }
+
+  solver::Model BuildRandomModel(Rng& rng) {
+    solver::Model model;
+    model.SetMaximize(rng.NextBool(0.7));
+    AppendRandomBlock(model, rng);
     return model;
   }
 
@@ -419,6 +431,123 @@ class FuzzRun {
           Fail(seed, "mip", "mip-parallel-differential", os.str());
         }
       }
+    }
+  }
+
+  // --- Decomposition differential: stitched vs monolithic -------------------
+
+  void RunDecomposeLeg(uint64_t seed, Rng& rng) {
+    // Block-diagonal model: each appended block touches only its own
+    // variables, so the decomposed path should find one component per block
+    // (a block can split further if the row draw leaves a variable or
+    // sub-group unconnected, hence `>=` in the sanity check below).
+    solver::Model model;
+    model.SetMaximize(rng.NextBool(0.7));
+    const int blocks = static_cast<int>(rng.NextInt(1, 3));
+    for (int b = 0; b < blocks; ++b) {
+      AppendRandomBlock(model, rng);
+    }
+    ++result_.stats.decompose_models;
+
+    // Monolithic exact reference.
+    solver::MipOptions mono_options;
+    mono_options.time_limit_seconds = 10.0;
+    mono_options.absolute_gap = 1e-9;
+    mono_options.relative_gap = 0.0;
+    solver::MipStats mono_stats;
+    const solver::Solution mono = solver::SolveMip(model, mono_options, &mono_stats);
+    if (mono.status != solver::SolveStatus::kOptimal) {
+      Fail(seed, "mip", "decompose-mono-unsolved",
+           std::string("block-diagonal model not solved to optimality monolithically: ") +
+               solver::SolveStatusName(mono.status));
+      return;
+    }
+
+    // Decomposed exact: same gaps, relax-and-round forced to fire on every
+    // component (min_integers=1) — a rejected candidate must fall back to
+    // exact branch and bound, so the stitched optimum still matches.
+    solver::MipOptions dec_options = mono_options;
+    dec_options.decompose = true;
+    dec_options.relax_round_min_integers = 1;
+    solver::MipStats dec_stats;
+    const solver::Solution dec = solver::SolveMip(model, dec_options, &dec_stats);
+    CertifyOptions certify_options;
+    certify_options.absolute_gap = dec_options.absolute_gap;
+    certify_options.relative_gap = dec_options.relative_gap;
+    if (dec.status != solver::SolveStatus::kOptimal) {
+      Fail(seed, "mip", "decompose-unsolved",
+           std::string("decomposed solve not optimal on a monolithically-solved model: ") +
+               solver::SolveStatusName(dec.status));
+    } else {
+      const CertifyReport certified =
+          CertifySolution(model, dec, &dec_stats, certify_options);
+      if (!certified.ok()) {
+        Fail(seed, "mip", "decompose-certify", certified.ToString());
+      }
+      if (std::fabs(dec.objective - mono.objective) > 1e-5) {
+        std::ostringstream os;
+        os << "monolithic vs decomposed disagree: " << mono.objective << " vs "
+           << dec.objective;
+        Fail(seed, "mip", "decompose-differential", os.str());
+      }
+      if (dec_stats.components < 1) {
+        std::ostringstream os;
+        os << "decomposed solve reported " << dec_stats.components
+           << " components on a " << blocks << "-block model";
+        Fail(seed, "mip", "decompose-component-count", os.str());
+      }
+    }
+
+    // Loose-gap pass: with the default acceptance gaps the relax-and-round
+    // fast lane may legitimately keep a near-optimal candidate. The stitched
+    // result must still certify (feasible + within its own reported bound)
+    // and land within the worst-case summed per-component allowance:
+    // components * absolute_gap + relative_gap * sum_j |c_j| * max(|l_j|,|u_j|)
+    // (every |component objective| is at most that sum, and all generator
+    // variables are bounded, so the bound is finite and computable).
+    solver::MipOptions loose_options = dec_options;
+    loose_options.absolute_gap = 1e-6;
+    loose_options.relative_gap = 0.01;
+    solver::MipStats loose_stats;
+    const solver::Solution loose = solver::SolveMip(model, loose_options, &loose_stats);
+    if (loose.status != solver::SolveStatus::kOptimal &&
+        loose.status != solver::SolveStatus::kFeasible) {
+      Fail(seed, "mip", "decompose-loose-unsolved",
+           std::string("loose-gap decomposed solve found no incumbent: ") +
+               solver::SolveStatusName(loose.status));
+      return;
+    }
+    CertifyOptions loose_certify;
+    loose_certify.absolute_gap = loose_options.absolute_gap;
+    loose_certify.relative_gap = loose_options.relative_gap;
+    const CertifyReport loose_certified =
+        CertifySolution(model, loose, &loose_stats, loose_certify);
+    if (!loose_certified.ok()) {
+      Fail(seed, "mip", "decompose-loose-certify", loose_certified.ToString());
+    }
+    double objective_mass = 0.0;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      const auto& col = model.column(j);
+      objective_mass += std::fabs(col.objective) *
+                        std::max(std::fabs(col.lower), std::fabs(col.upper));
+    }
+    const double allowance =
+        static_cast<double>(std::max(loose_stats.components, 1)) *
+            loose_options.absolute_gap +
+        loose_options.relative_gap * objective_mass;
+    const double mono_score = model.maximize() ? mono.objective : -mono.objective;
+    const double loose_score = model.maximize() ? loose.objective : -loose.objective;
+    if (loose_score > mono_score + 1e-5) {
+      std::ostringstream os;
+      os << "loose-gap decomposed objective beats the exact optimum: " << loose.objective
+         << " vs " << mono.objective;
+      Fail(seed, "mip", "decompose-loose-superoptimal", os.str());
+    }
+    if (mono_score - loose_score > allowance + 1e-9) {
+      std::ostringstream os;
+      os << "loose-gap decomposed objective " << loose.objective << " misses optimum "
+         << mono.objective << " by more than the summed gap allowance " << allowance;
+      Fail(seed, "mip", "decompose-loose-gap", os.str());
     }
   }
 
@@ -513,7 +642,9 @@ std::string FuzzResult::Summary() const {
   os << "seeds=" << stats.seeds_run << " plans=" << stats.plans_checked
      << " commits=" << stats.commits_checked << " replays=" << stats.replays_checked
      << " dominance=" << stats.dominance_checked << " (ilp-optimal=" << stats.ilp_optimal
-     << ") mip-models=" << stats.mip_models << " simulations=" << stats.simulations
+     << ") mip-models=" << stats.mip_models
+     << " decompose-models=" << stats.decompose_models
+     << " simulations=" << stats.simulations
      << " failures=" << failures.size();
   return os.str();
 }

@@ -16,6 +16,9 @@
 //     greedy's (the warm start makes the greedy plan an ILP incumbent);
 //   * MIP self-certification: random MIP models solve to certified
 //     solutions, with presolve on/off agreeing on the optimum;
+//   * decomposition differential: random block-diagonal MIP models solved
+//     through the component-decomposed path (relax-and-round fast lane
+//     forced on) certify and match the monolithic exact optimum;
 //   * a full Simulation pass (node failures, task churn, migration) with the
 //     audit hook installed stays invariant-clean.
 //
@@ -46,6 +49,10 @@ struct FuzzOptions {
   bool check_dominance = true;
   // Solve random MIP models and certify incumbents + presolve agreement.
   bool check_mip = true;
+  // Solve random block-diagonal MIP models through the component-decomposed
+  // path (with the relax-and-round fast lane forced on) and require the
+  // stitched result to certify and agree with the monolithic exact optimum.
+  bool check_decompose = true;
   // Stop after this many failures (0 = collect all).
   int max_failures = 10;
   // Per-cycle ILP budget. Most generated instances solve to optimality in
@@ -73,6 +80,7 @@ struct FuzzStats {
   int dominance_checked = 0;
   int ilp_optimal = 0;
   int mip_models = 0;
+  int decompose_models = 0;
   int simulations = 0;
 };
 

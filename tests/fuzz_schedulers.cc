@@ -2,8 +2,8 @@
 // Standalone driver for the differential scenario fuzzer (src/verify).
 //
 // Usage: fuzz_schedulers [--seeds N] [--base-seed S] [--no-sim] [--no-mip]
-//                        [--no-replay] [--no-dominance] [--max-failures K]
-//                        [--verbose]
+//                        [--no-decompose] [--no-replay] [--no-dominance]
+//                        [--max-failures K] [--verbose]
 //
 // Exits 0 iff every seed upholds every invariant; otherwise prints each
 // failing seed with its violation report (reproduce a single failure with
@@ -30,8 +30,8 @@ bool ParseInt(const char* text, long long* out) {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seeds N] [--base-seed S] [--no-sim] [--no-mip] [--no-replay] "
-               "[--no-dominance] [--max-failures K] [--verbose]\n",
+               "usage: %s [--seeds N] [--base-seed S] [--no-sim] [--no-mip] [--no-decompose] "
+               "[--no-replay] [--no-dominance] [--max-failures K] [--verbose]\n",
                argv0);
 }
 
@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
       options.run_simulation = false;
     } else if (std::strcmp(arg, "--no-mip") == 0) {
       options.check_mip = false;
+    } else if (std::strcmp(arg, "--no-decompose") == 0) {
+      options.check_decompose = false;
     } else if (std::strcmp(arg, "--no-replay") == 0) {
       options.check_replay = false;
     } else if (std::strcmp(arg, "--no-dominance") == 0) {

@@ -63,6 +63,37 @@ TEST(ParallelSolverThreadTest, ManyWorkersOneSearchUnderInstrumentation) {
   obs::TraceRecorder::Default().Disable();
 }
 
+TEST(ParallelSolverThreadTest, DecomposedComponentsSolveInParallelUnderInstrumentation) {
+  // The decomposed path replaces tree-level parallelism with component-level
+  // parallelism: a pool of workers pulls components off one atomic counter,
+  // each running its own serial sub-search with a private LP engine, while
+  // the obs layer records per-component spans. TSan sees the pool spawn,
+  // the counter traffic, the per-slot result writes and the join.
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Default().Reset();
+  obs::TraceRecorder::Default().Enable(1 << 12);
+
+  const solver::Model m = solver::testing::DecomposablePlacementModel(20, 10, 5, 3);
+  solver::MipStats serial_stats;
+  const solver::Solution serial = solver::SolveMip(m, ParallelExact(1), &serial_stats);
+  ASSERT_EQ(serial.status, solver::SolveStatus::kOptimal);
+
+  solver::MipOptions options = ParallelExact(8);
+  options.decompose = true;
+  options.relax_round_min_integers = 1;  // exercise the fast lane concurrently
+  solver::MipStats stats;
+  const solver::Solution dec = solver::SolveMip(m, options, &stats);
+  ASSERT_EQ(dec.status, solver::SolveStatus::kOptimal);
+  EXPECT_NEAR(dec.objective, serial.objective, 1e-6);
+  EXPECT_EQ(stats.components, 5);
+  // One worker per component, capped by the component count.
+  EXPECT_EQ(stats.threads_used, 5);
+  EXPECT_EQ(stats.relax_round_accepted + stats.relax_round_rejected, 5);
+
+  obs::EnableMetrics(false);
+  obs::TraceRecorder::Default().Disable();
+}
+
 TEST(ParallelSolverThreadTest, ConcurrentParallelSolvesDoNotInterfere) {
   // Each caller thread runs its own multi-worker search; the engines share
   // nothing but the process-wide obs registry. Every search must still

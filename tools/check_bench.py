@@ -18,11 +18,22 @@ Parses the JSON written by bench_solver_micro's comparison harness and fails
         {"kind": "env", "hardware_threads": N} record). A 4-worker search
         cannot beat serial on a 1- or 2-core container, and pretending
         otherwise would make the gate flaky instead of protective.
+  * decomposition win (always enforced):
+      - every "decompose" record must report objectives_match == true
+        (the stitched decomposed solve certifies the monolithic objective)
+        and components_ok == true (the union-find found exactly the number
+        of independent blocks the generator built — the component-count
+        sanity check);
+      - every "decompose" record's speedup_vs_mono must stay
+        >= --min-decompose-speedup. Unlike the thread-sweep floor this holds
+        on any hardware: the win comes from solving k small branch-and-bound
+        trees instead of one exponentially larger one, not from parallelism.
 
 Usage:
   tools/check_bench.py [--file BENCH_solver_micro.json]
                        [--min-pivot-reduction 5.0]
                        [--min-parallel-speedup 2.0]
+                       [--min-decompose-speedup 5.0]
 """
 
 import argparse
@@ -45,6 +56,13 @@ def main() -> int:
         default=2.0,
         help="floor for the 4-thread wall speedup on the largest model "
         "(enforced only when the producing machine had >= 4 hardware threads)",
+    )
+    parser.add_argument(
+        "--min-decompose-speedup",
+        type=float,
+        default=5.0,
+        help="floor for the decomposed-vs-monolithic wall speedup on every "
+        "decomposition tier (recorded: ~50-1000x; hardware-independent)",
     )
     args = parser.parse_args()
 
@@ -109,6 +127,31 @@ def main() -> int:
                 print(f"check_bench: skipping parallel speedup floor — producing "
                       f"machine had only {hardware_threads} hardware thread(s); "
                       f"observed 4-thread speedup {speedup:.2f}x")
+
+    # --- decomposition floor + component-count sanity (hardware-independent).
+    decompose = [r for r in records if r.get("kind") == "decompose"]
+    if not decompose:
+        failures.append("no 'decompose' records found (bench harness too old?)")
+    for record in decompose:
+        model = record.get("model")
+        if not record.get("objectives_match", False):
+            failures.append(
+                f"decomposed objective mismatch vs monolithic on model {model}"
+            )
+        if not record.get("components_ok", False):
+            failures.append(
+                f"component count {record.get('components')} != expected "
+                f"{record.get('blocks')} blocks on model {model}"
+            )
+        speedup = record.get("speedup_vs_mono", 0.0)
+        print(f"check_bench: decompose speedup on {model} {speedup:.2f}x "
+              f"(floor {args.min_decompose_speedup:.2f}x, "
+              f"components={record.get('components')})")
+        if speedup < args.min_decompose_speedup:
+            failures.append(
+                f"decomposed speedup {speedup:.2f}x on model {model} fell below "
+                f"the {args.min_decompose_speedup:.2f}x floor"
+            )
 
     if failures:
         for failure in failures:
