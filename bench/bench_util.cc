@@ -71,16 +71,16 @@ int FillWithTasks(ClusterState& state, double memory_fraction, const Resource& t
     // Least-loaded node that fits.
     NodeId best = NodeId::Invalid();
     double best_load = 2.0;
-    for (const Node& node : state.nodes()) {
+    state.ForEachNode([&](const Node& node) {
       if (!node.available() || !node.CanFit(task_demand)) {
-        continue;
+        return;
       }
       const double load = node.used().DominantShareOf(node.capacity());
       if (load < best_load) {
         best_load = load;
         best = node.id();
       }
-    }
+    });
     if (!best.IsValid()) {
       break;
     }

@@ -1,6 +1,7 @@
 #include "src/cluster/cluster_state.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/strings.h"
 
@@ -8,67 +9,174 @@ namespace medea {
 
 ClusterState::ClusterState(std::vector<Node> nodes,
                            std::shared_ptr<const NodeGroupRegistry> groups)
-    : nodes_(std::move(nodes)), groups_(std::move(groups)) {
+    : groups_(std::move(groups)), num_nodes_(nodes.size()) {
   MEDEA_CHECK(groups_ != nullptr);
-  MEDEA_CHECK(groups_->num_nodes() == nodes_.size());
+  MEDEA_CHECK(groups_->num_nodes() == nodes.size());
+  const size_t num_shards = (num_nodes_ + kNodesPerShard - 1) / kNodesPerShard;
+  node_shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_shared<NodeShard>();
+    const size_t begin = s * kNodesPerShard;
+    const size_t end = std::min(begin + kNodesPerShard, num_nodes_);
+    shard->nodes.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      shard->nodes.push_back(std::move(nodes[i]));
+    }
+    node_shards_.push_back(std::move(shard));
+  }
+  app_shards_.reserve(kAppShards);
+  for (size_t s = 0; s < kAppShards; ++s) {
+    app_shards_.push_back(std::make_shared<AppShard>());
+  }
+  // A freshly built state exclusively owns every shard.
+  owned_node_shards_.assign(node_shards_.size(), 1);
+  owned_container_shards_.clear();
+  owned_app_shards_.assign(kAppShards, 1);
+  any_owned_ = true;
+}
+
+ClusterState::ClusterState(const ClusterState& other)
+    : node_shards_(other.node_shards_),
+      groups_(other.groups_),
+      container_shards_(other.container_shards_),
+      app_shards_(other.app_shards_),
+      num_nodes_(other.num_nodes_),
+      num_containers_(other.num_containers_),
+      next_container_(other.next_container_),
+      num_lra_containers_(other.num_lra_containers_),
+      version_(other.version_) {
+  // The source may no longer mutate any shard in place: both instances now
+  // reference the same shards. Guarded by any_owned_ so that copying from a
+  // shared snapshot (flags already all clear) performs no writes at all.
+  other.ReleaseOwnership();
+  owned_node_shards_.assign(node_shards_.size(), 0);
+  owned_container_shards_.assign(container_shards_.size(), 0);
+  owned_app_shards_.assign(kAppShards, 0);
+  any_owned_ = false;
+}
+
+ClusterState& ClusterState::operator=(const ClusterState& other) {
+  if (this != &other) {
+    ClusterState tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+void ClusterState::ReleaseOwnership() const {
+  if (!any_owned_) {
+    return;
+  }
+  std::fill(owned_node_shards_.begin(), owned_node_shards_.end(), uint8_t{0});
+  std::fill(owned_container_shards_.begin(), owned_container_shards_.end(), uint8_t{0});
+  std::fill(owned_app_shards_.begin(), owned_app_shards_.end(), uint8_t{0});
+  any_owned_ = false;
 }
 
 const Node& ClusterState::node(NodeId id) const {
-  MEDEA_CHECK(id.value < nodes_.size());
-  return nodes_[id.value];
+  MEDEA_CHECK(id.value < num_nodes_);
+  return node_shards_[id.value / kNodesPerShard]->nodes[id.value % kNodesPerShard];
+}
+
+Node& ClusterState::MutableNode(NodeId id) {
+  MEDEA_CHECK(id.value < num_nodes_);
+  const size_t s = id.value / kNodesPerShard;
+  if (owned_node_shards_[s] == 0) {
+    node_shards_[s] = std::make_shared<NodeShard>(*node_shards_[s]);
+    owned_node_shards_[s] = 1;
+    any_owned_ = true;
+  }
+  return node_shards_[s]->nodes[id.value % kNodesPerShard];
+}
+
+ClusterState::ContainerShard& ClusterState::MutableContainerShard(size_t shard) {
+  while (shard >= container_shards_.size()) {
+    container_shards_.push_back(std::make_shared<ContainerShard>());
+    owned_container_shards_.push_back(1);
+    any_owned_ = true;
+  }
+  if (owned_container_shards_[shard] == 0) {
+    container_shards_[shard] = std::make_shared<ContainerShard>(*container_shards_[shard]);
+    owned_container_shards_[shard] = 1;
+    any_owned_ = true;
+  }
+  return *container_shards_[shard];
+}
+
+ClusterState::AppShard& ClusterState::MutableAppShard(ApplicationId app) {
+  const size_t s = AppShardIndex(app);
+  if (owned_app_shards_[s] == 0) {
+    app_shards_[s] = std::make_shared<AppShard>(*app_shards_[s]);
+    owned_app_shards_[s] = 1;
+    any_owned_ = true;
+  }
+  return *app_shards_[s];
 }
 
 Result<ContainerId> ClusterState::Allocate(ApplicationId app, NodeId node_id,
                                            const Resource& demand, std::vector<TagId> tags,
                                            bool long_running) {
-  if (node_id.value >= nodes_.size()) {
+  if (node_id.value >= num_nodes_) {
     return Status::InvalidArgument("no such node");
   }
-  Node& n = nodes_[node_id.value];
-  if (!n.available()) {
-    return Status::Unavailable(StrFormat("node n%u is unavailable", node_id.value));
-  }
-  if (!n.CanFit(demand)) {
-    return Status::ResourceExhausted(
-        StrFormat("node n%u cannot fit demand (free %s, demand %s)", node_id.value,
-                  n.Free().ToString().c_str(), demand.ToString().c_str()));
+  {
+    const Node& n = node(node_id);
+    if (!n.available()) {
+      return Status::Unavailable(StrFormat("node n%u is unavailable", node_id.value));
+    }
+    if (!n.CanFit(demand)) {
+      return Status::ResourceExhausted(
+          StrFormat("node n%u cannot fit demand (free %s, demand %s)", node_id.value,
+                    n.Free().ToString().c_str(), demand.ToString().c_str()));
+    }
   }
   const ContainerId id(next_container_++);
-  n.AddContainer(id, demand, tags);
+  MutableNode(node_id).AddContainer(id, demand, tags);
   ContainerInfo info{id, app, node_id, demand, std::move(tags), long_running};
-  app_containers_[app].push_back(id);
-  containers_.emplace(id, std::move(info));
+  MutableAppShard(app).lists[app].push_back(id);
+  ContainerShard& shard = MutableContainerShard(id.value / kContainersPerShard);
+  const size_t slot = id.value % kContainersPerShard;
+  if (slot >= shard.slots.size()) {
+    shard.slots.resize(slot + 1);
+  }
+  MEDEA_CHECK(!shard.slots[slot].has_value());
+  shard.slots[slot].emplace(std::move(info));
+  ++num_containers_;
   if (long_running) {
     ++num_lra_containers_;
   }
+  ++version_;
   return id;
 }
 
 Status ClusterState::Release(ContainerId container) {
-  const auto it = containers_.find(container);
-  if (it == containers_.end()) {
+  if (FindContainer(container) == nullptr) {
     return Status::NotFound("no such container");
   }
-  const ContainerInfo& info = it->second;
-  nodes_[info.node.value].RemoveContainer(container, info.resource, info.tags);
-  auto& list = app_containers_[info.app];
+  ContainerShard& shard = MutableContainerShard(container.value / kContainersPerShard);
+  std::optional<ContainerInfo>& slot = shard.slots[container.value % kContainersPerShard];
+  const ContainerInfo info = std::move(*slot);
+  slot.reset();
+  MutableNode(info.node).RemoveContainer(container, info.resource, info.tags);
+  AppShard& apps = MutableAppShard(info.app);
+  const auto it = apps.lists.find(info.app);
+  MEDEA_CHECK(it != apps.lists.end());
+  std::vector<ContainerId>& list = it->second;
   list.erase(std::remove(list.begin(), list.end(), container), list.end());
   if (list.empty()) {
-    app_containers_.erase(info.app);
+    apps.lists.erase(it);
   }
   if (info.long_running) {
     --num_lra_containers_;
   }
-  containers_.erase(it);
+  --num_containers_;
+  ++version_;
   return Status::Ok();
 }
 
 int ClusterState::ReleaseApplication(ApplicationId app) {
-  const auto it = app_containers_.find(app);
-  if (it == app_containers_.end()) {
-    return 0;
-  }
-  const std::vector<ContainerId> ids = it->second;  // copy: Release mutates the map
+  // Copy: Release mutates the per-app list.
+  const std::vector<ContainerId> ids = ContainersOf(app);
   for (ContainerId id : ids) {
     MEDEA_CHECK(Release(id).ok());
   }
@@ -76,23 +184,32 @@ int ClusterState::ReleaseApplication(ApplicationId app) {
 }
 
 const ContainerInfo* ClusterState::FindContainer(ContainerId container) const {
-  const auto it = containers_.find(container);
-  return it == containers_.end() ? nullptr : &it->second;
+  const size_t s = container.value / kContainersPerShard;
+  if (s >= container_shards_.size()) {
+    return nullptr;
+  }
+  const auto& slots = container_shards_[s]->slots;
+  const size_t slot = container.value % kContainersPerShard;
+  if (slot >= slots.size() || !slots[slot].has_value()) {
+    return nullptr;
+  }
+  return &*slots[slot];
 }
 
 std::vector<ContainerId> ClusterState::ContainersOf(ApplicationId app) const {
-  const auto it = app_containers_.find(app);
-  return it == app_containers_.end() ? std::vector<ContainerId>{} : it->second;
+  const AppShard& shard = *app_shards_[AppShardIndex(app)];
+  const auto it = shard.lists.find(app);
+  return it == shard.lists.end() ? std::vector<ContainerId>{} : it->second;
 }
 
 void ClusterState::SetNodeAvailable(NodeId node_id, bool available) {
-  MEDEA_CHECK(node_id.value < nodes_.size());
-  nodes_[node_id.value].set_available(available);
+  MutableNode(node_id).set_available(available);
+  ++version_;
 }
 
 void ClusterState::AddStaticNodeTag(NodeId node_id, TagId tag) {
-  MEDEA_CHECK(node_id.value < nodes_.size());
-  nodes_[node_id.value].AddStaticTag(tag);
+  MutableNode(node_id).AddStaticTag(tag);
+  ++version_;
 }
 
 int ClusterState::TagCardinality(NodeId node_id, TagId tag) const {
@@ -138,45 +255,41 @@ int ClusterState::SetTagCardinality(std::span<const NodeId> node_set,
 
 Resource ClusterState::TotalCapacity() const {
   Resource total;
-  for (const Node& n : nodes_) {
-    total += n.capacity();
-  }
+  ForEachNode([&](const Node& n) { total += n.capacity(); });
   return total;
 }
 
 Resource ClusterState::TotalUsed() const {
   Resource total;
-  for (const Node& n : nodes_) {
-    total += n.used();
-  }
+  ForEachNode([&](const Node& n) { total += n.used(); });
   return total;
 }
 
 double ClusterState::FragmentedNodeFraction(const Resource& threshold) const {
-  if (nodes_.empty()) {
+  if (num_nodes_ == 0) {
     return 0.0;
   }
   size_t fragmented = 0;
-  for (const Node& n : nodes_) {
+  ForEachNode([&](const Node& n) {
     const Resource free = n.Free();
     const bool fully_used = free.IsZero();
     const bool below = free.memory_mb < threshold.memory_mb || free.vcores < threshold.vcores;
     if (below && !fully_used) {
       ++fragmented;
     }
-  }
-  return static_cast<double>(fragmented) / static_cast<double>(nodes_.size());
+  });
+  return static_cast<double>(fragmented) / static_cast<double>(num_nodes_);
 }
 
 std::vector<double> ClusterState::NodeMemoryUtilization() const {
   std::vector<double> util;
-  util.reserve(nodes_.size());
-  for (const Node& n : nodes_) {
+  util.reserve(num_nodes_);
+  ForEachNode([&](const Node& n) {
     util.push_back(n.capacity().memory_mb == 0
                        ? 0.0
                        : static_cast<double>(n.used().memory_mb) /
                              static_cast<double>(n.capacity().memory_mb));
-  }
+  });
   return util;
 }
 

@@ -2,15 +2,42 @@
 // ClusterState: the authoritative view of nodes, containers and tags that
 // both Medea schedulers operate on ("Cluster State" box in Fig. 4/6).
 //
-// ClusterState is copyable: LRA schedulers clone it to run what-if
-// placements during a scheduling cycle without touching live state. The
-// NodeGroupRegistry is immutable after construction and shared between
+// ClusterState is copyable — and the copy is cheap by design. All bulk
+// state lives in immutable shards held by shared_ptr:
+//
+//   * nodes        — fixed-width shards of kNodesPerShard machines;
+//   * containers   — allocation-ordered shards of kContainersPerShard slots
+//                    (container ids are dense, so new allocations only ever
+//                    touch the tail shard);
+//   * app index    — kAppShards hash shards of app -> container-id lists.
+//
+// Copying a ClusterState copies shard *pointers* (plus a handful of scalar
+// counters): O(num_shards), independent of how many containers exist. That
+// is what lets the LRA schedulers clone the state to run what-if placements
+// per cycle, and what makes epoch snapshots (src/cluster/epoch_state.h)
+// cheap enough to publish on every heartbeat commit at 10k nodes / 1M
+// containers.
+//
+// Mutation is copy-on-write with explicit ownership: each instance tracks
+// which shards it exclusively owns; mutating a shared shard first clones it
+// (the same rewind-friendly persistence idea as the solver's PathLink — pay
+// only for what you touch). Taking any copy clears the *source's* ownership
+// flags, so neither side can ever mutate a shard the other still sees.
+// Published (const) snapshots have every flag clear already, so copying from
+// a shared snapshot performs no writes to the source — many reader threads
+// may copy the same snapshot concurrently. Mutating a given instance remains
+// single-threaded, exactly as before (ClusterState has never been internally
+// synchronized); cross-thread coordination lives in EpochClusterState.
+//
+// The NodeGroupRegistry is immutable after construction and shared between
 // copies.
 
 #ifndef SRC_CLUSTER_CLUSTER_STATE_H_
 #define SRC_CLUSTER_CLUSTER_STATE_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,11 +65,33 @@ class ClusterState {
  public:
   ClusterState(std::vector<Node> nodes, std::shared_ptr<const NodeGroupRegistry> groups);
 
-  size_t num_nodes() const { return nodes_.size(); }
+  // Cheap O(num_shards) copy; see the header comment for the COW contract.
+  ClusterState(const ClusterState& other);
+  ClusterState& operator=(const ClusterState& other);
+  ClusterState(ClusterState&&) noexcept = default;
+  ClusterState& operator=(ClusterState&&) noexcept = default;
+
+  size_t num_nodes() const { return num_nodes_; }
   const Node& node(NodeId id) const;
-  const std::vector<Node>& nodes() const { return nodes_; }
   const NodeGroupRegistry& groups() const { return *groups_; }
   std::shared_ptr<const NodeGroupRegistry> groups_ptr() const { return groups_; }
+
+  // Iterates over all nodes in id order. (Replaces the old `nodes()`
+  // accessor: the node table is sharded, so there is no single contiguous
+  // vector to hand out.)
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    for (const auto& shard : node_shards_) {
+      for (const Node& n : shard->nodes) {
+        fn(n);
+      }
+    }
+  }
+
+  // Monotonic mutation counter: bumped by every state-changing call
+  // (allocate, release, availability, static tags). Snapshot consumers use
+  // it for staleness detection.
+  uint64_t version() const { return version_; }
 
   // --- Container lifecycle -------------------------------------------------
 
@@ -62,14 +111,18 @@ class ClusterState {
   // Container ids of an application (empty if none).
   std::vector<ContainerId> ContainersOf(ApplicationId app) const;
 
-  size_t num_containers() const { return containers_.size(); }
+  size_t num_containers() const { return num_containers_; }
   size_t num_long_running_containers() const { return num_lra_containers_; }
 
   // Iterates over all containers (unspecified order).
   template <typename Fn>
   void ForEachContainer(Fn&& fn) const {
-    for (const auto& [id, info] : containers_) {
-      fn(info);
+    for (const auto& shard : container_shards_) {
+      for (const auto& slot : shard->slots) {
+        if (slot.has_value()) {
+          fn(*slot);
+        }
+      }
     }
   }
 
@@ -108,13 +161,56 @@ class ClusterState {
   std::vector<double> NodeMemoryUtilization() const;
 
  private:
-  std::vector<Node> nodes_;
+  // Shard geometry. Nodes use small shards so a scheduling cycle that
+  // touches a few hundred scattered machines clones a few hundred small
+  // shards, not the whole table. Containers shard by allocation order, so
+  // the allocation hot path only ever clones the tail shard per epoch.
+  static constexpr size_t kNodesPerShard = 8;
+  static constexpr size_t kContainersPerShard = 4096;
+  static constexpr size_t kAppShards = 64;
+
+  struct NodeShard {
+    std::vector<Node> nodes;
+  };
+  struct ContainerShard {
+    std::vector<std::optional<ContainerInfo>> slots;
+  };
+  struct AppShard {
+    std::unordered_map<ApplicationId, std::vector<ContainerId>, std::hash<ApplicationId>> lists;
+  };
+
+  // Clone-unless-owned accessors for the three shard kinds.
+  Node& MutableNode(NodeId id);
+  ContainerShard& MutableContainerShard(size_t shard);
+  AppShard& MutableAppShard(ApplicationId app);
+  size_t AppShardIndex(ApplicationId app) const {
+    return std::hash<ApplicationId>()(app) % kAppShards;
+  }
+
+  // Drops every ownership claim of `this` (called on the *source* of a
+  // copy, so the new copy cannot observe later in-place mutations).
+  void ReleaseOwnership() const;
+
+  std::vector<std::shared_ptr<NodeShard>> node_shards_;
   std::shared_ptr<const NodeGroupRegistry> groups_;
-  std::unordered_map<ContainerId, ContainerInfo, std::hash<ContainerId>> containers_;
-  std::unordered_map<ApplicationId, std::vector<ContainerId>, std::hash<ApplicationId>>
-      app_containers_;
+  std::vector<std::shared_ptr<ContainerShard>> container_shards_;
+  std::vector<std::shared_ptr<AppShard>> app_shards_;
+
+  size_t num_nodes_ = 0;
+  size_t num_containers_ = 0;
   uint32_t next_container_ = 0;
   size_t num_lra_containers_ = 0;
+  uint64_t version_ = 0;
+
+  // Copy-on-write ownership flags (one byte per shard). `mutable` because
+  // copying must clear the source's claims; all mutations of a given
+  // instance — including taking copies of a still-mutating instance —
+  // happen on its owner thread, and shared snapshots have every flag clear,
+  // so concurrent copies from a snapshot never write to it.
+  mutable std::vector<uint8_t> owned_node_shards_;
+  mutable std::vector<uint8_t> owned_container_shards_;
+  mutable std::vector<uint8_t> owned_app_shards_;
+  mutable bool any_owned_ = false;
 };
 
 // Convenience builder for the symmetric test/bench topologies: N identical

@@ -81,17 +81,23 @@ class PlanQueue {
     if (queue_.empty()) {
       return false;
     }
-    *envelope = std::move(queue_.front());
-    queue_.pop_front();
-    if (obs::MetricsEnabled() &&
-        envelope->enqueue_time != std::chrono::steady_clock::time_point{}) {
-      obs::Observe("runtime.plan_queue_wait_ms",
-                   std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - envelope->enqueue_time)
-                       .count());
-      obs::SetGauge("runtime.plan_queue_depth", static_cast<double>(queue_.size()));
+    PopLocked(envelope);
+    return true;
+  }
+
+  // Blocking pop, used by the placement service's dedicated committer
+  // thread. Waits until an envelope arrives; after Close() it keeps
+  // returning the remaining envelopes (so shutdown drains the queue) and
+  // returns false only once closed *and* empty.
+  bool Pop(PlanEnvelope* envelope) MEDEA_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
+    while (queue_.empty() && !closed_) {
+      not_empty_.Wait(&mu_);
     }
-    not_full_.Signal();
+    if (queue_.empty()) {
+      return false;
+    }
+    PopLocked(envelope);
     return true;
   }
 
@@ -115,6 +121,20 @@ class PlanQueue {
   }
 
  private:
+  void PopLocked(PlanEnvelope* envelope) MEDEA_REQUIRES(mu_) {
+    *envelope = std::move(queue_.front());
+    queue_.pop_front();
+    if (obs::MetricsEnabled() &&
+        envelope->enqueue_time != std::chrono::steady_clock::time_point{}) {
+      obs::Observe("runtime.plan_queue_wait_ms",
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - envelope->enqueue_time)
+                       .count());
+      obs::SetGauge("runtime.plan_queue_depth", static_cast<double>(queue_.size()));
+    }
+    not_full_.Signal();
+  }
+
   const size_t capacity_;
   mutable sync::Mutex mu_;
   sync::CondVar not_full_;

@@ -722,6 +722,12 @@ PlacementPlan MedeaIlpScheduler::Place(const PlacementProblem& problem) {
   if (obs::MetricsEnabled()) {
     obs::Observe("sched.place_ms." + name(), plan.latency_ms);
     obs::Count("sched.containers_placed", static_cast<long long>(plan.assignments.size()));
+    // Multi-app batch accounting: how many LRAs this solve placed jointly,
+    // and how many independent components the decomposition recovered.
+    obs::Observe("sched.ilp_batch_apps", static_cast<double>(problem.lras.size()));
+    if (mip_stats.components > 0) {
+      obs::Observe("sched.ilp_batch_components", static_cast<double>(mip_stats.components));
+    }
   }
   AuditPlan(problem, plan, name());
   return plan;

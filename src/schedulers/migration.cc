@@ -84,11 +84,11 @@ MigrationPlan MigrationPlanner::Plan(const ClusterState& state,
 
       // Candidate nodes: least-loaded first.
       std::vector<NodeId> candidates;
-      for (const Node& node : scratch.nodes()) {
+      scratch.ForEachNode([&](const Node& node) {
         if (node.available() && node.CanFit(snapshot.resource)) {
           candidates.push_back(node.id());
         }
-      }
+      });
       std::stable_sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
         return scratch.node(a).used().DominantShareOf(scratch.node(a).capacity()) <
                scratch.node(b).used().DominantShareOf(scratch.node(b).capacity());

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/common/sync/thread.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/solver/bnb_internal.h"
 #include "src/solver/simplex.h"
@@ -449,6 +450,13 @@ Solution SolveMipDecomposed(const Model& model, const MipOptions& options, MipSt
   int largest = 0;
   for (const Component& comp : dec.components) {
     largest = std::max(largest, comp.num_integer);
+  }
+  if (obs::MetricsEnabled()) {
+    // "solver.components" is a histogram over solves: how often multi-app
+    // batches actually separate back into independent sub-models.
+    obs::Count("solver.decomposed_solves");
+    obs::Observe("solver.components", static_cast<double>(num_components));
+    obs::SetGauge("solver.largest_component_integers", static_cast<double>(largest));
   }
 
   if (num_components <= 1) {

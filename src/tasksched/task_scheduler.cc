@@ -42,17 +42,17 @@ Resource TaskScheduler::QueueCap(const Queue& queue) const {
 NodeId TaskScheduler::PickNode(const TaskRequest& request) const {
   // Feasible nodes, least-loaded first.
   std::vector<NodeId> feasible;
-  for (const Node& node : state_->nodes()) {
+  state_->ForEachNode([&](const Node& node) {
     if (!node.available()) {
-      continue;
+      return;
     }
     // Reserved capacity is invisible to task allocation.
     const Resource free = node.Free() - ReservedOn(node.id());
     if (!free.Fits(request.demand) || free.IsNegative()) {
-      continue;
+      return;
     }
     feasible.push_back(node.id());
-  }
+  });
   if (feasible.empty()) {
     return NodeId::Invalid();
   }

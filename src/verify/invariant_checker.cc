@@ -492,7 +492,7 @@ void CheckStateInto(const ClusterState& state, const ConstraintManager* manager,
 
 double FragmentationTerm(const ClusterState& state, const CheckOptions& options) {
   double sum = 0.0;
-  for (const Node& node : state.nodes()) {
+  state.ForEachNode([&](const Node& node) {
     const Resource free = node.Free();
     double z = 1.0;
     if (options.rmin.memory_mb > 0) {
@@ -504,7 +504,7 @@ double FragmentationTerm(const ClusterState& state, const CheckOptions& options)
                    static_cast<double>(free.vcores) / static_cast<double>(options.rmin.vcores));
     }
     sum += std::max(0.0, z);
-  }
+  });
   return sum;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/runtime/placement_service.h"
 #include "src/schedulers/greedy.h"
 #include "src/schedulers/ilp_scheduler.h"
 #include "src/schedulers/jkube.h"
@@ -134,6 +136,22 @@ std::string SerializePlan(const PlacementPlan& plan) {
   for (const auto& [l, c, n] : assignments) {
     os << l << ',' << c << ',' << n << ';';
   }
+  return os.str();
+}
+
+// Canonical committed-state serialization: container ids, owners, hosts,
+// demands and tag lists in container-id order. Two states that committed the
+// same placements in the same order serialize identically.
+std::string SerializeState(const ClusterState& state) {
+  std::ostringstream os;
+  state.ForEachContainer([&](const ContainerInfo& info) {
+    os << info.id.value << ':' << info.app.value << '@' << info.node.value << '('
+       << info.resource.memory_mb << ',' << info.resource.vcores << ')';
+    for (const TagId tag : info.tags) {
+      os << '#' << tag.value;
+    }
+    os << (info.long_running ? "L;" : "T;");
+  });
   return os.str();
 }
 
@@ -295,6 +313,9 @@ class FuzzRun {
       }
     }
 
+    if (options_.check_batch && !Saturated()) {
+      RunServiceBatchLeg(seed, rng);
+    }
     if (options_.check_mip && !Saturated()) {
       RunMipLeg(seed, rng);
     }
@@ -303,6 +324,140 @@ class FuzzRun {
     }
     if (options_.run_simulation && !Saturated()) {
       RunSimulationLeg(seed, rng);
+    }
+  }
+
+  // --- Service differential: snapshot-batched vs mutex-sequential -----------
+
+  // Drives one fresh scenario's request stream through the snapshot-batched
+  // PlacementService (RunSynchronous: epoch snapshots, COW cluster state,
+  // revalidating epoch commits, COW manager republish on rejection) and
+  // through the legacy discipline it replaced — a plain sequential loop that
+  // plans and commits directly on the live state under one conceptual mutex,
+  // with the same deterministic batching and requeue policy. Every batch must
+  // produce a bit-identical plan, identical committed placements and an equal
+  // Eq. 1 objective, and the two final states must serialize identically.
+  void RunServiceBatchLeg(uint64_t seed, Rng& rng) {
+    const SchedulerConfig config = ConfigForSeed(seed);
+    Scenario scenario = GenerateScenario(rng, config);
+    // Heuristic families only (greedy / YARN / J-Kube): their Place() is
+    // deterministic at any batch size. ILP reproducibility is wall-clock
+    // dependent and already covered by the replay invariant.
+    const int family = 1 + static_cast<int>(seed % 3);
+
+    runtime::ServiceConfig service_config;
+    service_config.max_batch = 1 + rng.NextBounded(3);  // 1..3: coalesced and degenerate
+    runtime::PlacementService service(service_config, scenario.state, scenario.manager);
+    for (const LraRequest& lra : scenario.lras) {
+      service.Submit(lra);
+    }
+    std::unique_ptr<LraScheduler> service_scheduler = MakeScheduler(family, seed, config);
+    const std::string name = service_scheduler->name() + "/service";
+    const std::vector<runtime::BatchOutcome> outcomes = service.RunSynchronous(*service_scheduler);
+    ++result_.stats.service_runs;
+
+    // Legacy mutex-sequential reference: identical chunking and requeue
+    // policy, fresh scheduler instance of the same family, direct mutation.
+    ClusterState reference = scenario.state;
+    ConstraintManager reference_manager = scenario.manager;
+    std::unique_ptr<LraScheduler> reference_scheduler = MakeScheduler(family, seed, config);
+    std::deque<std::pair<LraRequest, int>> queue;  // (request, attempts)
+    for (const LraRequest& lra : scenario.lras) {
+      queue.emplace_back(lra, 0);
+    }
+    size_t batch_index = 0;
+    while (!queue.empty()) {
+      const size_t n = std::min(service_config.max_batch, queue.size());
+      PlacementProblem problem;
+      std::vector<int> attempts;
+      for (size_t i = 0; i < n; ++i) {
+        problem.lras.push_back(std::move(queue.front().first));
+        attempts.push_back(queue.front().second);
+        queue.pop_front();
+      }
+      problem.state = &reference;
+      problem.manager = &reference_manager;
+      const PlacementPlan plan = reference_scheduler->Place(problem);
+
+      if (batch_index >= outcomes.size()) {
+        Fail(seed, name, "service-batch-count",
+             "service committed " + std::to_string(outcomes.size()) +
+                 " batches; sequential reference needs more");
+        return;
+      }
+      const runtime::BatchOutcome& outcome = outcomes[batch_index];
+      ++result_.stats.service_batches;
+      // One epoch per committed batch in the synchronous drain.
+      if (outcome.epoch != batch_index) {
+        std::ostringstream os;
+        os << "batch " << batch_index << " planned against epoch " << outcome.epoch;
+        Fail(seed, name, "service-epoch-progression", os.str());
+        return;
+      }
+      if (SerializePlan(plan) != SerializePlan(outcome.plan)) {
+        Fail(seed, name, "service-plan-differential",
+             "batch " + std::to_string(batch_index) + "\nsequential: " + SerializePlan(plan) +
+                 "\nservice:    " + SerializePlan(outcome.plan));
+        return;
+      }
+      // Eq. 1 parity, both recomputed against the same pre-commit state.
+      const double reference_objective = InvariantChecker::PlanObjective(problem, plan);
+      const double service_objective = InvariantChecker::PlanObjective(problem, outcome.plan);
+      if (std::fabs(reference_objective - service_objective) > 1e-9) {
+        std::ostringstream os;
+        os << "batch " << batch_index << " objective " << reference_objective
+           << " (sequential) vs " << service_objective << " (service)";
+        Fail(seed, name, "service-objective-differential", os.str());
+        return;
+      }
+
+      std::vector<bool> committed;
+      CommitPlan(problem, plan, reference, &committed);
+      if (committed != outcome.committed) {
+        Fail(seed, name, "service-commit-differential",
+             "batch " + std::to_string(batch_index) +
+                 ": committed flags diverge from the sequential reference");
+        return;
+      }
+      // Same requeue policy: a request that did not land retries until
+      // max_attempts, then is rejected and its app constraints removed.
+      for (size_t i = 0; i < n; ++i) {
+        const bool landed = i < committed.size() && committed[i];
+        if (landed) {
+          continue;
+        }
+        if (attempts[i] + 1 >= static_cast<int>(service_config.max_attempts)) {
+          reference_manager.RemoveApplicationConstraints(problem.lras[i].app);
+        } else {
+          queue.emplace_back(problem.lras[i], attempts[i] + 1);
+        }
+      }
+      ++batch_index;
+    }
+    if (batch_index != outcomes.size()) {
+      Fail(seed, name, "service-batch-count",
+           "service committed " + std::to_string(outcomes.size()) + " batches; sequential ran " +
+               std::to_string(batch_index));
+      return;
+    }
+
+    std::string service_state;
+    service.WithLiveState([&](const ClusterState& live) { service_state = SerializeState(live); });
+    const std::string reference_state = SerializeState(reference);
+    if (service_state != reference_state) {
+      Fail(seed, name, "service-state-differential",
+           "sequential: " + reference_state + "\nservice:    " + service_state);
+      return;
+    }
+    // The committed service state must also pass the full audit against the
+    // service's own (possibly rejection-pruned) manager snapshot.
+    const auto manager_snapshot = service.manager_snapshot();
+    InvariantReport report;
+    service.WithLiveState([&](const ClusterState& live) {
+      report = InvariantChecker::CheckState(live, manager_snapshot.get());
+    });
+    if (!report.ok()) {
+      Fail(seed, name, "service-final-state", report.ToString());
     }
   }
 
@@ -645,6 +800,8 @@ std::string FuzzResult::Summary() const {
      << ") mip-models=" << stats.mip_models
      << " decompose-models=" << stats.decompose_models
      << " simulations=" << stats.simulations
+     << " service-runs=" << stats.service_runs
+     << " (service-batches=" << stats.service_batches << ")"
      << " failures=" << failures.size();
   return os.str();
 }

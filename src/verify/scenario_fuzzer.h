@@ -19,6 +19,12 @@
 //   * decomposition differential: random block-diagonal MIP models solved
 //     through the component-decomposed path (relax-and-round fast lane
 //     forced on) certify and match the monolithic exact optimum;
+//   * service differential: the same request stream driven through the
+//     snapshot-batched PlacementService (epoch snapshots, COW state,
+//     revalidating commits) and through a legacy mutex-sequential loop
+//     (direct Place + CommitPlan on the live state, same batching and
+//     requeue policy) yields bit-identical plans, identical committed
+//     placements, equal Eq. 1 objectives and identical final states;
 //   * a full Simulation pass (node failures, task churn, migration) with the
 //     audit hook installed stays invariant-clean.
 //
@@ -53,6 +59,11 @@ struct FuzzOptions {
   // path (with the relax-and-round fast lane forced on) and require the
   // stitched result to certify and agree with the monolithic exact optimum.
   bool check_decompose = true;
+  // Drive the same request stream through the snapshot-batched
+  // PlacementService and through a legacy mutex-sequential commit loop, and
+  // require identical committed placements, Eq. 1 objectives and final
+  // states (the `--no-batch` CLI flag turns this leg off).
+  bool check_batch = true;
   // Stop after this many failures (0 = collect all).
   int max_failures = 10;
   // Per-cycle ILP budget. Most generated instances solve to optimality in
@@ -82,6 +93,8 @@ struct FuzzStats {
   int mip_models = 0;
   int decompose_models = 0;
   int simulations = 0;
+  int service_runs = 0;     // service-vs-sequential differential seeds
+  int service_batches = 0;  // batches compared across the two legs
 };
 
 struct FuzzResult {

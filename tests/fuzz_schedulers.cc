@@ -3,7 +3,7 @@
 //
 // Usage: fuzz_schedulers [--seeds N] [--base-seed S] [--no-sim] [--no-mip]
 //                        [--no-decompose] [--no-replay] [--no-dominance]
-//                        [--max-failures K] [--verbose]
+//                        [--no-batch] [--max-failures K] [--verbose]
 //
 // Exits 0 iff every seed upholds every invariant; otherwise prints each
 // failing seed with its violation report (reproduce a single failure with
@@ -31,7 +31,7 @@ bool ParseInt(const char* text, long long* out) {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed S] [--no-sim] [--no-mip] [--no-decompose] "
-               "[--no-replay] [--no-dominance] [--max-failures K] [--verbose]\n",
+               "[--no-replay] [--no-dominance] [--no-batch] [--max-failures K] [--verbose]\n",
                argv0);
 }
 
@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
       options.check_replay = false;
     } else if (std::strcmp(arg, "--no-dominance") == 0) {
       options.check_dominance = false;
+    } else if (std::strcmp(arg, "--no-batch") == 0) {
+      options.check_batch = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else {

@@ -66,12 +66,12 @@ TEST_F(IlpTest, ExactCardinalityWindow) {
   const auto plan = PlaceAndCommit({Lra(ApplicationId(1), 6, "w")}, Config());
   ASSERT_EQ(plan.NumPlaced(), 1);
   int used_nodes = 0;
-  for (const Node& node : state_.nodes()) {
+  state_.ForEachNode([&](const Node& node) {
     if (!node.containers().empty()) {
       EXPECT_EQ(node.containers().size(), 3u);
       ++used_nodes;
     }
-  }
+  });
   EXPECT_EQ(used_nodes, 2);
 }
 
@@ -218,11 +218,11 @@ TEST_F(IlpTest, MinMachinesObjectivePrefersUsedNodes) {
   const auto plan = PlaceAndCommit({Lra(ApplicationId(1), 4, "w", Resource(2048, 1))}, config);
   ASSERT_EQ(plan.NumPlaced(), 1);
   int newly_used = 0;
-  for (const Node& node : state_.nodes()) {
+  state_.ForEachNode([&](const Node& node) {
     if (node.id() != NodeId(5) && !node.containers().empty()) {
       ++newly_used;
     }
-  }
+  });
   EXPECT_EQ(newly_used, 0);  // everything fits on the already-used machine
 }
 
@@ -234,9 +234,9 @@ TEST_F(IlpTest, LoadBalanceObjectiveFlattensPeak) {
                                    balanced);
   ASSERT_EQ(plan.NumPlaced(), 1);
   double max_load = 0.0;
-  for (const Node& node : state_.nodes()) {
+  state_.ForEachNode([&](const Node& node) {
     max_load = std::max(max_load, node.used().DominantShareOf(node.capacity()));
-  }
+  });
   // 6 x 2-core containers over 12 x 8-core nodes: a flat placement keeps
   // every node at <= 1 container (load 0.25).
   EXPECT_LE(max_load, 0.26);

@@ -365,9 +365,9 @@ TEST_F(SchedulerTest, IlpSatisfiesCardinalityWindow) {
   const auto report = ConstraintEvaluator::EvaluateAll(state_, manager_);
   EXPECT_EQ(report.violated_subjects, 0);
   // Every used node must hold exactly 2 workers.
-  for (const auto& node : state_.nodes()) {
+  state_.ForEachNode([&](const Node& node) {
     EXPECT_TRUE(node.containers().empty() || node.containers().size() == 2u);
-  }
+  });
 }
 
 TEST_F(SchedulerTest, IlpSatisfiesInterAppAffinity) {

@@ -44,9 +44,9 @@ TEST(TaskSchedulerTest, SpreadsAcrossLeastLoadedNodes) {
   sched.SubmitJob(ApplicationId(1), "default", Tasks(4), 0);
   sched.Tick(0);
   // Least-loaded placement should land one task per node.
-  for (const Node& node : state.nodes()) {
+  state.ForEachNode([&](const Node& node) {
     EXPECT_EQ(node.containers().size(), 1u);
-  }
+  });
 }
 
 TEST(TaskSchedulerTest, RespectsNodeCapacity) {

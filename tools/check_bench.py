@@ -29,11 +29,26 @@ Parses the JSON written by bench_solver_micro's comparison harness and fails
         on any hardware: the win comes from solving k small branch-and-bound
         trees instead of one exponentially larger one, not from parallelism.
 
+  * placement-service floors (only when --service-file is given):
+      - every tier in BENCH_service_throughput.json must have resolved all
+        submitted requests (all_resolved == true) and the bulk tier must
+        have committed >= --min-service-containers containers — both
+        hardware-independent completion checks;
+      - the bulk tier's throughput must stay >= --min-service-throughput
+        containers/s and its p99 end-to-end placement latency (from the
+        service.place_latency_ms registry histogram) <= --max-service-p99-ms,
+        but only when the producing machine had >= 4 hardware threads —
+        same reasoning as the parallel-speedup floor above.
+
 Usage:
   tools/check_bench.py [--file BENCH_solver_micro.json]
                        [--min-pivot-reduction 5.0]
                        [--min-parallel-speedup 2.0]
                        [--min-decompose-speedup 5.0]
+                       [--service-file BENCH_service_throughput.json]
+                       [--min-service-containers 1000000]
+                       [--min-service-throughput 5000.0]
+                       [--max-service-p99-ms 2000.0]
 """
 
 import argparse
@@ -63,6 +78,33 @@ def main() -> int:
         default=5.0,
         help="floor for the decomposed-vs-monolithic wall speedup on every "
         "decomposition tier (recorded: ~50-1000x; hardware-independent)",
+    )
+    parser.add_argument(
+        "--service-file",
+        default=None,
+        help="BENCH_service_throughput.json to gate (skipped when omitted)",
+    )
+    parser.add_argument(
+        "--min-service-containers",
+        type=int,
+        default=1_000_000,
+        help="floor for committed containers in the bulk service tier "
+        "(hardware-independent completion check)",
+    )
+    parser.add_argument(
+        "--min-service-throughput",
+        type=float,
+        default=5000.0,
+        help="floor for bulk-tier placement throughput in containers/s "
+        "(recorded: ~70k/s unoptimized single-core; enforced only when the "
+        "producing machine had >= 4 hardware threads)",
+    )
+    parser.add_argument(
+        "--max-service-p99-ms",
+        type=float,
+        default=2000.0,
+        help="ceiling for bulk-tier p99 end-to-end placement latency in ms "
+        "(enforced only when the producing machine had >= 4 hardware threads)",
     )
     args = parser.parse_args()
 
@@ -153,12 +195,72 @@ def main() -> int:
                 f"the {args.min_decompose_speedup:.2f}x floor"
             )
 
+    # --- placement-service floors (BENCH_service_throughput.json).
+    if args.service_file:
+        failures.extend(check_service(args))
+
     if failures:
         for failure in failures:
             print(f"check_bench: FAIL: {failure}")
         return 1
     print("check_bench: OK")
     return 0
+
+
+def check_service(args) -> list:
+    """Gates the batched placement-service bench results."""
+    failures = []
+    try:
+        with open(args.service_file, encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"cannot read {args.service_file}: {err}"]
+
+    env = [r for r in records if r.get("kind") == "env"]
+    hardware_threads = env[-1].get("hardware_threads", 0) if env else 0
+    tiers = {r.get("tier"): r for r in records if r.get("kind") == "tier"}
+
+    # Completion: every tier resolved every submitted request.
+    for name, tier in tiers.items():
+        if not tier.get("all_resolved", False):
+            failures.append(f"service tier {name} timed out before resolving all requests")
+
+    bulk = tiers.get("greedy-service")
+    if bulk is None:
+        failures.append("no greedy-service tier record (service bench did not run?)")
+        return failures
+
+    committed = bulk.get("containers_committed", 0)
+    print(f"check_bench: service bulk tier committed {committed} containers "
+          f"(floor {args.min_service_containers})")
+    if committed < args.min_service_containers:
+        failures.append(
+            f"service bulk tier committed {committed} containers, below the "
+            f"{args.min_service_containers} floor"
+        )
+
+    throughput = bulk.get("containers_per_s", 0.0)
+    p99 = bulk.get("p99_ms", 0.0)
+    if hardware_threads >= 4:
+        print(f"check_bench: service throughput {throughput:.0f} containers/s "
+              f"(floor {args.min_service_throughput:.0f}), p99 {p99:.1f} ms "
+              f"(ceiling {args.max_service_p99_ms:.1f}, "
+              f"hardware_threads={hardware_threads})")
+        if throughput < args.min_service_throughput:
+            failures.append(
+                f"service throughput {throughput:.0f} containers/s fell below "
+                f"the {args.min_service_throughput:.0f} floor"
+            )
+        if p99 > args.max_service_p99_ms:
+            failures.append(
+                f"service p99 placement latency {p99:.1f} ms exceeded the "
+                f"{args.max_service_p99_ms:.1f} ms ceiling"
+            )
+    else:
+        print(f"check_bench: skipping service throughput/p99 floors — producing "
+              f"machine had only {hardware_threads} hardware thread(s); observed "
+              f"{throughput:.0f} containers/s, p99 {p99:.1f} ms")
+    return failures
 
 
 if __name__ == "__main__":
