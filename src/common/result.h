@@ -33,8 +33,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 // A status is a code plus an optional message. The default-constructed
-// status is OK.
-class Status {
+// status is OK. [[nodiscard]]: silently dropping a Status swallows the
+// error path — check .ok(), propagate it, or cast to void with a comment
+// (medea-lint's discarded-result check covers the shapes the compiler
+// cannot see through).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -74,7 +77,7 @@ class Status {
 
 // A value or an error status. Mirrors absl::StatusOr in miniature.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,17 @@
+// medea-lint fixture: MUST produce discarded-result findings. A
+// Result<T>/Status used as a bare statement silently swallows the error
+// path; this is the dynamic complement to [[nodiscard]] (which cannot see
+// through some macro and template shapes).
+#include "common/result.h"
+
+namespace medea::lintfix {
+
+Status PersistCheckpoint();
+Result<int> LoadCheckpoint();
+
+void Run() {
+  PersistCheckpoint();  // error: Status discarded
+  LoadCheckpoint();     // error: Result<int> discarded
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,21 @@
+// medea-lint fixture: clean sibling of discarded_result_bad.cc — no
+// findings. Every Result/Status is consumed: checked, propagated, bound,
+// or explicitly voided.
+#include "common/result.h"
+
+namespace medea::lintfix {
+
+Status PersistCheckpoint();
+Result<int> LoadCheckpoint();
+
+Status RunChecked() {
+  Status st = PersistCheckpoint();   // bound
+  if (!st.ok()) return st;           // propagated
+  auto loaded = LoadCheckpoint();    // bound
+  if (!loaded.ok()) return loaded.status();
+  MEDEA_CHECK(PersistCheckpoint().ok());  // consumed inside a check
+  (void)PersistCheckpoint();         // explicitly voided
+  return Status::Ok();
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,49 @@
+// medea-lint fixture: clean sibling of lock_order_bad.cc — no findings.
+// Every function acquires in the same global order (Alpha before Beta,
+// TwoSchedulerRuntime before PlanQueue per the documented order), and
+// manual Lock/Unlock pairs release before re-acquiring.
+#include "common/sync/mutex.h"
+
+namespace medea::lintfix {
+
+struct Alpha {
+  sync::Mutex mu_;
+};
+struct Beta {
+  sync::Mutex mu_;
+};
+
+void TakesAlphaThenBetaA(Alpha* a, Beta* b) {
+  sync::MutexLock outer(&a->mu_);
+  sync::MutexLock inner(&b->mu_);
+}
+
+void TakesAlphaThenBetaB(Alpha* a, Beta* b) {
+  sync::MutexLock outer(&a->mu_);
+  {
+    sync::MutexLock inner(&b->mu_);
+  }
+}
+
+// Hand-over-hand with manual Lock/Unlock: Beta is never acquired while
+// Alpha is held in the reverse direction.
+void HandOverHand(Alpha* a, Beta* b) {
+  a->mu_.Lock();
+  a->mu_.Unlock();
+  b->mu_.Lock();
+  b->mu_.Unlock();
+}
+
+struct PlanQueue {
+  sync::Mutex mu_;
+};
+struct TwoSchedulerRuntime {
+  sync::Mutex mu_;
+};
+
+void RightDocumentedOrder(PlanQueue* queue, TwoSchedulerRuntime* runtime) {
+  sync::MutexLock r(&runtime->mu_);
+  sync::MutexLock q(&queue->mu_);
+}
+
+}  // namespace medea::lintfix

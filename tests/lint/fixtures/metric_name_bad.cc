@@ -1,0 +1,17 @@
+// medea-lint fixture: MUST produce metric-name findings. Metric-name
+// string literals must appear in docs/metric_names.txt; dynamic names need
+// a wildcard entry covering their prefix.
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace medea::lintfix {
+
+void EmitUnregistered(const std::string& shard) {
+  obs::Count("lint_fixture.not_registered");             // error: unknown name
+  obs::Observe("lint_fixture.typo_hist_ms", 1.0);        // error: unknown name
+  obs::SetGauge("lint_fixture.dyn_unregistered." + shard, 1);  // error: no wildcard
+  obs::ScopedLatencyTimer timer("lint_fixture.no_such_timer_ms");  // error
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,18 @@
+// medea-lint fixture: clean sibling of metric_name_bad.cc — no findings.
+// Uses names registered in docs/metric_names.txt (the `lint_fixture.*`
+// section exists exactly for this corpus), including a wildcard-covered
+// dynamic name.
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace medea::lintfix {
+
+void EmitRegistered(const std::string& shard) {
+  obs::Count("lint_fixture.registered_counter");
+  obs::Observe("lint_fixture.registered_hist_ms", 1.0);
+  obs::SetGauge("lint_fixture.dyn." + shard, 1);  // covered by lint_fixture.dyn.*
+  obs::ScopedLatencyTimer timer("lint_fixture.registered_timer_ms");
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,20 @@
+// medea-lint fixture: MUST produce raw-sync findings.
+// Raw standard-library synchronization primitives outside src/common/sync/
+// bypass both Clang Thread Safety Analysis and medea-lint's lock-order
+// extraction, so every one of these lines is an error.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace medea::lintfix {
+
+std::mutex g_mu;                      // error: raw std::mutex
+std::condition_variable g_cv;         // error: raw std::condition_variable
+
+void SpawnRaw() {
+  std::thread worker([] {});          // error: raw std::thread
+  std::lock_guard<std::mutex> lock(g_mu);  // error: lock_guard (and mutex)
+  worker.join();
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,23 @@
+// medea-lint fixture: clean sibling of raw_sync_bad.cc — no findings.
+// Uses the annotated wrappers from src/common/sync/ exclusively; the one
+// std:: mention is the hardware_concurrency() query, which creates no thread
+// and takes no lock, so it is explicitly allowed.
+#include <thread>
+
+#include "common/sync/mutex.h"
+#include "common/sync/thread.h"
+
+namespace medea::lintfix {
+
+sync::Mutex g_mu;
+
+void SpawnWrapped() {
+  unsigned hw = std::thread::hardware_concurrency();  // allowed query
+  sync::Thread worker("lint-fixture", [hw] { (void)hw; });
+  {
+    sync::MutexLock lock(&g_mu);
+  }
+  worker.Join();
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,23 @@
+// medea-lint fixture: MUST produce snapshot-mutation findings.
+// Snapshots returned by EpochClusterState::Acquire() are frozen: their COW
+// shards are shared with concurrent readers, so calling a mutating
+// ClusterState method through one — or const_casting the constness away —
+// is a correctness bug, not a style issue.
+#include "cluster/epoch_state.h"
+
+namespace medea::lintfix {
+
+void MutateThroughSnapshot(cluster::EpochClusterState& epoch) {
+  auto snap = epoch.Acquire();
+  snap->state.Allocate("app-1", "node-1", {});   // error: mutator via snapshot
+  snap->state.SetNodeAvailable("node-2", false);  // error: mutator via snapshot
+}
+
+void ConstCastEscape(cluster::EpochClusterState& epoch) {
+  auto snap = epoch.Acquire();
+  auto& mutable_state =
+      const_cast<cluster::ClusterState&>(snap->state);  // error: const_cast
+  mutable_state.Clear();
+}
+
+}  // namespace medea::lintfix

@@ -1,0 +1,20 @@
+// medea-lint fixture: clean sibling of snapshot_mutation_bad.cc — no
+// findings. Snapshots are only read; all mutation goes through the epoch
+// commit path, which copies the affected shards before touching them.
+#include "cluster/epoch_state.h"
+
+namespace medea::lintfix {
+
+int ReadThroughSnapshot(cluster::EpochClusterState& epoch) {
+  auto snap = epoch.Acquire();
+  int nodes = static_cast<int>(snap->state.nodes().size());  // const access
+  return nodes + static_cast<int>(snap->epoch);
+}
+
+void MutateThroughCommit(cluster::EpochClusterState& epoch) {
+  epoch.Commit([](cluster::ClusterState& state) {
+    state.SetNodeAvailable("node-2", true);  // fine: inside Commit, on the copy
+  });
+}
+
+}  // namespace medea::lintfix

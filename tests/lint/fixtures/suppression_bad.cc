@@ -1,0 +1,18 @@
+// medea-lint fixture: MUST produce bad-suppression findings (and the
+// underlying raw-sync finding survives, since a malformed allow() suppresses
+// nothing). A suppression without a reason is exactly the silent convention
+// drift the tool exists to prevent.
+#include <mutex>
+
+namespace medea::lintfix {
+
+// medea-lint: allow(raw-sync)
+std::mutex g_mu;  // error: raw-sync (the reasonless allow above is inert)
+
+// medea-lint: allow(no-such-check): misspelled check id
+int g_unused = 0;
+
+// medea-lint: allowing everything forever
+int g_also_unused = 0;
+
+}  // namespace medea::lintfix

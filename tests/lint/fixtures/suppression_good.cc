@@ -1,0 +1,21 @@
+// medea-lint fixture: violations present but correctly suppressed — the run
+// must report 0 errors and a non-zero suppressed count. Both suppression
+// forms appear: line-level allow() (comment-above and trailing styles) and
+// a whole-file allow-file().
+// medea-lint: allow-file(metric-name): fixture metrics are never scraped.
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace medea::lintfix {
+
+// medea-lint: allow(raw-sync): interop with a third-party API that hands us a std::mutex.
+std::mutex g_thirdparty_mu;
+
+std::mutex g_other_mu;  // medea-lint: allow(raw-sync): same third-party API.
+
+void Emit() {
+  obs::Count("lint_fixture.suppressed_by_allow_file");  // covered by allow-file
+}
+
+}  // namespace medea::lintfix

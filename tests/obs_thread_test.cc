@@ -5,6 +5,8 @@
 // while reader threads concurrently snapshot, export JSON lines and write
 // Chrome traces — plus a toggler flipping the enabled flags mid-flight, the
 // exact races the relaxed-load fast path must survive.
+// medea-lint: allow-file(raw-sync): deliberate raw std::thread use — this TSan hammer
+// must race the obs layer without the sync wrappers' own synchronization in the way.
 
 #include <atomic>
 #include <cstdio>

@@ -9,6 +9,8 @@
 //      concurrently (the production shape once several scheduler instances
 //      share a process), and a parallel-solver ILP scheduler living inside
 //      the TwoSchedulerRuntime next to the scheduler + heartbeat threads.
+// medea-lint: allow-file(raw-sync): deliberate raw std::thread use — external pressure
+// threads here must not inherit the sync wrappers' annotations or extra ordering.
 
 #include <atomic>
 #include <chrono>

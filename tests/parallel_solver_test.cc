@@ -97,7 +97,7 @@ TEST(ParallelSolverTest, RootIntegralModelSolvesWithoutBranching) {
   // it in a single node without deadlocking on an empty frontier.
   Model m;
   const VarIndex x = m.AddBinary(2.0, "x");
-  const VarIndex y = m.AddBinary(1.0, "y");
+  m.AddBinary(1.0, "y");  // unconstrained binary: integral at the root
   m.AddRow({{x, 1.0}}, RowSense::kLessEqual, 1.0);
   m.SetMaximize(true);
   MipStats stats;

@@ -6,6 +6,8 @@
 // thread. A ScopedInvariantAudit independently certifies every committed
 // plan and state mutation while the races are in flight, and the final state
 // must pass InvariantChecker::CheckState from first principles.
+// medea-lint: allow-file(raw-sync): deliberate raw std::thread use — client threads
+// simulate untrusted external callers that do not go through src/common/sync.
 
 #include <atomic>
 #include <chrono>

@@ -8,6 +8,8 @@
 // epoch (epoch != epoch_check) or an internally inconsistent state, and an
 // invariant auditor independently certifies every commit under the writer
 // lock.
+// medea-lint: allow-file(raw-sync): deliberate raw std::thread use — reader/chaos
+// threads must hit the snapshot path with no extra synchronization the wrappers add.
 
 #include <atomic>
 #include <chrono>

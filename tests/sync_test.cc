@@ -4,6 +4,8 @@
 // destruction. The *static* guarantees (GUARDED_BY etc.) are exercised by
 // the clang -Werror=thread-safety build and the negative compile test; this
 // file checks the runtime behavior the annotations describe.
+// medea-lint: allow-file(raw-sync): this file tests the sync wrappers themselves, so
+// it needs raw std::thread as the independent reference implementation.
 
 #include <atomic>
 #include <chrono>

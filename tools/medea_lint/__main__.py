@@ -1,0 +1,197 @@
+"""medea-lint: project-specific static analysis for the Medea tree.
+
+Usage:
+  python3 tools/medea_lint --build-dir build-release [options] [paths...]
+
+With --build-dir, translation units are discovered from the exported
+compile_commands.json exactly like tools/run_clang_tidy.sh, plus all headers
+under the path filters (headers are not TUs but carry conventions too).
+Explicit paths (files or directories) bypass the compile database — that is
+how the fixture corpus under tests/lint/ is linted without being built.
+
+Checks, suppression syntax, and how to add a check: docs/static_analysis.md.
+Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import checks as checks_mod
+import diagnostics as diag_mod
+import structure
+from lexer import tokenize
+
+DEFAULT_FILTERS = ["src/", "tests/", "bench/", "examples/"]
+# The fixture corpus deliberately violates every check.
+DEFAULT_EXCLUDES = ["tests/lint/"]
+SOURCE_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+ALL_CHECKS = set(checks_mod.CHECKS)
+
+
+def find_repo_root(start: str) -> str:
+    d = os.path.abspath(start)
+    while True:
+        if os.path.exists(os.path.join(d, "CMakeLists.txt")) and \
+                os.path.isdir(os.path.join(d, "src")):
+            return d
+        parent = os.path.dirname(d)
+        if parent == d:
+            return os.path.abspath(start)
+        d = parent
+
+
+def discover_from_compile_db(build_dir: str, root: str,
+                             filters: list[str]) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.stderr.write(
+            f"medea-lint: error: {db_path} not found; configure the build "
+            f"tree first (every CMake preset exports it)\n")
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    seen: set[str] = set()
+    files: list[str] = []
+    for entry in entries:
+        path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(rel.startswith(flt) for flt in filters) and rel not in seen:
+            seen.add(rel)
+            files.append(rel)
+    # Headers under the same filters: conventions live there too (inline
+    # methods, annotation macros, template bodies).
+    for flt in filters:
+        base = os.path.join(root, flt)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for fn in filenames:
+                if fn.endswith((".h", ".hpp")):
+                    rel = os.path.relpath(os.path.join(dirpath, fn),
+                                          root).replace(os.sep, "/")
+                    if rel not in seen:
+                        seen.add(rel)
+                        files.append(rel)
+    return sorted(files)
+
+
+def expand_paths(paths: list[str], root: str) -> list[str]:
+    out: list[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isdir(ap):
+            for dirpath, _d, filenames in os.walk(ap):
+                for fn in sorted(filenames):
+                    if fn.endswith(SOURCE_EXTS):
+                        out.append(os.path.relpath(os.path.join(dirpath, fn), root))
+        elif os.path.exists(ap):
+            out.append(os.path.relpath(ap, root))
+        else:
+            sys.stderr.write(f"medea-lint: error: no such file: {p}\n")
+            sys.exit(2)
+    return [p.replace(os.sep, "/") for p in out]
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="medea-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: discover "
+                         "from --build-dir's compile_commands.json)")
+    ap.add_argument("--build-dir", default=None,
+                    help="build tree containing compile_commands.json")
+    ap.add_argument("--filter", action="append", default=None,
+                    help="path prefix filter for compile-db discovery "
+                         f"(default: {' '.join(DEFAULT_FILTERS)})")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated subset of checks to run "
+                         f"(default: all: {','.join(sorted(ALL_CHECKS))})")
+    ap.add_argument("--json", dest="json_out", default=None, metavar="PATH",
+                    help="also write a JSON report ('-' for stdout)")
+    ap.add_argument("--metric-registry", default="docs/metric_names.txt",
+                    help="metric-name registry file, relative to repo root")
+    ap.add_argument("--list-checks", action="store_true",
+                    help="print the check catalog and exit")
+    ap.add_argument("--include-fixtures", action="store_true",
+                    help="do not exclude tests/lint/ from discovery")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for c in checks_mod.CHECKS:
+            print(c)
+        print(diag_mod.BAD_SUPPRESSION)
+        return 0
+
+    enabled = ALL_CHECKS
+    if args.checks:
+        enabled = {c.strip() for c in args.checks.split(",") if c.strip()}
+        unknown = enabled - ALL_CHECKS
+        if unknown:
+            sys.stderr.write(
+                f"medea-lint: error: unknown check(s): {', '.join(sorted(unknown))}"
+                f" (known: {', '.join(sorted(ALL_CHECKS))})\n")
+            return 2
+
+    root = find_repo_root(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))) or ".")
+    # The package lives at <root>/tools/medea_lint, so repo root is two up.
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    root = find_repo_root(os.path.dirname(pkg_root))
+
+    if args.paths:
+        files = expand_paths(args.paths, root)
+    elif args.build_dir:
+        filters = args.filter or DEFAULT_FILTERS
+        files = discover_from_compile_db(args.build_dir, root, filters)
+    else:
+        sys.stderr.write("medea-lint: error: give --build-dir or explicit "
+                         "paths (see --help)\n")
+        return 2
+
+    if not args.include_fixtures and not args.paths:
+        files = [f for f in files
+                 if not any(f.startswith(e) for e in DEFAULT_EXCLUDES)]
+
+    known_for_suppression = ALL_CHECKS
+    models = []
+    sup_by_file = {}
+    for rel in files:
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            sys.stderr.write(f"medea-lint: error: cannot read {rel}: {e}\n")
+            return 2
+        tokens = tokenize(text)
+        models.append(structure.build(rel, tokens))
+        sup_by_file[rel] = diag_mod.scan_suppressions(
+            rel, tokens, known_for_suppression)
+
+    ctx = checks_mod.Context(repo_root=root, files=models,
+                             metric_registry_path=args.metric_registry)
+    diags = checks_mod.run_all(ctx, enabled)
+    for sup in sup_by_file.values():
+        diags.extend(sup.bad)
+    diags = diag_mod.apply_suppressions(diags, sup_by_file)
+
+    print(diag_mod.render_human(diags, len(files)))
+    if args.json_out:
+        payload = diag_mod.render_json(diags, len(files))
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as f:
+                f.write(payload + "\n")
+
+    return 1 if any(not d.suppressed for d in diags) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

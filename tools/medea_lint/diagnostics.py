@@ -1,0 +1,139 @@
+"""Diagnostics, suppression handling, and output formatting.
+
+Suppression syntax (see docs/static_analysis.md):
+
+  // medea-lint: allow(<check-id>): <reason>        suppresses findings of
+      <check-id> on the same line or the line directly below the comment;
+  // medea-lint: allow-file(<check-id>): <reason>   suppresses the check for
+      the whole file (conventionally placed at the top).
+
+The reason is mandatory: an allow() without one is itself reported, as check
+`bad-suppression` — a suppression that does not say *why* is exactly the
+silent convention drift this tool exists to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from lexer import COMMENT, Token
+
+BAD_SUPPRESSION = "bad-suppression"
+
+_ALLOW_RE = re.compile(
+    r"medea-lint:\s*(allow|allow-file)\(\s*([A-Za-z0-9_-]*)\s*\)\s*(?::\s*(.*?))?\s*(?:\*/)?\s*$")
+
+
+@dataclass
+class Diagnostic:
+    check: str
+    file: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def human(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: error: [{self.check}] {self.message}"
+
+    def as_json(self) -> dict:
+        return {
+            "check": self.check,
+            "file": self.file,
+            "line": self.line,
+            "column": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class Suppressions:
+    # check -> set of source lines covered by a line-level allow().
+    lines: dict[str, set[int]] = field(default_factory=dict)
+    # checks allowed for the whole file.
+    whole_file: set[str] = field(default_factory=set)
+    # malformed suppression comments, reported as findings.
+    bad: list[Diagnostic] = field(default_factory=list)
+
+    def covers(self, check: str, line: int) -> bool:
+        if check in self.whole_file:
+            return True
+        return line in self.lines.get(check, set())
+
+
+def scan_suppressions(path: str, tokens: list[Token],
+                      known_checks: set[str]) -> Suppressions:
+    sup = Suppressions()
+    for t in tokens:
+        if t.kind != COMMENT or "medea-lint:" not in t.value:
+            continue
+        body = t.value.lstrip("/").lstrip("*").strip()
+        m = _ALLOW_RE.search(body)
+        if not m:
+            sup.bad.append(Diagnostic(
+                BAD_SUPPRESSION, path, t.line, t.col,
+                "unrecognized medea-lint comment; expected "
+                "`// medea-lint: allow(<check>): <reason>`"))
+            continue
+        form, check, reason = m.group(1), m.group(2), m.group(3)
+        if check not in known_checks:
+            sup.bad.append(Diagnostic(
+                BAD_SUPPRESSION, path, t.line, t.col,
+                f"allow() names unknown check '{check}' "
+                f"(known: {', '.join(sorted(known_checks))})"))
+            continue
+        if not reason:
+            sup.bad.append(Diagnostic(
+                BAD_SUPPRESSION, path, t.line, t.col,
+                f"allow({check}) without a reason; write "
+                f"`// medea-lint: allow({check}): <why this is safe>`"))
+            continue
+        if form == "allow-file":
+            sup.whole_file.add(check)
+        else:
+            # Covers the comment's own line (trailing comment) and the next
+            # line (comment-above style).
+            sup.lines.setdefault(check, set()).update({t.line, t.line + 1})
+    return sup
+
+
+def apply_suppressions(diags: list[Diagnostic],
+                       sup_by_file: dict[str, Suppressions]) -> list[Diagnostic]:
+    out = []
+    for d in diags:
+        sup = sup_by_file.get(d.file)
+        if sup is not None and sup.covers(d.check, d.line):
+            d.suppressed = True
+        out.append(d)
+    return out
+
+
+def render_human(diags: list[Diagnostic], files_scanned: int) -> str:
+    lines = []
+    active = [d for d in diags if not d.suppressed]
+    for d in sorted(active, key=lambda d: (d.file, d.line, d.col, d.check)):
+        lines.append(d.human())
+    suppressed = sum(1 for d in diags if d.suppressed)
+    lines.append(
+        f"medea-lint: {len(active)} error(s), {suppressed} suppressed, "
+        f"{files_scanned} file(s) scanned")
+    return "\n".join(lines)
+
+
+def render_json(diags: list[Diagnostic], files_scanned: int) -> str:
+    active = [d for d in diags if not d.suppressed]
+    counts: dict[str, int] = {}
+    for d in active:
+        counts[d.check] = counts.get(d.check, 0) + 1
+    return json.dumps({
+        "version": 1,
+        "files_scanned": files_scanned,
+        "errors": len(active),
+        "suppressed": sum(1 for d in diags if d.suppressed),
+        "counts_by_check": dict(sorted(counts.items())),
+        "findings": [d.as_json() for d in
+                     sorted(diags, key=lambda d: (d.file, d.line, d.col, d.check))],
+    }, indent=2)

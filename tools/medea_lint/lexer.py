@@ -1,0 +1,238 @@
+"""C++ token stream for medea-lint.
+
+A deliberately small, dependency-free lexer: medea-lint's checks are
+convention checks (qualified-name usage, call shapes, annotation macros,
+string-literal arguments), not type checks, so a faithful token stream with
+accurate line/column information is enough. The build image does not ship
+libclang (no C-API library, no headers, no python bindings), so this module
+is the parsing frontend; see docs/static_analysis.md ("Why not libclang?").
+
+Handled faithfully:
+  * line (//) and block (/* */) comments — kept as COMMENT tokens so the
+    suppression scanner can see them;
+  * string/char literals including raw strings R"delim(...)delim", encoding
+    prefixes (u8, L, ...) and escapes;
+  * preprocessor directives (one PREPROC token per logical line, with
+    continuation backslashes folded);
+  * identifiers/keywords, numbers (incl. digit separators), and maximal-munch
+    punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"      # "..." (value holds the raw literal incl. quotes)
+CHAR = "char"          # '...'
+PUNCT = "punct"
+COMMENT = "comment"    # // ... or /* ... */
+PREPROC = "preproc"    # whole directive line(s)
+
+_PUNCTUATORS = [
+    "->*", "<<=", ">>=", "...", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+    "{", "}", "[", "]", "(", ")", ";", ":", "?", ".", "+", "-", "*", "/",
+    "%", "&", "|", "^", "~", "!", "=", "<", ">", ",", "#",
+]
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_BODY = re.compile(r"[A-Za-z0-9_]*")
+_NUMBER = re.compile(r"(?:0[xXbB])?[0-9a-fA-F']*(?:\.[0-9a-fA-F']*)?"
+                     r"(?:[eEpP][+-]?[0-9]+)?[uUlLfFzZ]*")
+_STRING_PREFIX = re.compile(r"(u8|u|U|L)?R?$")
+
+
+@dataclass
+class Token:
+    kind: str
+    value: str
+    line: int   # 1-based
+    col: int    # 1-based
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenizes C++ source. Never raises on real-world input: unterminated
+    constructs consume to end of file rather than failing the whole lint."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    col = 1
+
+    def advance(count: int):
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+
+        # Whitespace.
+        if ch in " \t\r\n\f\v":
+            advance(1)
+            continue
+
+        start_line, start_col = line, col
+
+        # Comments.
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            tokens.append(Token(COMMENT, text[i:end], start_line, start_col))
+            advance(end - i)
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            tokens.append(Token(COMMENT, text[i:end], start_line, start_col))
+            advance(end - i)
+            continue
+
+        # Preprocessor directive: only when '#' is the first non-ws token of
+        # the line. Fold continuation lines into one token.
+        if ch == "#" and _at_line_start(text, i):
+            end = i
+            while True:
+                nl = text.find("\n", end)
+                if nl == -1:
+                    end = n
+                    break
+                # Count trailing backslash (ignoring \r) as continuation.
+                j = nl - 1
+                if j >= 0 and text[j] == "\r":
+                    j -= 1
+                if j >= i and text[j] == "\\":
+                    end = nl + 1
+                    continue
+                end = nl
+                break
+            tokens.append(Token(PREPROC, text[i:end], start_line, start_col))
+            advance(end - i)
+            continue
+
+        # Identifier (possibly a string-literal encoding prefix).
+        if _IDENT_START.match(ch):
+            m = _IDENT_BODY.match(text, i + 1)
+            end = m.end()
+            word = text[i:end]
+            # Raw / prefixed string or char literal: u8"...", LR"(...)", ...
+            if end < n and text[end] in "\"'" and _STRING_PREFIX.match(word):
+                lit_end, kind = _scan_literal(text, end, raw=word.endswith("R"))
+                tokens.append(Token(kind, text[i:lit_end], start_line, start_col))
+                advance(lit_end - i)
+                continue
+            tokens.append(Token(IDENT, word, start_line, start_col))
+            advance(end - i)
+            continue
+
+        # Plain string / char literal.
+        if ch in "\"'":
+            lit_end, kind = _scan_literal(text, i, raw=False)
+            tokens.append(Token(kind, text[i:lit_end], start_line, start_col))
+            advance(lit_end - i)
+            continue
+
+        # Number (also .5 floats).
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUMBER.match(text, i)
+            end = m.end() if m and m.end() > i else i + 1
+            tokens.append(Token(NUMBER, text[i:end], start_line, start_col))
+            advance(end - i)
+            continue
+
+        # Punctuation, maximal munch.
+        for p in _PUNCTUATORS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, start_line, start_col))
+                advance(len(p))
+                break
+        else:
+            # Unknown byte (extended chars in comments already handled);
+            # skip it rather than failing the file.
+            advance(1)
+
+    return tokens
+
+
+def _at_line_start(text: str, i: int) -> bool:
+    j = i - 1
+    while j >= 0 and text[j] in " \t":
+        j -= 1
+    return j < 0 or text[j] == "\n"
+
+
+def _scan_literal(text: str, i: int, raw: bool) -> tuple[int, str]:
+    """Returns (end_index, kind) for the literal starting at text[i] (a quote)."""
+    n = len(text)
+    quote = text[i]
+    kind = STRING if quote == '"' else CHAR
+    if raw and quote == '"':
+        # R"delim( ... )delim"
+        paren = text.find("(", i + 1)
+        if paren == -1:
+            return n, kind
+        delim = text[i + 1:paren]
+        closer = ")" + delim + '"'
+        end = text.find(closer, paren + 1)
+        return (n if end == -1 else end + len(closer)), kind
+    j = i + 1
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote:
+            return j + 1, kind
+        if c == "\n":
+            # Unterminated literal: stop at end of line.
+            return j, kind
+        j += 1
+    return n, kind
+
+
+def string_value(raw_literal: str) -> str:
+    """Best-effort value of a string literal token (handles prefixes, raw
+    strings, and common escapes). Used for metric-name extraction, where the
+    names are plain ASCII."""
+    s = raw_literal
+    m = re.match(r'(u8|u|U|L)?(R?)"', s)
+    if not m:
+        return s
+    if m.group(2) == "R":
+        body = s[m.end():]
+        paren = body.find("(")
+        if paren == -1:
+            return body
+        delim = body[:paren]
+        inner = body[paren + 1:]
+        closer = ")" + delim + '"'
+        if inner.endswith(closer):
+            inner = inner[: -len(closer)]
+        return inner
+    body = s[m.end():]
+    if body.endswith('"'):
+        body = body[:-1]
+    try:
+        return bytes(body, "utf-8").decode("unicode_escape")
+    except UnicodeDecodeError:
+        return body

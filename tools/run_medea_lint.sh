@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs medea-lint (tools/medea_lint) over the tree, exactly the way the CI
+# `static-analysis` job does, so local runs and CI agree.
+#
+# Usage:
+#   tools/run_medea_lint.sh [build-dir] [extra medea-lint args...]
+#
+#   build-dir   directory containing compile_commands.json
+#               (default: build, then build-release — configured on demand)
+#
+# medea-lint needs only python3 + the exported compile database (every CMake
+# preset sets CMAKE_EXPORT_COMPILE_COMMANDS). A JSON report is written to
+# <build-dir>/medea_lint_report.json; CI uploads it as an artifact on
+# failure. Check catalog and suppression syntax: docs/static_analysis.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-}"
+if [ $# -gt 0 ]; then shift; fi
+if [ -z "$BUILD_DIR" ]; then
+  for candidate in build build-release; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      BUILD_DIR="$candidate"
+      break
+    fi
+  done
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "error: $PYTHON not found (set PYTHON=...)" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "-- configuring $BUILD_DIR (compile_commands.json export)"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
+REPORT="$BUILD_DIR/medea_lint_report.json"
+echo "-- medea-lint (build=$BUILD_DIR, report=$REPORT)"
+"$PYTHON" tools/medea_lint --build-dir "$BUILD_DIR" --json "$REPORT" "$@"
