@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/solver/incremental_lp.h"
 #include "src/solver/mip.h"
 #include "src/solver/testing/placement_model.h"
 
@@ -112,14 +113,128 @@ void EmitRun(bench::JsonRecords& out, const std::string& label, uint64_t seed,
       .Field("lp_solves", r.stats.lp_solves)
       .Field("lp_time_seconds", r.stats.lp_time_seconds)
       .Field("total_pivots", r.stats.total_pivots)
+      .Field("dual_pivots", r.stats.dual_pivots)
+      .Field("primal_pivots", r.stats.primal_pivots)
       .Field("warm_start_hits", r.stats.warm_start_hits)
       .Field("cold_restarts", r.stats.cold_restarts)
+      .Field("cuts_generated", r.stats.cuts_generated)
+      .Field("cuts_active", r.stats.cuts_active)
+      .Field("cut_rounds", r.stats.cut_rounds)
+      .Field("cut_pivots", r.stats.cut_pivots)
+      .Field("strong_branch_solves", r.stats.strong_branch_solves)
       // Presolve reductions now ride along in MipStats (no separate
       // Presolved() re-run needed to report them).
       .Field("presolve_singleton_rows", r.stats.presolve.singleton_rows)
       .Field("presolve_redundant_rows", r.stats.presolve.redundant_rows)
       .Field("presolve_bounds_tightened", r.stats.presolve.bounds_tightened)
+      .Field("presolve_probed_fixings", r.stats.presolve.probed_fixings)
+      .Field("presolve_clique_rows", r.stats.presolve.clique_rows_added)
+      .Field("presolve_probe_implications", r.stats.presolve.probe_implications)
       .End();
+}
+
+// ---- Bound-change restart microbench --------------------------------------
+//
+// Isolates the dual-simplex warm-restart path from the surrounding search:
+// solve the root LP with the incremental engine, apply ONE branching-style
+// bound change (fix the first fractional integer variable downward — exactly
+// a "down" branch), and re-solve warm. The reference is a cold incremental
+// solve of the same modified model (all-slack basis, full Phase-1/Phase-2).
+// Pivot counts are deterministic, so tools/check_bench.py gates the summed
+// warm-vs-cold reduction as a hardware-independent floor on every "restart"
+// record.
+int RunRestartMicrobench(bench::JsonRecords& out) {
+  bench::PrintHeader("Solver micro: single bound-change dual restart",
+                     "warm dual re-solve after one branch vs cold solve of the same LP");
+  bench::PrintRow({"model", "warm pivots", "dual", "cold pivots", "reduction", "objective"});
+
+  const std::vector<std::pair<int, int>> kSizes = {{10, 5}, {12, 6}, {16, 8}, {20, 10}};
+  const std::vector<uint64_t> kSeeds = {3, 5, 7, 11, 13};
+  int failures = 0;
+  long long warm_total = 0;
+  long long dual_total = 0;
+  long long cold_total = 0;
+  for (const auto& [containers, nodes] : kSizes) {
+    const std::string label = std::to_string(containers) + "x" + std::to_string(nodes);
+    long long warm_pivots = 0;
+    long long dual_pivots = 0;
+    long long cold_pivots = 0;
+    bool objectives_match = true;
+    bool warm_path = true;
+    for (const uint64_t seed : kSeeds) {
+      Model m = PlacementModel(containers, nodes, seed);
+      IncrementalLpSolver inc(m);
+      const Solution root = inc.Solve();
+      if (root.status != SolveStatus::kOptimal) {
+        objectives_match = false;
+        continue;
+      }
+      int branch = -1;
+      for (int j = 0; j < m.num_variables(); ++j) {
+        if (m.column(j).type == VarType::kContinuous) {
+          continue;
+        }
+        const double v = root.values[static_cast<size_t>(j)];
+        if (std::fabs(v - std::round(v)) > 1e-6) {
+          branch = j;
+          break;
+        }
+      }
+      if (branch < 0) {
+        continue;  // integral root LP: no branch to restart from
+      }
+      const double down = std::floor(root.values[static_cast<size_t>(branch)]);
+      m.SetBounds(branch, m.column(branch).lower, down);
+      inc.SetBounds(branch, m.column(branch).lower, down);
+      const Solution warm = inc.Solve();
+      warm_path = warm_path && inc.last_info().warm;
+      warm_pivots += inc.last_info().pivots;
+      dual_pivots += inc.last_info().dual_pivots;
+
+      IncrementalLpSolver cold(m);
+      const Solution reference = cold.Solve();
+      cold_pivots += cold.stats().pivots;
+      objectives_match =
+          objectives_match && warm.status == reference.status &&
+          (warm.status != SolveStatus::kOptimal ||
+           std::fabs(warm.objective - reference.objective) < 1e-6);
+    }
+    const double reduction =
+        warm_pivots > 0 ? static_cast<double>(cold_pivots) / static_cast<double>(warm_pivots)
+                        : 0.0;
+    out.Begin()
+        .Field("kind", "restart")
+        .Field("model", label)
+        .Field("seeds", static_cast<long long>(kSeeds.size()))
+        .Field("warm_pivots", warm_pivots)
+        .Field("dual_pivots", dual_pivots)
+        .Field("cold_pivots", cold_pivots)
+        .Field("pivot_reduction", reduction)
+        .Field("warm_path", warm_path)
+        .Field("objectives_match", objectives_match)
+        .End();
+    bench::PrintRow({label, std::to_string(warm_pivots), std::to_string(dual_pivots),
+                     std::to_string(cold_pivots), bench::Fmt(reduction) + "x",
+                     objectives_match && warm_path ? "match" : "MISMATCH"});
+    if (!objectives_match || !warm_path) {
+      ++failures;
+    }
+    warm_total += warm_pivots;
+    dual_total += dual_pivots;
+    cold_total += cold_pivots;
+  }
+  const double total_reduction =
+      warm_total > 0 ? static_cast<double>(cold_total) / static_cast<double>(warm_total) : 0.0;
+  out.Begin()
+      .Field("kind", "restart_total")
+      .Field("warm_pivots", warm_total)
+      .Field("dual_pivots", dual_total)
+      .Field("cold_pivots", cold_total)
+      .Field("pivot_reduction", total_reduction)
+      .End();
+  bench::PrintRow({"TOTAL", std::to_string(warm_total), std::to_string(dual_total),
+                   std::to_string(cold_total), bench::Fmt(total_reduction) + "x", ""});
+  return failures;
 }
 
 // ---- Thread sweep: parallel branch and bound ------------------------------
@@ -303,6 +418,8 @@ int RunComparison() {
   int failures = 0;
   long long cold_pivots_total = 0;
   long long warm_pivots_total = 0;
+  long long warm_dual_total = 0;
+  long long cut_total = 0;
   double cold_wall_total = 0.0;
   double warm_wall_total = 0.0;
   for (const auto& [containers, nodes] : kSizes) {
@@ -325,6 +442,8 @@ int RunComparison() {
                          std::fabs(cold.solution.objective - warm.solution.objective) < 1e-6;
       cold_pivots += cold.stats.total_pivots;
       warm_pivots += warm.stats.total_pivots;
+      warm_dual_total += warm.stats.dual_pivots;
+      cut_total += warm.stats.cuts_generated;
       cold_wall += cold.wall_seconds;
       warm_wall += warm.wall_seconds;
       cold_nodes += cold.stats.nodes_explored;
@@ -372,6 +491,8 @@ int RunComparison() {
       .Field("kind", "total")
       .Field("cold_pivots", cold_pivots_total)
       .Field("warm_pivots", warm_pivots_total)
+      .Field("warm_dual_pivots", warm_dual_total)
+      .Field("cuts_generated", cut_total)
       .Field("pivot_reduction", total_pivot_ratio)
       .Field("cold_wall_seconds", cold_wall_total)
       .Field("warm_wall_seconds", warm_wall_total)
@@ -379,6 +500,7 @@ int RunComparison() {
       .End();
   bench::PrintRow({"TOTAL", "ratio", bench::Fmt(total_wall_ratio) + "x", "", "",
                    bench::Fmt(total_pivot_ratio) + "x", "", ""});
+  failures += RunRestartMicrobench(out);
   failures += RunThreadSweep(out);
   failures += RunDecompositionSweep(out);
   if (!out.WriteFile("BENCH_solver_micro.json")) {

@@ -218,6 +218,112 @@ inline int MostFractionalVar(const Model& model, const std::vector<double>& x,
   return -1;  // unreachable
 }
 
+// Per-variable pseudo-cost tables for BranchingRule::kPseudoCost: observed
+// dual-bound degradation per unit of fractionality, kept separately for the
+// down (floor) and up (ceil) child. Initialized by root strong branching
+// (InitPseudoCostsAtRoot in cuts.h), updated from observed child bounds as
+// the search dives. The parallel engine gives every worker a COPY of the
+// root-initialized tables — workers then update privately, so scores drift
+// between workers but every individual decision stays deterministic given
+// the node's history.
+struct PseudoCosts {
+  std::vector<double> down_sum, up_sum;
+  std::vector<int> down_count, up_count;
+
+  void Resize(int num_variables) {
+    down_sum.assign(static_cast<size_t>(num_variables), 0.0);
+    up_sum.assign(static_cast<size_t>(num_variables), 0.0);
+    down_count.assign(static_cast<size_t>(num_variables), 0);
+    up_count.assign(static_cast<size_t>(num_variables), 0);
+  }
+  bool empty() const { return down_sum.empty(); }
+
+  // Records an observed degradation: `gain` = (parent bound - child bound) /
+  // fractionality moved, clamped nonnegative (bound noise can go slightly
+  // negative).
+  void Update(int var, bool up, double gain) {
+    const size_t sj = static_cast<size_t>(var);
+    const double g = std::max(gain, 0.0);
+    if (up) {
+      up_sum[sj] += g;
+      ++up_count[sj];
+    } else {
+      down_sum[sj] += g;
+      ++down_count[sj];
+    }
+  }
+
+  // Average degradation, falling back to the global average over observed
+  // variables, then to 1.0 (uninformed) — the standard reliability cascade.
+  double Average(int var, bool up) const {
+    const size_t sj = static_cast<size_t>(var);
+    const double sum = up ? up_sum[sj] : down_sum[sj];
+    const int count = up ? up_count[sj] : down_count[sj];
+    if (count > 0) {
+      return sum / count;
+    }
+    double gsum = 0.0;
+    int gcount = 0;
+    const auto& sums = up ? up_sum : down_sum;
+    const auto& counts = up ? up_count : down_count;
+    for (size_t j = 0; j < sums.size(); ++j) {
+      gsum += sums[j];
+      gcount += counts[j];
+    }
+    return gcount > 0 ? gsum / gcount : 1.0;
+  }
+};
+
+// Branch-variable selection honoring MipOptions::branching. kMostFractional
+// delegates to MostFractionalVar; kPseudoCost maximizes the product score
+//   max(eps, avg_down * f_down) * max(eps, avg_up * f_up)
+// with a RELATIVE tie band and lowest-index tie-break, so last-bit noise in
+// the LP values cannot make the warm and cold configurations (or two
+// workers replaying the same node) pick different variables. Returns -1 when
+// x is integral.
+inline int SelectBranchVariable(const Model& model, const std::vector<double>& x,
+                                double integrality_tol, BranchingRule rule,
+                                const PseudoCosts& pc) {
+  if (rule == BranchingRule::kMostFractional || pc.empty()) {
+    return MostFractionalVar(model, x, integrality_tol);
+  }
+  constexpr double kEps = 1e-6;
+  double best_score = -1.0;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = x[static_cast<size_t>(j)];
+    const double frac = v - std::floor(v);
+    if (frac <= integrality_tol || frac >= 1.0 - integrality_tol) {
+      continue;
+    }
+    const double score = std::max(kEps, pc.Average(j, false) * frac) *
+                         std::max(kEps, pc.Average(j, true) * (1.0 - frac));
+    best_score = std::max(best_score, score);
+  }
+  if (best_score < 0.0) {
+    return -1;
+  }
+  constexpr double kRelTieTol = 1e-6;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.column(j).type == VarType::kContinuous) {
+      continue;
+    }
+    const double v = x[static_cast<size_t>(j)];
+    const double frac = v - std::floor(v);
+    if (frac <= integrality_tol || frac >= 1.0 - integrality_tol) {
+      continue;
+    }
+    const double score = std::max(kEps, pc.Average(j, false) * frac) *
+                         std::max(kEps, pc.Average(j, true) * (1.0 - frac));
+    if (score >= best_score * (1.0 - kRelTieTol)) {
+      return j;
+    }
+  }
+  return -1;  // unreachable
+}
+
 // Parallel branch and bound (mip_parallel.cc) over a shared work-stealing
 // frontier. Preconditions (enforced by the dispatcher in mip.cc): the model
 // has integer variables, options.num_threads >= 2 and !options.deterministic.

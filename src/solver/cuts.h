@@ -1,0 +1,97 @@
+// Copyright (c) Medea reproduction authors.
+// Placement-structure cutting planes for the branch-and-bound root, plus the
+// strong-branching initializer for pseudo-cost branching.
+//
+// The placement ILP (PAPER.md section 4) is built from three row families —
+// one-node-per-container SOS rows, per-node capacity knapsacks and
+// tag-cardinality rows — all of which are 0/1 knapsacks. Two classic cut
+// families tighten their LP relaxation:
+//
+//  * COVER cuts: for a knapsack sum(a_j x_j) <= b, a minimal cover C (a set
+//    whose coefficients together exceed b) yields sum_{C} x_j <= |C| - 1,
+//    extended by every variable whose coefficient dominates the cover's.
+//  * CLIQUE cuts: when any two of the k largest coefficients already exceed
+//    b, at most one of those k binaries can be 1: sum_{K} x_j <= 1.
+//
+// Both are derived from a SINGLE row, so they are valid for every
+// integer-feasible point of the model (cut-and-branch: generated once at the
+// root, kept for the whole search) and they never merge the components the
+// decomposer (decompose.h) would otherwise split.
+//
+// AddRootCuts runs the separation loop against an internal IncrementalLpSolver
+// so each accepted cut is applied through the basis-preserving AddRow and
+// re-optimized by the dual simplex — the cut loop itself exercises (and is
+// benchmarked as) the dual warm-restart path. The loop is independent of
+// MipOptions::use_incremental_lp, so the warm and cold branch-and-bound
+// configurations receive bit-identical cut sets and explore identical trees
+// (see MipOptions::branching_perturbation and docs/solver.md).
+
+#ifndef SRC_SOLVER_CUTS_H_
+#define SRC_SOLVER_CUTS_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/solver/bnb_internal.h"
+#include "src/solver/mip.h"
+#include "src/solver/model.h"
+
+namespace medea::solver::internal {
+
+// One generated cut, always in the sense sum(terms) <= rhs.
+struct Cut {
+  std::vector<std::pair<VarIndex, double>> terms;  // sorted by variable index
+  double rhs = 0.0;
+  RowIndex source_row = -1;
+  const char* family = "";  // "cover" or "clique"
+  double violation = 0.0;   // at the LP point it was separated from
+};
+
+// Separates violated cover cuts from the first `original_rows` rows of
+// `model` at the fractional point `x`. Exposed for the validity tests.
+std::vector<Cut> SeparateCoverCuts(const Model& model, int original_rows,
+                                   const std::vector<double>& x, const CutOptions& options);
+
+// Separates violated clique cuts (pairwise-conflicting binary prefixes).
+std::vector<Cut> SeparateCliqueCuts(const Model& model, int original_rows,
+                                    const std::vector<double>& x, const CutOptions& options);
+
+// Statistics of one AddRootCuts invocation; folded into MipStats by the
+// callers (cut-loop pivots also count toward MipStats::total_pivots).
+struct RootCutStats {
+  int generated = 0;   // cuts accepted into the pool across all rounds
+  int active = 0;      // still tight when the loop ended (appended to model)
+  int aged_out = 0;    // retired by slack-based aging
+  int rounds = 0;      // separation rounds that added at least one cut
+  int lp_solves = 0;
+  long long pivots = 0;
+  long long dual_pivots = 0;
+  double lp_time_seconds = 0.0;
+};
+
+// Runs the root cutting-plane loop on `model` (already perturbed by the
+// caller) and appends the surviving active cuts to it as kLessEqual rows.
+// No-op unless options.cuts.enable, the model has integer variables and at
+// least one row.
+void AddRootCuts(Model& model, const MipOptions& options, RootCutStats* stats);
+
+// Dense LP solves spent by InitPseudoCostsAtRoot (also counted into
+// MipStats::lp_solves / total_pivots by the callers).
+struct StrongBranchStats {
+  int lp_solves = 0;
+  long long pivots = 0;
+  double lp_time_seconds = 0.0;
+};
+
+// Initializes pseudo-cost tables by strong-branching the most fractional
+// root-LP candidates (MipOptions::strong_branch_candidates, two child LPs
+// each). Uses the DENSE solver exclusively so the resulting tables — and
+// therefore every branching decision seeded by them — are identical across
+// the warm, cold, serial and parallel configurations. `pc` is resized to the
+// model's variable count; tables stay zero when the rule is not kPseudoCost.
+void InitPseudoCostsAtRoot(const Model& model, const MipOptions& options, PseudoCosts* pc,
+                           StrongBranchStats* stats);
+
+}  // namespace medea::solver::internal
+
+#endif  // SRC_SOLVER_CUTS_H_

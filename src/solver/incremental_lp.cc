@@ -79,6 +79,93 @@ void IncrementalLpSolver::SetBounds(VarIndex j, double lower, double upper) {
   model_.SetBounds(j, lower, upper);
 }
 
+RowIndex IncrementalLpSolver::AddRow(const std::vector<std::pair<VarIndex, double>>& terms,
+                                     RowSense sense, double rhs) {
+  const int old_m = m_;
+  const size_t old_sm = static_cast<size_t>(old_m);
+  const RowIndex r = model_.AddRow(terms, sense, rhs, "cut");
+
+  ++m_;
+  ++ncol_;
+  const size_t slack = static_cast<size_t>(ncol_ - 1);  // new slack column n_ + old_m
+  lower_.push_back(0.0);
+  upper_.push_back(0.0);
+  switch (sense) {
+    case RowSense::kLessEqual:
+      lower_[slack] = 0.0;
+      upper_[slack] = kInfinity;
+      break;
+    case RowSense::kGreaterEqual:
+      lower_[slack] = -kInfinity;
+      upper_[slack] = 0.0;
+      break;
+    case RowSense::kEqual:
+      lower_[slack] = 0.0;
+      upper_[slack] = 0.0;
+      break;
+  }
+  cost_.push_back(0.0);
+  rhs_.push_back(rhs);
+  status_.push_back(VarStatus::kBasic);
+  basis_.push_back(n_ + old_m);
+  basic_row_.push_back(old_m);
+  beta_.push_back(0.0);
+  dj_.push_back(0.0);
+  w_.assign(static_cast<size_t>(m_), 0.0);
+  rho_.assign(static_cast<size_t>(m_), 0.0);
+  alpha_.assign(static_cast<size_t>(ncol_), 0.0);
+
+  const size_t sm = static_cast<size_t>(m_);
+  if (!basis_valid_) {
+    binv_.assign(sm * sm, 0.0);
+    return r;
+  }
+
+  // Extend the basis inverse in place: with the new row appended,
+  //   B' = [[B, 0], [r^T, 1]]  =>  B'^-1 = [[B^-1, 0], [-r^T B^-1, 1]]
+  // where r_k is the new row's coefficient on the basic column of row k
+  // (zero when that column is a slack). The new slack is basic in the new
+  // row, its cost is zero, so the duals and every reduced cost stand.
+  std::vector<double> old_binv;
+  old_binv.swap(binv_);
+  binv_.assign(sm * sm, 0.0);
+  for (size_t i = 0; i < old_sm; ++i) {
+    std::copy(&old_binv[i * old_sm], &old_binv[i * old_sm] + old_sm, &binv_[i * sm]);
+  }
+  // Use the merged coefficients the model actually stored for the row.
+  const auto& stored = model_.row(r).terms;
+  double* last = &binv_[old_sm * sm];
+  for (size_t k = 0; k < old_sm; ++k) {
+    const int bk = basis_[k];
+    if (bk >= n_) {
+      continue;  // slack column: zero coefficient in the new row
+    }
+    double coeff = 0.0;
+    for (const auto& [var, value] : stored) {
+      if (var == bk) {
+        coeff = value;
+        break;
+      }
+    }
+    if (coeff == 0.0) {
+      continue;
+    }
+    const double* rowk = &old_binv[k * old_sm];
+    for (size_t i = 0; i < old_sm; ++i) {
+      last[i] -= coeff * rowk[i];
+    }
+  }
+  last[old_sm] = 1.0;
+
+  // Refresh beta (the new slack's value is rhs - row activity, which the
+  // extended inverse produces) and duals; the basis stays dual feasible and
+  // the next Solve() repairs any primal violation of the cut via PrepareWarm
+  // + DualSimplex.
+  ComputeDuals();
+  ComputeBeta();
+  return r;
+}
+
 double IncrementalLpSolver::NonbasicValue(int j) const {
   switch (status_[static_cast<size_t>(j)]) {
     case VarStatus::kAtLower:
@@ -587,7 +674,9 @@ SolveStatus IncrementalLpSolver::DualSimplex(const LpOptions& opts, bool timed,
         below ? VarStatus::kAtLower : VarStatus::kAtUpper;
     ApplyPivot(r, q, leave_to, entering_value, theta_dual);
     ++last_info_.pivots;
+    ++last_info_.dual_pivots;
     ++stats_.pivots;
+    ++stats_.dual_pivots;
 
     if (std::fabs(dxq) <= 1e-12 && std::fabs(theta_dual) <= 1e-12) {
       if (++degenerate_streak > kDegenerateLimit) {
@@ -700,7 +789,9 @@ SolveStatus IncrementalLpSolver::PrimalCleanup(const LpOptions& opts, bool timed
       status_[static_cast<size_t>(q)] =
           dir > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
       ++last_info_.pivots;
+      ++last_info_.primal_pivots;
       ++stats_.pivots;
+      ++stats_.primal_pivots;
       continue;
     }
 
@@ -728,7 +819,9 @@ SolveStatus IncrementalLpSolver::PrimalCleanup(const LpOptions& opts, bool timed
     PriceAll(rho_, alpha_);
     ApplyPivot(r, q, leave_to, entering_value, dj_[static_cast<size_t>(q)]);
     ++last_info_.pivots;
+    ++last_info_.primal_pivots;
     ++stats_.pivots;
+    ++stats_.primal_pivots;
 
     if (pivots_since_refactor_ >= kRefactorInterval) {
       if (!Refactorize()) {
@@ -747,7 +840,9 @@ Solution IncrementalLpSolver::DenseFallback(const LpOptions& opts) {
   LpStats lp_stats;
   Solution solution = SolveLp(model_, opts, &lp_stats);
   last_info_.pivots += lp_stats.iterations;
+  last_info_.primal_pivots += lp_stats.iterations;
   stats_.pivots += lp_stats.iterations;
+  stats_.primal_pivots += lp_stats.iterations;
   return solution;
 }
 

@@ -48,6 +48,18 @@ class IncrementalLpSolver {
   // next Solve() re-enters from the previous final basis.
   void SetBounds(VarIndex j, double lower, double upper);
 
+  // Appends a linear row (a cutting plane) to the model WITHOUT invalidating
+  // the basis: the new row's slack enters the basis, and the dense basis
+  // inverse is extended in place —
+  //     B' = [[B, 0], [r^T, 1]]   =>   B'^-1 = [[B^-1, 0], [-r^T B^-1, 1]]
+  // where r holds the new row's coefficients on the current basic columns.
+  // Because the slack has zero cost, the duals are unchanged and the basis
+  // stays dual feasible; the next Solve() repairs the (usually violated) cut
+  // with a handful of dual pivots instead of a cold restart. This is the
+  // engine under the root cut loop (src/solver/cuts.h). O(m^2).
+  RowIndex AddRow(const std::vector<std::pair<VarIndex, double>>& terms, RowSense sense,
+                  double rhs);
+
   // Re-optimizes after any number of SetBounds calls. The first call, and
   // any call after a failure invalidated the basis, is a cold start.
   Solution Solve(const LpOptions& options = LpOptions());
@@ -55,6 +67,8 @@ class IncrementalLpSolver {
   // Observability for the most recent Solve() call.
   struct SolveInfo {
     int pivots = 0;               // dual + primal pivots and bound flips
+    int dual_pivots = 0;          // pivots taken by the dual-simplex phase
+    int primal_pivots = 0;        // primal cleanup pivots + dense iterations
     bool warm = false;            // re-entered from the previous final basis
     bool dense_fallback = false;  // delegated to the cold dense solver
   };
@@ -63,6 +77,8 @@ class IncrementalLpSolver {
   // Lifetime counters across all Solve() calls.
   struct Stats {
     std::int64_t pivots = 0;
+    std::int64_t dual_pivots = 0;
+    std::int64_t primal_pivots = 0;
     int warm_solves = 0;
     int cold_solves = 0;      // solves rebuilt from the all-slack basis
     int dense_fallbacks = 0;  // solves delegated to the dense solver

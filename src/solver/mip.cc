@@ -4,6 +4,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/solver/bnb_internal.h"
+#include "src/solver/cuts.h"
 #include "src/solver/decompose.h"
 #include "src/solver/incremental_lp.h"
 #include "src/solver/presolve.h"
@@ -48,6 +49,8 @@ class BranchAndBound {
       if (stats_ != nullptr) {
         const auto& info = inc_->last_info();
         stats_->total_pivots += info.pivots;
+        stats_->dual_pivots += info.dual_pivots;
+        stats_->primal_pivots += info.primal_pivots;
         if (info.warm && !info.dense_fallback) {
           ++stats_->warm_start_hits;
         } else {
@@ -59,6 +62,7 @@ class BranchAndBound {
       lp = SolveLp(model_, budget_.NodeLpOptions(opts_.lp), &lp_stats);
       if (stats_ != nullptr) {
         stats_->total_pivots += lp_stats.iterations;
+        stats_->primal_pivots += lp_stats.iterations;
         ++stats_->cold_restarts;
       }
     }
@@ -75,10 +79,11 @@ class BranchAndBound {
   // Direction-normalized score: larger is better.
   double Score(double objective) const { return model_.maximize() ? objective : -objective; }
 
-  // Finds the integer variable whose LP value is farthest from integral.
-  // Returns -1 if the point is integral.
-  int MostFractional(const std::vector<double>& x) const {
-    return internal::MostFractionalVar(model_, x, opts_.integrality_tol);
+  // Branch-variable selection (MipOptions::branching): pseudo-cost product
+  // score when enabled, most-fractional otherwise. Returns -1 if integral.
+  int SelectBranch(const std::vector<double>& x) const {
+    return internal::SelectBranchVariable(model_, x, opts_.integrality_tol, opts_.branching,
+                                          pseudo_costs_);
   }
 
   // Tries rounding `x` to the nearest integers; installs as incumbent if
@@ -87,7 +92,13 @@ class BranchAndBound {
 
   void MaybeUpdateIncumbent(const std::vector<double>& x, double objective);
 
-  void Dfs(int depth);
+  // One search node. `parent_bound` / `parent_branch_var` / `parent_up` /
+  // `parent_frac` describe the branch that created this node (var -1 at the
+  // root): the child's LP bound against the parent's feeds the pseudo-cost
+  // tables. Both bounds carry the same +perturb_.slack term, which cancels
+  // in the difference.
+  void Dfs(int depth, double parent_bound, int parent_branch_var, bool parent_up,
+           double parent_frac);
 
   Model model_;  // mutable copy: bounds change during the search
   // Persistent warm-started node solver; null when opts_.use_incremental_lp
@@ -119,6 +130,9 @@ class BranchAndBound {
   // objective coefficients, and a bound on |perturbed - true| objective over
   // the variable box, added to every node bound to keep pruning sound.
   internal::Perturbation perturb_;
+  // Pseudo-cost tables (BranchingRule::kPseudoCost), strong-branch
+  // initialized in Run() and updated from observed child bounds in Dfs().
+  internal::PseudoCosts pseudo_costs_;
 };
 
 void BranchAndBound::TryRounding(const std::vector<double>& x) {
@@ -149,6 +163,7 @@ void BranchAndBound::TryRounding(const std::vector<double>& x) {
   if (stats_ != nullptr) {
     ++stats_->lp_solves;
     stats_->total_pivots += lp_stats.iterations;
+    stats_->primal_pivots += lp_stats.iterations;
     stats_->lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
   }
   if (repaired.status == SolveStatus::kOptimal &&
@@ -166,7 +181,8 @@ void BranchAndBound::MaybeUpdateIncumbent(const std::vector<double>& x, double o
   }
 }
 
-void BranchAndBound::Dfs(int depth) {
+void BranchAndBound::Dfs(int depth, double parent_bound, int parent_branch_var, bool parent_up,
+                         double parent_frac) {
   if (budget_.LatchTimeLimitIfExpired()) {
     search_complete_ = false;
     return;
@@ -182,6 +198,9 @@ void BranchAndBound::Dfs(int depth) {
 
   const Solution lp = NodeLp();
   if (lp.status == SolveStatus::kInfeasible) {
+    // Deliberately no pseudo-cost observation: infeasible children carry no
+    // finite bound, and skipping them keeps the serial and parallel updates
+    // identical.
     return;
   }
   if (lp.status != SolveStatus::kOptimal) {
@@ -205,6 +224,11 @@ void BranchAndBound::Dfs(int depth) {
   if (depth == 0) {
     have_root_bound_ = true;
     root_bound_score_ = bound;
+  } else if (parent_branch_var >= 0 && !pseudo_costs_.empty()) {
+    // Observed dual-bound degradation of the branch that created this node,
+    // per unit of fractionality moved.
+    pseudo_costs_.Update(parent_branch_var, parent_up,
+                         (parent_bound - bound) / std::max(parent_frac, 1e-6));
   }
   const double gap =
       std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
@@ -213,7 +237,7 @@ void BranchAndBound::Dfs(int depth) {
     return;  // cannot improve (within tolerance)
   }
 
-  const int branch_var = MostFractional(lp.values);
+  const int branch_var = SelectBranch(lp.values);
   if (branch_var < 0) {
     MaybeUpdateIncumbent(lp.values, perturb_.TrueObjective(model_, lp.values));
     return;
@@ -229,16 +253,20 @@ void BranchAndBound::Dfs(int depth) {
       return;  // the repaired incumbent already matches this node's bound
     }
   }
-  // Root reduced-cost fixing (MipOptions::reduced_cost_fixing): by LP
+  // Reduced-cost fixing (MipOptions::reduced_cost_fixing / node_...): by LP
   // duality, any feasible point that moves variable j one unit off the
-  // bound its reduced cost d holds it at scores no better than the root
+  // bound its reduced cost d holds it at scores no better than the node
   // bound plus -|d|. When even that ceiling cannot beat the incumbent by
-  // more than the pruning gap, the variable is fixed at its bound for the
-  // ENTIRE search — the same within-gap solutions the gap test already
-  // forfeits. The bounds are never restored: Dfs(0) is the root invocation,
-  // so nothing outlives the fixes.
-  if (depth == 0 && opts_.reduced_cost_fixing && have_incumbent_ &&
-      lp.reduced_costs.size() == static_cast<size_t>(model_.num_variables())) {
+  // more than the pruning gap, the variable is fixed at its bound — the
+  // same within-gap solutions the gap test already forfeits. Root fixes are
+  // permanent (Dfs(0) is the root invocation, nothing outlives them);
+  // node-level fixes are scoped to this subtree and restored below.
+  std::vector<std::pair<int, std::pair<double, double>>> rc_restore;
+  const bool fix_here =
+      (depth == 0 ? opts_.reduced_cost_fixing : opts_.node_reduced_cost_fixing) &&
+      have_incumbent_ &&
+      lp.reduced_costs.size() == static_cast<size_t>(model_.num_variables());
+  if (fix_here) {
     const double fix_gap =
         std::max(opts_.absolute_gap, opts_.relative_gap * std::fabs(best_score_));
     int fixed = 0;
@@ -260,11 +288,18 @@ void BranchAndBound::Dfs(int depth) {
           std::fabs(fix_at - std::round(fix_at)) > opts_.integrality_tol) {
         continue;  // only fix at a clean integer bound
       }
+      if (depth > 0) {
+        rc_restore.emplace_back(j, std::make_pair(col.lower, col.upper));
+      }
       SetVarBounds(j, std::round(fix_at), std::round(fix_at));
       ++fixed;
     }
     if (stats_ != nullptr) {
-      stats_->reduced_cost_fixed += fixed;
+      if (depth == 0) {
+        stats_->reduced_cost_fixed += fixed;
+      } else {
+        stats_->node_reduced_cost_fixed += fixed;
+      }
     }
   }
 
@@ -290,23 +325,49 @@ void BranchAndBound::Dfs(int depth) {
       }
       SetVarBounds(branch_var, std::max(ceil_v, old_lower), old_upper);
     }
-    Dfs(depth + 1);
+    Dfs(depth + 1, bound, branch_var, !down, down ? v - floor_v : ceil_v - v);
     SetVarBounds(branch_var, old_lower, old_upper);
     if (budget_.LatchTimeLimitIfExpired()) {
       search_complete_ = false;
-      return;
+      break;
     }
+  }
+  // Unwind this node's reduced-cost fixes on every exit path, so siblings
+  // above see the bounds they branched with.
+  for (auto it = rc_restore.rbegin(); it != rc_restore.rend(); ++it) {
+    SetVarBounds(it->first, it->second.first, it->second.second);
   }
 }
 
 Solution BranchAndBound::Run() {
+  // Root cutting planes (cuts.h) tighten model_ BEFORE the node solvers are
+  // built, so every node relaxation — warm or cold — branches on the
+  // cut-augmented polytope. Cuts are valid for every integer point, so
+  // incumbent scoring, rounding repair and the dual bound all stay sound.
+  internal::RootCutStats cut_stats;
+  internal::AddRootCuts(model_, opts_, &cut_stats);
+  internal::StrongBranchStats sb_stats;
+  internal::InitPseudoCostsAtRoot(model_, opts_, &pseudo_costs_, &sb_stats);
+  if (stats_ != nullptr) {
+    stats_->cuts_generated += cut_stats.generated;
+    stats_->cuts_active += cut_stats.active;
+    stats_->cuts_aged_out += cut_stats.aged_out;
+    stats_->cut_rounds += cut_stats.rounds;
+    stats_->cut_pivots += cut_stats.pivots;
+    stats_->lp_solves += cut_stats.lp_solves + sb_stats.lp_solves;
+    stats_->total_pivots += cut_stats.pivots + sb_stats.pivots;
+    stats_->dual_pivots += cut_stats.dual_pivots;
+    stats_->primal_pivots += cut_stats.pivots - cut_stats.dual_pivots + sb_stats.pivots;
+    stats_->lp_time_seconds += cut_stats.lp_time_seconds + sb_stats.lp_time_seconds;
+    stats_->strong_branch_solves += sb_stats.lp_solves;
+  }
   if (opts_.use_incremental_lp) {
     inc_ = std::make_unique<IncrementalLpSolver>(model_);
   }
   if (static_cast<int>(opts_.warm_start.size()) == model_.num_variables()) {
     TryRounding(opts_.warm_start);
   }
-  Dfs(0);
+  Dfs(0, 0.0, -1, false, 0.0);
   Solution solution;
   if (have_incumbent_) {
     solution.status = search_complete_ ? SolveStatus::kOptimal : SolveStatus::kFeasible;
@@ -381,7 +442,8 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
       return solution;
     }
     if (presolve_stats.singleton_rows > 0 || presolve_stats.redundant_rows > 0 ||
-        presolve_stats.bounds_tightened > 0) {
+        presolve_stats.bounds_tightened > 0 || presolve_stats.probed_fixings > 0 ||
+        presolve_stats.clique_rows_added > 0 || presolve_stats.probe_implications > 0) {
       MipOptions reduced_options = options;
       reduced_options.presolve = false;
       Solution solution = SolveMipImpl(reduced, reduced_options, stats);
@@ -391,6 +453,9 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
         stats->presolve.singleton_rows += presolve_stats.singleton_rows;
         stats->presolve.redundant_rows += presolve_stats.redundant_rows;
         stats->presolve.bounds_tightened += presolve_stats.bounds_tightened;
+        stats->presolve.probed_fixings += presolve_stats.probed_fixings;
+        stats->presolve.probe_implications += presolve_stats.probe_implications;
+        stats->presolve.clique_rows_added += presolve_stats.clique_rows_added;
       }
       return solution;
     }
@@ -404,6 +469,7 @@ Solution SolveMipImpl(const Model& model, const MipOptions& options, MipStats* s
       stats->nodes_explored = 1;
       stats->cold_restarts = 1;
       stats->total_pivots = lp_stats.iterations;
+      stats->primal_pivots = lp_stats.iterations;
       stats->lp_time_seconds = std::chrono::duration<double>(Clock::now() - start).count();
       if (solution.status == SolveStatus::kOptimal) {
         stats->has_best_bound = true;
@@ -447,11 +513,26 @@ Solution SolveMip(const Model& model, const MipOptions& options, MipStats* stats
     obs::Count("solver.nodes_explored", effective_stats->nodes_explored);
     obs::Count("solver.lp_solves", effective_stats->lp_solves);
     obs::Count("solver.pivots", effective_stats->total_pivots);
+    obs::Count("solver.dual.pivots", effective_stats->dual_pivots);
+    obs::Count("solver.dual.cleanup_pivots", effective_stats->primal_pivots);
     obs::Count("solver.warm_start_hits", effective_stats->warm_start_hits);
     obs::Count("solver.cold_restarts", effective_stats->cold_restarts);
+    obs::Count("solver.cuts.generated", effective_stats->cuts_generated);
+    obs::Count("solver.cuts.active", effective_stats->cuts_active);
+    obs::Count("solver.cuts.aged_out", effective_stats->cuts_aged_out);
+    obs::Count("solver.cuts.rounds", effective_stats->cut_rounds);
+    obs::Count("solver.cuts.pivots", effective_stats->cut_pivots);
+    obs::Count("solver.branching.strong_branch_solves",
+               effective_stats->strong_branch_solves);
+    obs::Count("solver.branching.node_rc_fixed",
+               effective_stats->node_reduced_cost_fixed);
     obs::Count("solver.presolve.singleton_rows", effective_stats->presolve.singleton_rows);
     obs::Count("solver.presolve.redundant_rows", effective_stats->presolve.redundant_rows);
     obs::Count("solver.presolve.bounds_tightened", effective_stats->presolve.bounds_tightened);
+    obs::Count("solver.presolve.probed_fixings", effective_stats->presolve.probed_fixings);
+    obs::Count("solver.presolve.probe_implications",
+               effective_stats->presolve.probe_implications);
+    obs::Count("solver.presolve.clique_rows", effective_stats->presolve.clique_rows_added);
     obs::Count("solver.reduced_cost_fixed", effective_stats->reduced_cost_fixed);
     if (effective_stats->components > 0) {
       obs::SetGauge("solver.components", effective_stats->components);

@@ -20,6 +20,35 @@
 
 namespace medea::solver {
 
+// Controls the root cutting-plane loop (src/solver/cuts.h): cover and clique
+// cuts separated from the placement rows of the root relaxation, applied
+// through the incremental solver's basis-preserving AddRow and re-optimized
+// by the dual simplex (cut-and-branch: cuts generated at the root are
+// globally valid and stay for the whole search).
+struct CutOptions {
+  bool enable = true;
+  // Separation rounds at the root (each round: separate, add, dual re-solve).
+  int max_rounds = 8;
+  // Cuts accepted per round, most violated first.
+  int max_per_round = 32;
+  // A cut must be violated by at least this much at the current LP optimum.
+  double min_violation = 1e-4;
+  // Slack-based aging: a cut whose slack exceeds slack_tol for max_age
+  // consecutive re-solves is retired from the pool (never enters the final
+  // branching model).
+  double slack_tol = 1e-7;
+  int max_age = 2;
+};
+
+// Branch-variable selection rule (MipOptions::branching).
+enum class BranchingRule {
+  // Most fractional value, lowest index on ties (the legacy rule).
+  kMostFractional,
+  // Pseudo-cost product score, initialized by strong branching at the root
+  // and updated from observed dual-bound degradations during the search.
+  kPseudoCost,
+};
+
 struct MipOptions {
   // Wall-clock budget; <= 0 means unlimited.
   double time_limit_seconds = 10.0;
@@ -117,6 +146,25 @@ struct MipOptions {
   // hold. The decomposed path enables it for its per-component fallback
   // searches, where only the certified objective is compared.
   bool reduced_cost_fixing = false;
+  // Reduced-cost fixing at every node, scoped to the node's subtree (bounds
+  // restored on backtrack). Same basis-dependence caveat as
+  // reduced_cost_fixing, which is why it is off by default; the decomposed
+  // fallback searches enable it together with root fixing.
+  bool node_reduced_cost_fixing = false;
+  // Root cutting planes (see CutOptions). Applied identically on the warm
+  // and cold node-LP paths and on serial and parallel searches, so tree
+  // identity (branching_perturbation above) is preserved.
+  CutOptions cuts;
+  // Branch-variable selection. Pseudo-cost branching typically shrinks the
+  // tree well below MostFractional on placement models; both rules break
+  // ties by lowest variable index and are deterministic across the warm,
+  // cold and parallel configurations.
+  BranchingRule branching = BranchingRule::kPseudoCost;
+  // Fractional candidates strong-branched at the root to initialize the
+  // pseudo-cost tables (kPseudoCost only). Each candidate costs two dense
+  // LP solves; the dense solver is used so the initialization is identical
+  // in every configuration.
+  int strong_branch_candidates = 8;
   LpOptions lp;
 };
 
@@ -132,8 +180,14 @@ struct MipStats {
   // repairs and warm-start seeding).
   double lp_time_seconds = 0.0;
   // Simplex pivots + bound flips summed over every LP solve, incremental and
-  // dense alike. The headline metric for the warm-start speedup.
+  // dense alike — including the root cut loop and strong branching, so the
+  // bench pivot floors account for everything the search spent. The headline
+  // metric for the warm-start speedup.
   long long total_pivots = 0;
+  // Pivot split: dual-simplex pivots (the warm-restart path) vs primal
+  // pivots (cleanup, bound flips and dense-solver iterations).
+  long long dual_pivots = 0;
+  long long primal_pivots = 0;
   // Node relaxations re-entered from the parent's final basis by the
   // incremental solver.
   int warm_start_hits = 0;
@@ -148,6 +202,23 @@ struct MipStats {
   // (MipOptions::reduced_cost_fixing). Summed over all components of a
   // decomposed solve.
   int reduced_cost_fixed = 0;
+  // Integer variables fixed by node-level reduced-cost fixing
+  // (MipOptions::node_reduced_cost_fixing), counted per node application
+  // (the same variable can be fixed in many subtrees).
+  long long node_reduced_cost_fixed = 0;
+  // --- Root cutting planes (MipOptions::cuts) -------------------------------
+  // Cover/clique cuts generated by the root separation loop, how many were
+  // still tight when branching started (active: appended to the search
+  // model), how many aged out, separation rounds run, and the pivots the cut
+  // loop's dual re-solves cost (also included in total_pivots).
+  int cuts_generated = 0;
+  int cuts_active = 0;
+  int cuts_aged_out = 0;
+  int cut_rounds = 0;
+  long long cut_pivots = 0;
+  // Dense LP solves spent initializing pseudo-costs by root strong branching
+  // (BranchingRule::kPseudoCost; also included in lp_solves/total_pivots).
+  int strong_branch_solves = 0;
   // --- Decomposed search (MipOptions::decompose) ---------------------------
   // Connected components of the variable-row incidence graph (0 when the
   // decomposed path did not run; 1 means the model did not separate).

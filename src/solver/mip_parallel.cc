@@ -50,6 +50,7 @@
 #include "src/common/sync/work_queue.h"
 #include "src/obs/trace.h"
 #include "src/solver/bnb_internal.h"
+#include "src/solver/cuts.h"
 #include "src/solver/incremental_lp.h"
 #include "src/solver/mip.h"
 
@@ -88,6 +89,12 @@ struct TreeNode {
   double bound_score = kInfinity;  // parent's LP bound (score space) + slack
   int depth = 0;
   std::uint64_t seq = 0;  // creation order; heap tie-break (oldest first)
+  // The branch that created this node (var -1 at the root): whichever worker
+  // solves the node compares its bound against bound_score to update its
+  // pseudo-cost tables, no matter who created it.
+  int branch_var = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;
 };
 
 // Max-heap order: best bound first, then oldest.
@@ -189,24 +196,29 @@ struct LocalStats {
   long long lp_solves = 0;
   long long lp_failures = 0;
   long long pivots = 0;
+  long long dual_pivots = 0;
+  long long primal_pivots = 0;
   long long warm_start_hits = 0;
   long long cold_restarts = 0;
   long long steals = 0;
   long long rc_fixed = 0;
+  long long node_rc_fixed = 0;
   double lp_time_seconds = 0.0;
 };
 
 class Worker {
  public:
   Worker(int id, int num_workers, const Model& root_model, const MipOptions& options,
-         const Perturbation* perturb, SearchBudget* budget, SharedState* shared)
+         const Perturbation* perturb, const PseudoCosts* root_pseudo_costs,
+         SearchBudget* budget, SharedState* shared)
       : id_(id),
         num_workers_(num_workers),
         model_(root_model),
         opts_(options),
         perturb_(perturb),
         budget_(budget),
-        shared_(shared) {}
+        shared_(shared),
+        pseudo_costs_(*root_pseudo_costs) {}
 
   void set_peers(const std::vector<std::unique_ptr<Worker>>* peers) { peers_ = peers; }
 
@@ -290,6 +302,8 @@ class Worker {
       lp = inc_->Solve(budget_->NodeLpOptions(opts_.lp));
       const auto& info = inc_->last_info();
       local_.pivots += info.pivots;
+      local_.dual_pivots += info.dual_pivots;
+      local_.primal_pivots += info.primal_pivots;
       if (info.warm && !info.dense_fallback) {
         ++local_.warm_start_hits;
       } else {
@@ -299,6 +313,7 @@ class Worker {
       LpStats lp_stats;
       lp = SolveLp(model_, budget_->NodeLpOptions(opts_.lp), &lp_stats);
       local_.pivots += lp_stats.iterations;
+      local_.primal_pivots += lp_stats.iterations;
       ++local_.cold_restarts;
     }
     ++local_.lp_solves;
@@ -332,6 +347,7 @@ class Worker {
     }
     ++local_.lp_solves;
     local_.pivots += lp_stats.iterations;
+    local_.primal_pivots += lp_stats.iterations;
     local_.lp_time_seconds += std::chrono::duration<double>(Clock::now() - start).count();
     if (repaired.status == SolveStatus::kOptimal && model_.IsFeasible(repaired.values, 1e-5)) {
       shared_->OfferIncumbent(repaired.values,
@@ -375,12 +391,22 @@ class Worker {
     const double bound = Score(lp.objective) + perturb_->slack;
     if (node.depth == 0) {
       shared_->RecordRootBound(bound);
+    } else if (node.branch_var >= 0 && !pseudo_costs_.empty()) {
+      // Observed dual-bound degradation of the branch that created this
+      // node (both bounds carry +slack, which cancels). Tables are
+      // worker-private: initialization is shared, later observations drift
+      // apart between workers — every individual decision is still
+      // deterministic given the node's history.
+      pseudo_costs_.Update(node.branch_var, node.branch_up,
+                           (node.bound_score - bound) / std::max(node.branch_frac, 1e-6));
     }
     if (PrunedByIncumbent(bound)) {
       return;
     }
 
-    const int branch_var = MostFractionalVar(model_, lp.values, opts_.integrality_tol);
+    const int branch_var =
+        SelectBranchVariable(model_, lp.values, opts_.integrality_tol, opts_.branching,
+                             pseudo_costs_);
     if (branch_var < 0) {
       shared_->OfferIncumbent(lp.values, Score(perturb_->TrueObjective(model_, lp.values)));
       return;
@@ -392,15 +418,17 @@ class Worker {
       }
     }
 
-    // Root reduced-cost fixing (MipOptions::reduced_cost_fixing; soundness
-    // argument in the serial engine, mip.cc). Exactly one worker ever
-    // processes the depth-0 node and no other node exists yet, so the fixes
-    // are raced by nobody. Each fix becomes a BoundStep on the children's
-    // path chain: every descendant — on whichever worker — replays it
-    // through MoveToNode, and this worker's rewind state stays consistent
-    // because the applied path is extended in step.
+    // Reduced-cost fixing (MipOptions::reduced_cost_fixing at the root,
+    // node_reduced_cost_fixing below it; soundness argument in the serial
+    // engine, mip.cc). Each fix becomes a BoundStep on the children's path
+    // chain: every descendant — on whichever worker — replays it through
+    // MoveToNode, and it unwinds automatically when any worker rewinds past
+    // this node, so a deep fix is naturally scoped to the subtree. The root
+    // case is raced by nobody (exactly one worker processes depth 0 before
+    // any other node exists); deeper fixes only ever extend THIS node's
+    // children's chains.
     PathPtr branch_parent = node.path;
-    if (node.depth == 0 && opts_.reduced_cost_fixing &&
+    if ((node.depth == 0 ? opts_.reduced_cost_fixing : opts_.node_reduced_cost_fixing) &&
         lp.reduced_costs.size() == static_cast<size_t>(model_.num_variables())) {
       const double inc = shared_->incumbent_score.load(std::memory_order_relaxed);
       if (inc > -kInfinity) {
@@ -434,7 +462,11 @@ class Worker {
           branch_parent = std::make_shared<PathLink>(branch_parent, step);
           SetVarBounds(j, step.lower, step.upper);
           applied_.push_back(branch_parent.get());
-          ++local_.rc_fixed;
+          if (node.depth == 0) {
+            ++local_.rc_fixed;
+          } else {
+            ++local_.node_rc_fixed;
+          }
         }
         applied_anchor_ = branch_parent;
       }
@@ -476,6 +508,9 @@ class Worker {
       child.bound_score = bound;
       child.depth = node.depth + 1;
       child.seq = shared_->next_seq.fetch_add(1, std::memory_order_relaxed);
+      child.branch_var = branch_var;
+      child.branch_up = !down;
+      child.branch_frac = down ? v - floor_v : ceil_v - v;
     }
     if (num_children == 0) {
       return;
@@ -558,6 +593,10 @@ class Worker {
   std::vector<std::pair<double, double>> saved_bounds_;  // TryRounding scratch
 
   LocalStats local_;
+  // Worker-private pseudo-cost table, seeded from the root strong-branch
+  // initialization. Updated only from this worker's observed dual-bound
+  // gains, so no synchronization is needed.
+  PseudoCosts pseudo_costs_;
   double pruned_bound_max_ = -kInfinity;
 };
 
@@ -599,6 +638,15 @@ Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStat
   Model root_model = model;
   Perturbation perturb;
   perturb.Apply(root_model, options);
+  // Root cut generation and pseudo-cost initialization run once on the main
+  // thread, on the same (perturbed) model the serial engine would use, so the
+  // cut set and initial branching scores are identical across engines. Every
+  // worker then copies the strengthened model and the seeded table.
+  RootCutStats cut_stats;
+  AddRootCuts(root_model, options, &cut_stats);
+  PseudoCosts root_pc;
+  StrongBranchStats sb_stats;
+  InitPseudoCostsAtRoot(root_model, options, &root_pc, &sb_stats);
   SearchBudget budget(options);
   SharedState shared;
 
@@ -615,7 +663,7 @@ Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStat
   workers.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers.push_back(std::make_unique<Worker>(i, threads, root_model, options, &perturb,
-                                               &budget, &shared));
+                                               &root_pc, &budget, &shared));
   }
   for (auto& worker : workers) {
     worker->set_peers(&workers);
@@ -643,6 +691,9 @@ Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStat
     totals.cold_restarts += w.cold_restarts;
     totals.steals += w.steals;
     totals.rc_fixed += w.rc_fixed;
+    totals.node_rc_fixed += w.node_rc_fixed;
+    totals.dual_pivots += w.dual_pivots;
+    totals.primal_pivots += w.primal_pivots;
     totals.lp_time_seconds += w.lp_time_seconds;
     pruned_bound_max = std::max(pruned_bound_max, worker->pruned_bound_max());
   }
@@ -665,13 +716,25 @@ Solution SolveMipParallel(const Model& model, const MipOptions& options, MipStat
       stats->lp_failures = static_cast<int>(totals.lp_failures);
       stats->hit_time_limit = budget.hit_time_limit();
       stats->hit_node_limit = budget.hit_node_limit();
-      stats->lp_time_seconds = totals.lp_time_seconds;
-      stats->total_pivots = totals.pivots;
+      stats->lp_time_seconds = totals.lp_time_seconds + cut_stats.lp_time_seconds +
+                               sb_stats.lp_time_seconds;
+      stats->total_pivots = totals.pivots + cut_stats.pivots + sb_stats.pivots;
+      stats->dual_pivots = totals.dual_pivots + cut_stats.dual_pivots;
+      stats->primal_pivots =
+          totals.primal_pivots + (cut_stats.pivots - cut_stats.dual_pivots) + sb_stats.pivots;
+      stats->lp_solves += cut_stats.lp_solves + sb_stats.lp_solves;
+      stats->cuts_generated = cut_stats.generated;
+      stats->cuts_active = cut_stats.active;
+      stats->cuts_aged_out = cut_stats.aged_out;
+      stats->cut_rounds = cut_stats.rounds;
+      stats->cut_pivots = cut_stats.pivots;
+      stats->strong_branch_solves = sb_stats.lp_solves;
       stats->warm_start_hits = static_cast<int>(totals.warm_start_hits);
       stats->cold_restarts = static_cast<int>(totals.cold_restarts);
       stats->threads_used = threads;
       stats->steals = totals.steals;
       stats->reduced_cost_fixed = static_cast<int>(totals.rc_fixed);
+      stats->node_reduced_cost_fixed = totals.node_rc_fixed;
       stats->per_worker.clear();
       stats->per_worker.reserve(workers.size());
       for (size_t i = 0; i < workers.size(); ++i) {

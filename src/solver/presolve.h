@@ -7,7 +7,13 @@
 //  * bounds of integer variables are rounded inward;
 //  * rows that can never be violated given the variable bounds (redundant)
 //    are dropped;
-//  * rows whose bound activity proves infeasibility are detected up front.
+//  * rows whose bound activity proves infeasibility are detected up front;
+//  * 0/1 bound probing: a binary whose trial value pushes a row's minimum
+//    activity past its rhs is fixed the other way (to fixpoint);
+//  * placement-aware clique rows: when any two of a capacity row's k largest
+//    binary coefficients already exceed the rhs, the conflict row
+//    sum(x in K) <= 1 is added, tightening the LP relaxation of the
+//    per-node knapsacks that dominate Medea's placement models.
 //
 // The variable set is preserved (fixed variables are handled by the
 // simplex's fixed-column elimination), so solutions of the presolved model
@@ -24,6 +30,16 @@ struct PresolveStats {
   int singleton_rows = 0;    // converted to bounds
   int redundant_rows = 0;    // dropped
   int bounds_tightened = 0;  // variable bounds strengthened
+  // 0/1 bound probing (pass 3): binaries fixed because setting them the
+  // other way makes some row's minimum activity exceed its rhs.
+  int probed_fixings = 0;
+  // Pairwise conflicts discovered while probing row prefixes: pairs of
+  // binaries that can never both be 1 in the same row.
+  long long probe_implications = 0;
+  // Conflict rows sum(x in K) <= 1 materialized from those implications
+  // (named "probe_clique" in the reduced model). Valid for every integer
+  // point, so the MIP optimum is preserved; the LP relaxation tightens.
+  int clique_rows_added = 0;
   bool proven_infeasible = false;
 };
 

@@ -17,6 +17,7 @@
 #include "src/schedulers/jkube.h"
 #include "src/schedulers/yarn.h"
 #include "src/sim/simulation.h"
+#include "src/solver/incremental_lp.h"
 #include "src/solver/mip.h"
 #include "src/verify/self_certify.h"
 #include "src/workload/lra_templates.h"
@@ -321,6 +322,12 @@ class FuzzRun {
     }
     if (options_.check_decompose && !Saturated()) {
       RunDecomposeLeg(seed, rng);
+    }
+    if (options_.check_cuts && !Saturated()) {
+      RunCutsLeg(seed, rng);
+    }
+    if (options_.check_lp_differential && !Saturated()) {
+      RunLpDifferentialLeg(seed, rng);
     }
     if (options_.run_simulation && !Saturated()) {
       RunSimulationLeg(seed, rng);
@@ -706,6 +713,126 @@ class FuzzRun {
     }
   }
 
+  // --- Cutting-plane differential: cuts on vs off ----------------------------
+
+  // Root cover/clique cuts are only sound if they separate fractional points
+  // without ever cutting an integer-feasible one. At exact gaps the search
+  // with cuts + pseudo-cost branching must therefore reach the same status
+  // and the same optimum as the cut-free most-fractional search, and the
+  // strengthened incumbent must still certify against the ORIGINAL model.
+  // (Exact gaps matter: with the default 1% relative gap the two different
+  // trees may legitimately stop on different within-gap incumbents.)
+  void RunCutsLeg(uint64_t seed, Rng& rng) {
+    const solver::Model model = BuildRandomModel(rng);
+    ++result_.stats.cut_models;
+
+    solver::MipOptions base;
+    base.time_limit_seconds = 10.0;
+    base.absolute_gap = 1e-9;
+    base.relative_gap = 0.0;
+
+    solver::MipOptions off = base;
+    off.cuts.enable = false;
+    off.branching = solver::BranchingRule::kMostFractional;
+    solver::MipStats off_stats;
+    const solver::Solution plain = solver::SolveMip(model, off, &off_stats);
+
+    solver::MipOptions on = base;
+    on.cuts.enable = true;
+    on.branching = solver::BranchingRule::kPseudoCost;
+    solver::MipStats on_stats;
+    const solver::Solution strengthened = solver::SolveMip(model, on, &on_stats);
+
+    if (plain.status != strengthened.status) {
+      Fail(seed, "mip", "cuts-status-differential",
+           std::string("cuts off: ") + solver::SolveStatusName(plain.status) +
+               " vs cuts on: " + solver::SolveStatusName(strengthened.status));
+      return;
+    }
+    if (plain.status != solver::SolveStatus::kOptimal) {
+      return;
+    }
+    if (std::fabs(plain.objective - strengthened.objective) > 1e-5) {
+      std::ostringstream os;
+      os << "cuts off/on disagree: " << plain.objective << " vs " << strengthened.objective
+         << " (" << on_stats.cuts_generated << " cuts generated)";
+      Fail(seed, "mip", "cuts-objective-differential", os.str());
+    }
+    // The incumbent from the strengthened search must be feasible for (and
+    // certify against) the model WITHOUT the cuts — the definition of a
+    // globally valid cut.
+    CertifyOptions certify_options;
+    certify_options.absolute_gap = base.absolute_gap;
+    certify_options.relative_gap = base.relative_gap;
+    const CertifyReport certified =
+        CertifySolution(model, strengthened, &on_stats, certify_options);
+    if (!certified.ok()) {
+      Fail(seed, "mip", "cuts-certify", certified.ToString());
+    }
+  }
+
+  // --- LP engine differential: incremental dual simplex vs cold dense --------
+
+  // Locksteps the warm-startable incremental engine (the branch-and-bound
+  // node path: dual simplex from the previous basis after a bound change)
+  // against the cold dense solver through a random sequence of
+  // branching-style bound fixes. Every step must agree on status, and on
+  // objective when optimal — including steps that drive the model
+  // infeasible, which the dual phase must detect like the dense Phase 1.
+  void RunLpDifferentialLeg(uint64_t seed, Rng& rng) {
+    solver::Model model = BuildRandomModel(rng);
+    if (model.num_variables() == 0) {
+      return;
+    }
+    ++result_.stats.lp_models;
+
+    solver::IncrementalLpSolver inc(model);
+    const solver::LpOptions lp_options;
+    bool warm_entered = false;
+    for (int step = 0; step < 6; ++step) {
+      if (step > 0) {
+        // Branching-style change: clamp a random variable to one of its
+        // bounds (rounded inward for integers), exactly what MoveToNode
+        // applies between nodes. Mirror it into the dense solver's model.
+        const auto j = static_cast<solver::VarIndex>(
+            rng.NextBounded(static_cast<uint64_t>(model.num_variables())));
+        const auto& col = model.column(j);
+        const bool to_lower = rng.NextBool(0.5);
+        const double fixed = to_lower ? col.lower : col.upper;
+        model.SetBounds(j, fixed, fixed);
+        inc.SetBounds(j, fixed, fixed);
+      }
+      const solver::Solution warm = inc.Solve(lp_options);
+      const solver::Solution dense = solver::SolveLp(model, lp_options);
+      ++result_.stats.lp_solves_compared;
+      if (warm.status != dense.status) {
+        std::ostringstream os;
+        os << "step " << step << ": incremental " << solver::SolveStatusName(warm.status)
+           << " vs dense " << solver::SolveStatusName(dense.status);
+        Fail(seed, "mip", "lp-status-differential", os.str());
+        return;
+      }
+      if (warm.status == solver::SolveStatus::kOptimal &&
+          std::fabs(warm.objective - dense.objective) > 1e-6) {
+        std::ostringstream os;
+        os << "step " << step << ": incremental objective " << warm.objective
+           << " vs dense " << dense.objective;
+        Fail(seed, "mip", "lp-objective-differential", os.str());
+        return;
+      }
+      warm_entered = warm_entered || inc.last_info().warm;
+      if (warm.status == solver::SolveStatus::kInfeasible) {
+        return;  // further fixes stay infeasible; nothing left to compare
+      }
+    }
+    // At least one re-solve must have actually taken the warm path —
+    // otherwise this leg silently degrades into dense-vs-dense.
+    if (!warm_entered) {
+      Fail(seed, "mip", "lp-never-warm",
+           "incremental engine never re-entered from the previous basis");
+    }
+  }
+
   // --- Full-pipeline Simulation leg ------------------------------------------
 
   void RunSimulationLeg(uint64_t seed, Rng& rng) {
@@ -799,6 +926,9 @@ std::string FuzzResult::Summary() const {
      << " dominance=" << stats.dominance_checked << " (ilp-optimal=" << stats.ilp_optimal
      << ") mip-models=" << stats.mip_models
      << " decompose-models=" << stats.decompose_models
+     << " cut-models=" << stats.cut_models
+     << " lp-models=" << stats.lp_models
+     << " (lp-solves=" << stats.lp_solves_compared << ")"
      << " simulations=" << stats.simulations
      << " service-runs=" << stats.service_runs
      << " (service-batches=" << stats.service_batches << ")"

@@ -19,6 +19,13 @@
 //   * decomposition differential: random block-diagonal MIP models solved
 //     through the component-decomposed path (relax-and-round fast lane
 //     forced on) certify and match the monolithic exact optimum;
+//   * cutting-plane differential: with exact gaps, the search with root
+//     cover/clique cuts (and pseudo-cost branching) reaches the same status
+//     and objective as the cut-free most-fractional search, and the
+//     strengthened incumbent still certifies against the original model;
+//   * LP engine differential: the warm-startable incremental dual-simplex
+//     engine and the cold dense solver agree on status and objective through
+//     a random sequence of branching-style bound changes;
 //   * service differential: the same request stream driven through the
 //     snapshot-batched PlacementService (epoch snapshots, COW state,
 //     revalidating commits) and through a legacy mutex-sequential loop
@@ -59,6 +66,13 @@ struct FuzzOptions {
   // path (with the relax-and-round fast lane forced on) and require the
   // stitched result to certify and agree with the monolithic exact optimum.
   bool check_decompose = true;
+  // Solve random MIP models with cuts + pseudo-cost branching on vs fully
+  // off at exact gaps and require identical status and objective (cut
+  // soundness: no integer-feasible point may be cut off).
+  bool check_cuts = true;
+  // Run the incremental dual-simplex LP engine against the cold dense
+  // solver through a random bound-change sequence and require agreement.
+  bool check_lp_differential = true;
   // Drive the same request stream through the snapshot-batched
   // PlacementService and through a legacy mutex-sequential commit loop, and
   // require identical committed placements, Eq. 1 objectives and final
@@ -92,6 +106,9 @@ struct FuzzStats {
   int ilp_optimal = 0;
   int mip_models = 0;
   int decompose_models = 0;
+  int cut_models = 0;          // cuts-on/off differential models
+  int lp_models = 0;           // dual-vs-dense LP differential models
+  int lp_solves_compared = 0;  // lockstep LP solves across the two engines
   int simulations = 0;
   int service_runs = 0;     // service-vs-sequential differential seeds
   int service_batches = 0;  // batches compared across the two legs

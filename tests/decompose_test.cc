@@ -308,6 +308,10 @@ TEST(RelaxAndRoundTest, RejectedCandidateFallsBackToExactBranchAndBound) {
 
   MipOptions options = DecomposeExact();
   options.relax_round_min_integers = 1;  // force the fast lane on every component
+  // Presolve probing derives the clique a + b <= 1 from 2a + 2b <= 3, which
+  // makes the LP vertex integral and the fast lane accept. Disable it so the
+  // rejection/fallback path stays exercised.
+  options.presolve = false;
   MipStats stats;
   const Solution dec = SolveMip(m, options, &stats);
   ASSERT_EQ(dec.status, SolveStatus::kOptimal);

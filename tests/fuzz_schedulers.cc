@@ -2,8 +2,9 @@
 // Standalone driver for the differential scenario fuzzer (src/verify).
 //
 // Usage: fuzz_schedulers [--seeds N] [--base-seed S] [--no-sim] [--no-mip]
-//                        [--no-decompose] [--no-replay] [--no-dominance]
-//                        [--no-batch] [--max-failures K] [--verbose]
+//                        [--no-decompose] [--no-cuts] [--no-lp-differential]
+//                        [--no-replay] [--no-dominance] [--no-batch]
+//                        [--max-failures K] [--verbose]
 //
 // Exits 0 iff every seed upholds every invariant; otherwise prints each
 // failing seed with its violation report (reproduce a single failure with
@@ -31,7 +32,8 @@ bool ParseInt(const char* text, long long* out) {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed S] [--no-sim] [--no-mip] [--no-decompose] "
-               "[--no-replay] [--no-dominance] [--no-batch] [--max-failures K] [--verbose]\n",
+               "[--no-cuts] [--no-lp-differential] [--no-replay] [--no-dominance] [--no-batch] "
+               "[--max-failures K] [--verbose]\n",
                argv0);
 }
 
@@ -59,6 +61,10 @@ int main(int argc, char** argv) {
       options.check_mip = false;
     } else if (std::strcmp(arg, "--no-decompose") == 0) {
       options.check_decompose = false;
+    } else if (std::strcmp(arg, "--no-cuts") == 0) {
+      options.check_cuts = false;
+    } else if (std::strcmp(arg, "--no-lp-differential") == 0) {
+      options.check_lp_differential = false;
     } else if (std::strcmp(arg, "--no-replay") == 0) {
       options.check_replay = false;
     } else if (std::strcmp(arg, "--no-dominance") == 0) {

@@ -241,5 +241,215 @@ TEST(MipStatsPlumbing, WarmColdPivotTimeCounters) {
   EXPECT_EQ(stats.warm_start_hits + stats.cold_restarts, stats.nodes_explored);
 }
 
+// The dual + primal pivot split must tile the total: every pivot the solver
+// takes is attributed to exactly one phase.
+TEST(MipStatsPlumbing, DualPrimalPivotSplitTilesTheTotal) {
+  const Model model = PlacementModel(5, 8, 3);
+  MipStats stats;
+  const Solution solution = SolveMip(model, ExactOptions(true), &stats);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_EQ(stats.dual_pivots + stats.primal_pivots, stats.total_pivots);
+  EXPECT_GE(stats.dual_pivots, 0);
+  EXPECT_GE(stats.primal_pivots, 0);
+}
+
+// Tentpole property: after a single branching bound change, the dual-simplex
+// warm restart must agree with a cold dense solve of the same model —
+// status, objective, and reduced-cost optimality conditions — across the
+// bench corpus (same generator/sizes/seeds as bench_solver_micro).
+TEST(DualWarmRestart, SingleBoundChangeMatchesColdDense) {
+  long long total_dual_pivots = 0;
+  long long total_warm_pivots = 0;
+  long long total_cold_pivots = 0;
+  for (const auto [containers, nodes] : {std::pair(10, 5), std::pair(12, 6), std::pair(16, 8)}) {
+    for (const uint64_t seed : {3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+      Model model = PlacementModel(containers, nodes, seed);
+      IncrementalLpSolver inc(model);
+      const Solution root = inc.Solve();
+      ASSERT_EQ(root.status, SolveStatus::kOptimal)
+          << containers << "x" << nodes << " seed " << seed;
+
+      // Branch on the first fractional variable (fix to 0 = the down child);
+      // fall back to the first free one on an integral vertex.
+      int branch = -1;
+      for (int j = 0; j < model.num_variables(); ++j) {
+        const double v = root.values[static_cast<size_t>(j)];
+        if (std::fabs(v - std::round(v)) > 1e-6) {
+          branch = j;
+          break;
+        }
+      }
+      if (branch < 0) {
+        for (int j = 0; j < model.num_variables(); ++j) {
+          if (model.column(j).lower < model.column(j).upper) {
+            branch = j;
+            break;
+          }
+        }
+      }
+      ASSERT_GE(branch, 0);
+      model.SetBounds(branch, 0.0, 0.0);
+      inc.SetBounds(branch, 0.0, 0.0);
+
+      const Solution warm = inc.Solve();
+      LpStats dense_stats;
+      const Solution dense = SolveLp(model, LpOptions(), &dense_stats);
+      ASSERT_EQ(warm.status, dense.status) << containers << "x" << nodes << " seed " << seed;
+      EXPECT_TRUE(inc.last_info().warm) << containers << "x" << nodes << " seed " << seed;
+      if (dense.status != SolveStatus::kOptimal) {
+        continue;
+      }
+      EXPECT_NEAR(warm.objective, dense.objective, 1e-6)
+          << containers << "x" << nodes << " seed " << seed;
+      EXPECT_TRUE(IsLpFeasible(model, warm.values, 1e-5));
+      // Reduced-cost optimality conditions in the documented score sense:
+      // basic (interior) columns 0, nonbasic-at-lower <= 0, at-upper >= 0.
+      ASSERT_EQ(warm.reduced_costs.size(), static_cast<size_t>(model.num_variables()));
+      for (int j = 0; j < model.num_variables(); ++j) {
+        const auto& col = model.column(j);
+        const double v = warm.values[static_cast<size_t>(j)];
+        const double rc = warm.reduced_costs[static_cast<size_t>(j)];
+        if (col.lower >= col.upper) {
+          continue;  // fixed columns report 0 by convention
+        }
+        if (v > col.lower + 1e-6 && v < col.upper - 1e-6) {
+          EXPECT_NEAR(rc, 0.0, 1e-6) << "interior var " << j;
+        } else if (v <= col.lower + 1e-6 && v < col.upper - 1e-6) {
+          EXPECT_LE(rc, 1e-6) << "at-lower var " << j;
+        } else if (v >= col.upper - 1e-6 && v > col.lower + 1e-6) {
+          EXPECT_GE(rc, -1e-6) << "at-upper var " << j;
+        }
+      }
+      total_dual_pivots += inc.last_info().dual_pivots;
+      total_warm_pivots += inc.last_info().pivots;
+      total_cold_pivots += dense_stats.iterations;
+    }
+  }
+  // The warm restart must engage the dual simplex and beat the cold pivot
+  // count by a wide margin in aggregate — that is its whole reason to exist.
+  EXPECT_GT(total_dual_pivots, 0);
+  EXPECT_LT(total_warm_pivots * 3, total_cold_pivots);
+}
+
+// AddRow extends the basis in place: adding a VIOLATED cut after an optimal
+// solve must re-optimize warm (dual pivots, no cold restart) and agree with
+// a dense solve of the extended model.
+TEST(AddRowTest, ViolatedCutRepairsWarmAndMatchesDense) {
+  for (const uint64_t seed : {3ULL, 7ULL, 11ULL}) {
+    Model model = PlacementModel(6, 4, seed);
+    IncrementalLpSolver inc(model);
+    const Solution root = inc.Solve();
+    ASSERT_EQ(root.status, SolveStatus::kOptimal) << "seed " << seed;
+    const int cold_solves_before = inc.stats().cold_solves;
+
+    // A cut through the current vertex: sum of the three largest fractional
+    // coordinates <= floor(their sum) — violated by construction whenever
+    // the sum is fractional, valid for every integer point of a 0/1 row.
+    std::vector<std::pair<int, double>> order;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      order.emplace_back(j, root.values[static_cast<size_t>(j)]);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::vector<std::pair<VarIndex, double>> terms;
+    double at_vertex = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      terms.emplace_back(order[static_cast<size_t>(k)].first, 1.0);
+      at_vertex += order[static_cast<size_t>(k)].second;
+    }
+    const double rhs = std::floor(at_vertex);
+    if (at_vertex - rhs < 1e-6) {
+      continue;  // vertex integral in these coordinates: nothing to repair
+    }
+    model.AddRow(terms, RowSense::kLessEqual, rhs);
+    inc.AddRow(terms, RowSense::kLessEqual, rhs);
+
+    const Solution warm = inc.Solve();
+    const Solution dense = SolveLp(model);
+    ASSERT_EQ(warm.status, dense.status) << "seed " << seed;
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(warm.objective, dense.objective, 1e-6) << "seed " << seed;
+    EXPECT_TRUE(IsLpFeasible(model, warm.values, 1e-5)) << "seed " << seed;
+    EXPECT_TRUE(inc.last_info().warm) << "seed " << seed;
+    EXPECT_GT(inc.last_info().dual_pivots, 0) << "seed " << seed;
+    EXPECT_EQ(inc.stats().cold_solves, cold_solves_before) << "seed " << seed;
+  }
+}
+
+// A cut the current vertex already satisfies must not disturb the basis:
+// the next solve is warm and takes zero pivots.
+TEST(AddRowTest, SatisfiedRowKeepsTheOptimalBasis) {
+  Model model = PlacementModel(6, 4, 3);
+  IncrementalLpSolver inc(model);
+  const Solution root = inc.Solve();
+  ASSERT_EQ(root.status, SolveStatus::kOptimal);
+
+  // sum(all) <= n is satisfied by any 0/1-bounded point.
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    terms.emplace_back(j, 1.0);
+  }
+  model.AddRow(terms, RowSense::kLessEqual, static_cast<double>(model.num_variables()));
+  inc.AddRow(terms, RowSense::kLessEqual, static_cast<double>(model.num_variables()));
+
+  const Solution after = inc.Solve();
+  ASSERT_EQ(after.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(after.objective, root.objective, 1e-9);
+  EXPECT_TRUE(inc.last_info().warm);
+  EXPECT_EQ(inc.last_info().pivots, 0);
+}
+
+// AddRow before the first Solve() (no basis yet) must behave like building
+// the model with the row from the start.
+TEST(AddRowTest, BeforeFirstSolveActsLikeModelRow) {
+  Model with_row = PlacementModel(5, 3, 7);
+  Model without_row = with_row;
+  std::vector<std::pair<VarIndex, double>> terms = {{0, 1.0}, {1, 1.0}, {2, 1.0}};
+  with_row.AddRow(terms, RowSense::kLessEqual, 1.0);
+
+  IncrementalLpSolver inc(without_row);
+  inc.AddRow(terms, RowSense::kLessEqual, 1.0);
+  const Solution a = inc.Solve();
+  const Solution b = SolveLp(with_row);
+  ASSERT_EQ(a.status, b.status);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6);
+}
+
+// Interleaving cuts and branching bound changes — the cut loop followed by a
+// dive — keeps the incremental solver in lockstep with dense re-solves.
+TEST(AddRowTest, CutsInterleavedWithBoundChanges) {
+  Model model = PlacementModel(6, 4, 13);
+  IncrementalLpSolver inc(model);
+  Rng rng(99);
+  ASSERT_EQ(inc.Solve().status, SolveStatus::kOptimal);
+  for (int step = 0; step < 12; ++step) {
+    if (step % 3 == 2) {
+      // A random satisfied-or-violated 0/1 row over three random variables.
+      std::vector<std::pair<VarIndex, double>> terms;
+      for (int k = 0; k < 3; ++k) {
+        const int j = static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(model.num_variables())));
+        terms.emplace_back(j, 1.0);
+      }
+      model.AddRow(terms, RowSense::kLessEqual, 2.0);
+      inc.AddRow(terms, RowSense::kLessEqual, 2.0);
+    } else {
+      const int j = static_cast<int>(rng.NextBounded(
+          static_cast<uint64_t>(model.num_variables())));
+      const double fix = rng.NextBool(0.5) ? 1.0 : 0.0;
+      model.SetBounds(j, fix, fix);
+      inc.SetBounds(j, fix, fix);
+    }
+    const Solution dense = SolveLp(model);
+    const Solution fast = inc.Solve();
+    ASSERT_EQ(dense.status, fast.status) << "step " << step;
+    if (dense.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(dense.objective, fast.objective, 1e-6) << "step " << step;
+      EXPECT_TRUE(IsLpFeasible(model, fast.values, 1e-5)) << "step " << step;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace medea::solver

@@ -96,6 +96,39 @@ TEST(ParallelSolverThreadTest, DecomposedComponentsSolveInParallelUnderInstrumen
   obs::TraceRecorder::Default().Disable();
 }
 
+TEST(ParallelSolverThreadTest, DualSimplexRebaseSeedBatchUnderInstrumentation) {
+  // Seed batch for the dual-simplex warm-restart path under steal-rebase
+  // pressure: every worker re-bases its private incremental engine after a
+  // steal (MoveToNode bound rewinds) and repairs with dual pivots; root cuts
+  // and strong-branch pseudo-cost tables are built once on the main thread
+  // and copied into every worker. TSan watches the copies, the rebase
+  // traffic and the shared incumbent against the serial reference.
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Default().Reset();
+  for (const uint64_t seed : {3ULL, 7ULL, 11ULL, 13ULL}) {
+    const solver::Model m = solver::testing::PlacementModel(12, 6, seed);
+    solver::MipOptions serial_opts = ParallelExact(1);
+    serial_opts.cuts.enable = true;  // defaults, pinned for the comparison
+    serial_opts.branching = solver::BranchingRule::kPseudoCost;
+    solver::MipStats serial_stats;
+    const solver::Solution serial = solver::SolveMip(m, serial_opts, &serial_stats);
+    ASSERT_EQ(serial.status, solver::SolveStatus::kOptimal) << "seed " << seed;
+
+    solver::MipOptions par_opts = ParallelExact(6);
+    par_opts.cuts.enable = true;
+    par_opts.branching = solver::BranchingRule::kPseudoCost;
+    par_opts.node_reduced_cost_fixing = true;  // node-level fixes ride the chains
+    solver::MipStats stats;
+    const solver::Solution parallel = solver::SolveMip(m, par_opts, &stats);
+    ASSERT_EQ(parallel.status, solver::SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(parallel.objective, serial.objective, 1e-6) << "seed " << seed;
+    // The cut set is built pre-fork and must be identical to the serial one.
+    EXPECT_EQ(stats.cuts_active, serial_stats.cuts_active) << "seed " << seed;
+    EXPECT_EQ(stats.cuts_generated, serial_stats.cuts_generated) << "seed " << seed;
+  }
+  obs::EnableMetrics(false);
+}
+
 TEST(ParallelSolverThreadTest, ConcurrentParallelSolvesDoNotInterfere) {
   // Each caller thread runs its own multi-worker search; the engines share
   // nothing but the process-wide obs registry. Every search must still

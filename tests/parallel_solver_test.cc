@@ -110,6 +110,9 @@ TEST(ParallelSolverTest, NodeLimitLatchesExactlyOnceAcrossWorkers) {
   const Model m = testing::PlacementModel(16, 8, 11);
   MipOptions options = ExactOptions(4);
   options.certify = false;  // a cutoff incumbent need not be optimal
+  // Root cuts shrink this search to a couple of nodes; disable them so the
+  // frontier is deep enough for every worker to race the 8-node budget.
+  options.cuts.enable = false;
   options.max_nodes = 8;
   MipStats stats;
   const Solution solution = SolveMip(m, options, &stats);

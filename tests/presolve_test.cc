@@ -9,6 +9,7 @@
 #include "src/solver/lp_writer.h"
 #include "src/solver/mip.h"
 #include "src/solver/presolve.h"
+#include "src/solver/testing/placement_model.h"
 
 namespace medea::solver {
 namespace {
@@ -81,6 +82,110 @@ TEST(PresolveTest, ConflictingSingletonsInfeasible) {
   PresolveStats stats;
   Presolved(m, &stats);
   EXPECT_TRUE(stats.proven_infeasible);
+}
+
+// ---- 0/1 probing and clique rows -------------------------------------------
+
+TEST(PresolveProbingTest, FixesBinaryThatOverflowsRowAlone) {
+  // 5x + y <= 4: x = 1 pushes minimum activity to 5 > 4, so x must be 0.
+  Model m;
+  const int x = m.AddBinary(1.0, "x");
+  const int y = m.AddBinary(1.0, "y");
+  m.AddRow({{x, 5.0}, {y, 1.0}}, RowSense::kLessEqual, 4.0);
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_GE(stats.probed_fixings, 1);
+  EXPECT_DOUBLE_EQ(reduced.column(x).upper, 0.0);
+  EXPECT_DOUBLE_EQ(reduced.column(y).upper, 1.0);  // y untouched
+}
+
+TEST(PresolveProbingTest, NegativeCoefficientFixesToOne) {
+  // -5x + 3y + 3z <= 2 with y, z fixed at 1: minimum activity without x's
+  // relief is 6 > 2, so x must be 1.
+  Model m;
+  const int x = m.AddBinary(1.0, "x");
+  const int y = m.AddBinary(1.0, "y");
+  const int z = m.AddBinary(1.0, "z");
+  m.AddRow({{x, -5.0}, {y, 3.0}, {z, 3.0}}, RowSense::kLessEqual, 2.0);
+  m.AddRow({{y, 1.0}}, RowSense::kGreaterEqual, 1.0);  // y = 1 via singleton
+  m.AddRow({{z, 1.0}}, RowSense::kGreaterEqual, 1.0);  // z = 1 via singleton
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_GE(stats.probed_fixings, 1);
+  EXPECT_DOUBLE_EQ(reduced.column(x).lower, 1.0);
+}
+
+TEST(PresolveProbingTest, FixpointCascadesAcrossRows) {
+  // Round 1 fixes x to 1 (via the >= row written as <=); with x = 1
+  // consuming 3 of row two's capacity, round 2 proves y must be 0.
+  Model m;
+  const int x = m.AddBinary(1.0, "x");
+  const int y = m.AddBinary(1.0, "y");
+  m.AddRow({{x, -1.0}}, RowSense::kLessEqual, -1.0);            // x >= 1
+  m.AddRow({{x, 3.0}, {y, 2.0}}, RowSense::kLessEqual, 4.0);    // then y = 0
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_DOUBLE_EQ(reduced.column(x).lower, 1.0);
+  EXPECT_DOUBLE_EQ(reduced.column(y).upper, 0.0);
+}
+
+TEST(PresolveProbingTest, EmitsCliqueRowFromConflictingPrefix) {
+  // 4a + 4b + 4c <= 7: any two of {a, b, c} conflict -> a + b + c <= 1.
+  Model m;
+  m.AddBinary(1.0, "a");
+  m.AddBinary(1.0, "b");
+  m.AddBinary(1.0, "c");
+  m.AddRow({{0, 4.0}, {1, 4.0}, {2, 4.0}}, RowSense::kLessEqual, 7.0);
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_EQ(stats.clique_rows_added, 1);
+  EXPECT_EQ(stats.probe_implications, 3);  // C(3, 2) pairs
+  ASSERT_EQ(reduced.num_rows(), 2);
+  const auto& clique = reduced.row(1);
+  EXPECT_EQ(clique.name, "probe_clique");
+  EXPECT_EQ(clique.sense, RowSense::kLessEqual);
+  EXPECT_DOUBLE_EQ(clique.rhs, 1.0);
+  EXPECT_EQ(clique.terms.size(), 3u);
+}
+
+TEST(PresolveProbingTest, CliqueDominatedByAssignmentRowIsSkipped) {
+  // The all-ones row a + b + c <= 1 already states the clique: emitting it
+  // again would only duplicate work for the LP.
+  Model m;
+  m.AddBinary(1.0, "a");
+  m.AddBinary(1.0, "b");
+  m.AddBinary(1.0, "c");
+  m.AddRow({{0, 1.0}, {1, 1.0}, {2, 1.0}}, RowSense::kLessEqual, 1.0);
+  m.AddRow({{0, 4.0}, {1, 4.0}, {2, 4.0}}, RowSense::kLessEqual, 7.0);
+  PresolveStats stats;
+  const Model reduced = Presolved(m, &stats);
+  EXPECT_EQ(stats.clique_rows_added, 0);
+}
+
+// Satellite regression: presolve used to be a no-op on placement models
+// (every counter zero on every bench tier). The capacity rows must now
+// produce clique rows and pairwise implications across the bench corpus.
+TEST(PresolveProbingTest, FiresOnTheBenchPlacementCorpus) {
+  int models_with_cliques = 0;
+  long long implications = 0;
+  for (const auto [containers, nodes] :
+       {std::pair(10, 5), std::pair(12, 6), std::pair(16, 8), std::pair(20, 10)}) {
+    for (const uint64_t seed : {3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+      const Model m = testing::PlacementModel(containers, nodes, seed);
+      PresolveStats stats;
+      const Model reduced = Presolved(m, &stats);
+      EXPECT_FALSE(stats.proven_infeasible);
+      if (stats.clique_rows_added > 0) {
+        ++models_with_cliques;
+      }
+      implications += stats.probe_implications;
+      EXPECT_EQ(reduced.num_rows(), m.num_rows() + stats.clique_rows_added);
+    }
+  }
+  // The mem rows draw coefficients from (1, 4) against capacity 7: pairs
+  // above 3.5 conflict, and across 20 models plenty of such pairs exist.
+  EXPECT_GT(models_with_cliques, 0);
+  EXPECT_GT(implications, 0);
 }
 
 // Property: presolve preserves the optimum on random models.
